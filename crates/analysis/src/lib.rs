@@ -1,0 +1,44 @@
+//! # dbds-analysis — control-flow analyses
+//!
+//! The analysis substrate of the DBDS reproduction: dominator trees
+//! ([`DomTree`], the backbone of the paper's dominance-based simulation
+//! traversal), natural-loop detection ([`LoopForest`]), profile-derived
+//! block execution frequencies ([`BlockFrequencies`], the `p` of the
+//! `shouldDuplicate` heuristic), and value [`Stamp`]s with the refinement
+//! rules conditional elimination applies along dominating conditions.
+//!
+//! # Examples
+//!
+//! ```
+//! use dbds_analysis::DomTree;
+//! use dbds_ir::parse_module;
+//!
+//! let m = parse_module(
+//!     "func @f(c: bool) {\n\
+//!      entry:\n  branch c, bt, bf, prob 0.5\n\
+//!      bt:\n  jump bm\n\
+//!      bf:\n  jump bm\n\
+//!      bm:\n  return\n}",
+//! )?;
+//! let g = &m.graphs[0];
+//! let dt = DomTree::compute(g);
+//! let merge = g.merge_blocks()[0];
+//! assert_eq!(dt.idom(merge), Some(g.entry()));
+//! # Ok::<(), dbds_ir::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod domtree;
+mod frequency;
+mod loops;
+mod stamps;
+
+pub use domtree::{reverse_postorder, DomTree};
+pub use frequency::{edge_probability, BlockFrequencies, LOOP_FACTOR, MAX_FREQUENCY};
+pub use loops::{LoopForest, LoopInfo};
+pub use stamps::{
+    initial_stamp, refine_by_cmp, refine_by_instanceof, try_fold_cmp, try_fold_instanceof,
+    IntRange, Nullness, RefStamp, Stamp,
+};

@@ -1,0 +1,124 @@
+//! Property test: the Cooper–Harvey–Kennedy dominator tree agrees with
+//! the *definition* of dominance — `a` dominates `b` iff every entry→`b`
+//! path passes through `a`, i.e. removing `a` makes `b` unreachable.
+
+use dbds_analysis::DomTree;
+use dbds_ir::{BlockId, ClassTable, Graph, Terminator, Type};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random CFG over `n` blocks from a shape seed. Every block
+/// gets a terminator chosen from jump/branch/return so the graph is
+/// always well-formed (no φs are involved).
+fn random_cfg(n: usize, choices: &[u8]) -> Graph {
+    let mut g = Graph::new("rand", &[Type::Bool], Arc::new(ClassTable::new()));
+    let cond = g.param_values()[0];
+    let mut blocks = vec![g.entry()];
+    for _ in 1..n {
+        blocks.push(g.add_block());
+    }
+    for (i, &b) in blocks.iter().enumerate() {
+        let c = choices.get(i).copied().unwrap_or(0);
+        let t1 = blocks[(i + 1 + c as usize) % n];
+        let t2 = blocks[(i + 2 + (c as usize) * 3) % n];
+        let term = match c % 4 {
+            0 | 1 if t1 != b || c % 4 == 0 => {
+                // jumps (self-loops allowed)
+                Terminator::Jump { target: t1 }
+            }
+            2 if t1 != t2 => Terminator::Branch {
+                cond,
+                then_bb: t1,
+                else_bb: t2,
+                prob_then: 0.5,
+            },
+            _ => Terminator::Return { value: None },
+        };
+        g.set_terminator(b, term);
+    }
+    g
+}
+
+/// Definition-based dominance: `b` unreachable when paths may not pass
+/// through `a`.
+fn dominates_by_definition(g: &Graph, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return reachable(g, None).contains(&b);
+    }
+    let without_a = reachable(g, Some(a));
+    let with_all = reachable(g, None);
+    with_all.contains(&b) && !without_a.contains(&b)
+}
+
+fn reachable(g: &Graph, blocked: Option<BlockId>) -> Vec<BlockId> {
+    let mut seen = vec![false; g.block_count()];
+    let mut stack = Vec::new();
+    if Some(g.entry()) != blocked {
+        seen[g.entry().index()] = true;
+        stack.push(g.entry());
+    }
+    let mut out = Vec::new();
+    while let Some(b) = stack.pop() {
+        out.push(b);
+        for s in g.succs(b) {
+            if Some(s) != blocked && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chk_matches_definition(n in 2usize..10, choices in proptest::collection::vec(0u8..8, 10)) {
+        let g = random_cfg(n, &choices);
+        let dt = DomTree::compute(&g);
+        for a in g.blocks() {
+            for b in g.blocks() {
+                prop_assert_eq!(
+                    dt.dominates(a, b),
+                    dominates_by_definition(&g, a, b),
+                    "{} dom {} disagrees on graph:\n{}",
+                    a,
+                    b,
+                    g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_the_closest_strict_dominator(n in 2usize..10, choices in proptest::collection::vec(0u8..8, 10)) {
+        let g = random_cfg(n, &choices);
+        let dt = DomTree::compute(&g);
+        for b in g.blocks() {
+            if let Some(idom) = dt.idom(b) {
+                // idom strictly dominates b…
+                prop_assert!(dt.strictly_dominates(idom, b));
+                // …and every other strict dominator dominates the idom.
+                for a in g.blocks() {
+                    if a != b && dt.strictly_dominates(a, b) {
+                        prop_assert!(dt.dominates(a, idom), "{a} sdom {b} but not dom {idom}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_orders_dominators_first(n in 2usize..10, choices in proptest::collection::vec(0u8..8, 10)) {
+        let g = random_cfg(n, &choices);
+        let dt = DomTree::compute(&g);
+        for &a in dt.reverse_postorder() {
+            for &b in dt.reverse_postorder() {
+                if dt.strictly_dominates(a, b) {
+                    prop_assert!(dt.rpo_index(a) < dt.rpo_index(b));
+                }
+            }
+        }
+    }
+}

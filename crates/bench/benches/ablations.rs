@@ -1,0 +1,78 @@
+//! Ablation benches for the design constants DESIGN.md §6 calls out:
+//! the benefit scale factor `BS = 256`, the code-size increase budget
+//! `IB = 1.5`, and the iteration bound 3 (§5.2/§5.4). Each sweep
+//! measures whole-suite DBDS compile time at the given setting; the
+//! companion `ablations` binary of the harness reports the quality side
+//! (duplications, peak, size).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbds_core::{DbdsConfig, OptLevel, TradeoffConfig};
+use dbds_costmodel::CostModel;
+use dbds_workloads::Suite;
+
+fn bench_benefit_scale(c: &mut Criterion) {
+    let workloads = Suite::Micro.workloads();
+    let model = CostModel::new();
+    let mut group = c.benchmark_group("ablation_benefit_scale");
+    group.sample_size(10);
+    for bs in [1.0, 16.0, 256.0, 4096.0] {
+        let cfg = DbdsConfig {
+            tradeoff: TradeoffConfig {
+                benefit_scale: bs,
+                ..TradeoffConfig::default()
+            },
+            ..DbdsConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("bs", bs as u64), &cfg, |b, cfg| {
+            b.iter(|| common::compile_suite(&workloads, &model, cfg, OptLevel::Dbds))
+        });
+    }
+    group.finish();
+}
+
+fn bench_size_budget(c: &mut Criterion) {
+    let workloads = Suite::Micro.workloads();
+    let model = CostModel::new();
+    let mut group = c.benchmark_group("ablation_size_budget");
+    group.sample_size(10);
+    for ib in [1.0, 1.25, 1.5, 2.0] {
+        let cfg = DbdsConfig {
+            tradeoff: TradeoffConfig {
+                size_increase_budget: ib,
+                ..TradeoffConfig::default()
+            },
+            ..DbdsConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("ib", format!("{ib}")), &cfg, |b, cfg| {
+            b.iter(|| common::compile_suite(&workloads, &model, cfg, OptLevel::Dbds))
+        });
+    }
+    group.finish();
+}
+
+fn bench_iterations(c: &mut Criterion) {
+    let workloads = Suite::Micro.workloads();
+    let model = CostModel::new();
+    let mut group = c.benchmark_group("ablation_iterations");
+    group.sample_size(10);
+    for iters in [1usize, 2, 3, 6] {
+        let cfg = DbdsConfig {
+            max_iterations: iters,
+            ..DbdsConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("iters", iters), &cfg, |b, cfg| {
+            b.iter(|| common::compile_suite(&workloads, &model, cfg, OptLevel::Dbds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_benefit_scale,
+    bench_size_budget,
+    bench_iterations
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! The §3.1 comparison: simulation-based DBDS versus the backtracking
+//! strategy of Algorithm 1 (whole-graph copy per tentative duplication).
+//! The paper reports the copy alone costing a factor of ~10 in compile
+//! time; this bench measures both strategies on the micro suite.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbds_core::{DbdsConfig, OptLevel};
+use dbds_costmodel::CostModel;
+use dbds_workloads::Suite;
+
+fn bench(c: &mut Criterion) {
+    let workloads = Suite::Micro.workloads();
+    let model = CostModel::new();
+    let cfg = DbdsConfig::default();
+    let mut group = c.benchmark_group("backtracking_vs_simulation");
+    group.sample_size(10);
+    for level in [OptLevel::Dbds, OptLevel::Backtracking] {
+        group.bench_with_input(
+            BenchmarkId::new("compile_micro_suite", level.name()),
+            &level,
+            |b, &level| b.iter(|| common::compile_suite(&workloads, &model, &cfg, level)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+#![allow(dead_code)] // each bench target compiles this module separately
+
+//! Shared benchmark plumbing: compile a whole suite under one
+//! configuration (the quantity the paper's compile-time figures measure).
+
+use criterion::{BenchmarkId, Criterion};
+use dbds_core::{compile, DbdsConfig, OptLevel};
+use dbds_costmodel::CostModel;
+use dbds_workloads::{Suite, Workload};
+use std::hint::black_box;
+
+/// Compiles every workload of `suite` under `level` once.
+pub fn compile_suite(workloads: &[Workload], model: &CostModel, cfg: &DbdsConfig, level: OptLevel) {
+    for w in workloads {
+        let mut g = w.graph.clone();
+        let stats = compile(&mut g, model, level, cfg);
+        let machine = dbds_backend::compile_to_machine_code(&g);
+        black_box((stats.duplications, machine.size()));
+    }
+}
+
+/// Registers the three per-figure configuration benches for `suite`.
+pub fn bench_suite_figure(c: &mut Criterion, suite: Suite) {
+    let workloads = suite.workloads();
+    let model = CostModel::new();
+    let cfg = DbdsConfig::default();
+    let mut group = c.benchmark_group(format!("figure{}_{}", suite.figure(), suite.id()));
+    group.sample_size(10);
+    for level in [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot] {
+        group.bench_with_input(
+            BenchmarkId::new("compile", level.name()),
+            &level,
+            |b, &level| b.iter(|| compile_suite(&workloads, &model, &cfg, level)),
+        );
+    }
+    group.finish();
+}

@@ -1,0 +1,17 @@
+//! Figure 6 bench: whole-suite compilation under the three
+//! configurations (baseline / DBDS / dupalot). The paper's compile-time
+//! panel of Figure 6 is the relative cost of these runs; the peak
+//! performance and code size panels are produced by the harness binary
+//! (`figures --figure 6`).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbds_workloads::Suite;
+
+fn bench(c: &mut Criterion) {
+    common::bench_suite_figure(c, Suite::ScalaDaCapo);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Throughput of the simulation tier alone: how fast can DBDS price
+//! every predecessor→merge pair of a compilation unit? This is the
+//! operation whose cheapness justifies simulation over backtracking
+//! (§3.2 — "simulating a duplication [must be] sufficiently less complex
+//! in compilation time than performing the actual transformation").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbds_core::simulate;
+use dbds_costmodel::CostModel;
+use dbds_opt::optimize_full;
+use dbds_workloads::Suite;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::new();
+    let mut group = c.benchmark_group("simulation_throughput");
+    group.sample_size(20);
+    for suite in [Suite::Micro, Suite::Octane] {
+        // Simulate the canonicalized graph, as the phase driver does.
+        let mut w = suite.workloads().into_iter().next().unwrap();
+        optimize_full(&mut w.graph);
+        group.throughput(Throughput::Elements(w.graph.live_inst_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("simulate", suite.id()),
+            &w.graph,
+            |b, g| b.iter(|| black_box(simulate(g, &model).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Throughput of the duplication transform itself (§4.3): copying one
+//! merge block into one predecessor including SSA repair. Compares
+//! against whole-graph cloning, the cost driver of the backtracking
+//! baseline — the gap is the reason simulation wins (§3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbds_core::duplicate;
+use dbds_opt::optimize_full;
+use dbds_workloads::Suite;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform_throughput");
+    group.sample_size(20);
+    for suite in [Suite::Micro, Suite::Octane] {
+        let mut w = suite.workloads().into_iter().next().unwrap();
+        optimize_full(&mut w.graph);
+        let pair = w
+            .graph
+            .merge_blocks()
+            .into_iter()
+            .find_map(|m| {
+                w.graph
+                    .preds(m)
+                    .iter()
+                    .copied()
+                    .find(|&p| p != m)
+                    .map(|p| (p, m))
+            })
+            .expect("a duplicable pair");
+        group.bench_with_input(
+            BenchmarkId::new("duplicate_one_merge", suite.id()),
+            &(&w.graph, pair),
+            |b, (g, (p, m))| {
+                b.iter(|| {
+                    let mut copy = (*g).clone();
+                    black_box(duplicate(&mut copy, *p, *m));
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("whole_graph_clone", suite.id()),
+            &w.graph,
+            |b, g| b.iter(|| black_box(g.clone())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! The backtracking baseline (§3.1, Algorithm 1).
+//!
+//! For every predecessor→merge pair: copy the whole graph, perform the
+//! duplication, run the full optimization pipeline, and keep the result
+//! only if the static performance estimate improved (otherwise restore
+//! the copy). The paper measured the copy operation alone to increase
+//! compilation time by roughly an order of magnitude — the benchmark
+//! `backtracking_vs_simulation` reproduces that comparison.
+
+use crate::phase::{DbdsConfig, PhaseStats};
+use crate::transform::duplicate;
+use dbds_analysis::{BlockFrequencies, DomTree, LoopForest};
+use dbds_costmodel::CostModel;
+use dbds_ir::Graph;
+use dbds_opt::optimize_full;
+
+/// Statistics of a backtracking run.
+#[derive(Clone, Debug, Default)]
+pub struct BacktrackStats {
+    /// Tentative duplications tried (each one cloned the whole graph).
+    pub attempts: usize,
+    /// Duplications kept.
+    pub accepted: usize,
+    /// Outer-loop restarts.
+    pub rounds: usize,
+    /// Estimated code size before.
+    pub initial_size: u64,
+    /// Estimated code size after.
+    pub final_size: u64,
+    /// Instructions copied across all graph clones (the compile-time
+    /// cost driver the paper calls out).
+    pub instructions_copied: u64,
+}
+
+impl From<BacktrackStats> for PhaseStats {
+    fn from(b: BacktrackStats) -> PhaseStats {
+        PhaseStats {
+            iterations: b.rounds,
+            candidates: b.attempts,
+            duplications: b.accepted,
+            opportunities: Default::default(),
+            initial_size: b.initial_size,
+            final_size: b.final_size,
+            work: b.instructions_copied,
+            sim_ns: 0,
+            transform_ns: 0,
+            opt_ns: 0,
+        }
+    }
+}
+
+/// Safety bound on outer-loop restarts.
+const MAX_ROUNDS: usize = 64;
+
+/// Minimum weighted-cycle improvement for a tentative duplication to be
+/// kept. Duplication almost always merges a straight-line block chain and
+/// thereby removes a jump or two; that control-transfer noise (~1 cycle)
+/// does not count as "an optimization triggered" in Algorithm 1's sense.
+const IMPROVEMENT_NOISE: f64 = 1.0;
+
+fn weighted_cycles(g: &Graph, model: &CostModel) -> f64 {
+    let dt = DomTree::compute(g);
+    let lf = LoopForest::compute(g, &dt);
+    let fr = BlockFrequencies::compute(g, &dt, &lf);
+    model.graph_weighted_cycles(g, &fr)
+}
+
+/// Runs Algorithm 1 on `g`.
+pub fn run_backtracking(g: &mut Graph, model: &CostModel, cfg: &DbdsConfig) -> BacktrackStats {
+    let mut stats = BacktrackStats::default();
+    optimize_full(g);
+    let initial_size = model.graph_size(g);
+    stats.initial_size = initial_size;
+
+    'outer: loop {
+        stats.rounds += 1;
+        if stats.rounds > MAX_ROUNDS {
+            break;
+        }
+        for merge in g.merge_blocks() {
+            for pred in g.preds(merge).to_vec() {
+                if pred == merge {
+                    continue;
+                }
+                stats.attempts += 1;
+                // The expensive part Algorithm 1 cannot avoid: copy the
+                // entire CFG as a backup.
+                let backup = g.clone();
+                stats.instructions_copied += g.live_inst_count() as u64;
+                let before = weighted_cycles(g, model);
+
+                duplicate(g, pred, merge);
+                optimize_full(g);
+
+                let after = weighted_cycles(g, model);
+                let size = model.graph_size(g);
+                let improved = before - after > IMPROVEMENT_NOISE;
+                let fits = size < cfg.tradeoff.max_unit_size
+                    && (size as f64) < initial_size as f64 * cfg.tradeoff.size_increase_budget;
+                if improved && fits {
+                    stats.accepted += 1;
+                    // The CFG and block list changed: restart (Algorithm
+                    // 1's `continue outer`).
+                    continue 'outer;
+                }
+                *g = backup;
+            }
+        }
+        // A full scan without an accepted duplication: done.
+        break;
+    }
+    stats.final_size = model.graph_size(g);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbds_ir::{execute, verify, ClassTable, CmpOp, GraphBuilder, Type, Value};
+    use std::sync::Arc;
+
+    fn empty_table() -> Arc<ClassTable> {
+        Arc::new(ClassTable::new())
+    }
+
+    fn figure1() -> Graph {
+        let mut b = GraphBuilder::new("foo", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, zero], Type::Int);
+        let two = b.iconst(2);
+        let sum = b.add(two, phi);
+        b.ret(Some(sum));
+        b.finish()
+    }
+
+    #[test]
+    fn backtracking_finds_the_figure1_duplication() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let stats = run_backtracking(&mut g, &model, &DbdsConfig::default());
+        verify(&g).unwrap();
+        assert!(stats.accepted >= 1, "{stats:?}");
+        assert!(stats.attempts >= stats.accepted);
+        assert!(stats.instructions_copied > 0);
+        assert_eq!(execute(&g, &[Value::Int(5)]).outcome, Ok(Value::Int(7)));
+        assert_eq!(execute(&g, &[Value::Int(-1)]).outcome, Ok(Value::Int(2)));
+    }
+
+    #[test]
+    fn rejects_unprofitable_duplications() {
+        // A merge whose body cannot be optimized on either path: nothing
+        // should be kept.
+        let mut b = GraphBuilder::new("flat", &[Type::Int, Type::Int], empty_table());
+        let x = b.param(0);
+        let y = b.param(1);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, y], Type::Int);
+        let s = b.add(phi, y);
+        b.ret(Some(s));
+        let mut g = b.finish();
+        let model = CostModel::new();
+        let stats = run_backtracking(&mut g, &model, &DbdsConfig::default());
+        assert_eq!(stats.accepted, 0);
+        assert!(stats.attempts >= 2);
+        verify(&g).unwrap();
+    }
+
+    #[test]
+    fn copies_grow_with_graph_size() {
+        // The copied-instruction counter reflects Algorithm 1's cost.
+        let mut g = figure1();
+        let model = CostModel::new();
+        let stats = run_backtracking(&mut g, &model, &DbdsConfig::default());
+        assert!(stats.instructions_copied as usize >= stats.attempts);
+    }
+}

@@ -1,0 +1,400 @@
+//! The iterative DBDS phase driver (§5.2) and the compilation entry
+//! point used by the evaluation harness.
+//!
+//! The phase runs simulate → trade-off → optimize for up to three
+//! iterations (one duplication can expose an opportunity at the next
+//! merge, but the optimization tier does not duplicate across multiple
+//! merges at once). Another iteration only runs when the previous one's
+//! cumulative benefit clears a threshold, and later iterations prefer
+//! merges not yet duplicated.
+
+use crate::simulation::simulate_paths;
+use crate::tradeoff::{select, SelectionMode, TradeoffConfig};
+use crate::transform::duplicate;
+use dbds_costmodel::CostModel;
+use dbds_ir::{BlockId, Graph};
+use dbds_opt::{optimize_full, optimize_once, OptKind};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// The compiler configuration under evaluation — the paper's benchmark
+/// configurations plus the backtracking strategy of §3.1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OptLevel {
+    /// Standard optimizations only, duplication disabled.
+    Baseline,
+    /// The full DBDS algorithm (simulation + trade-off + optimization).
+    Dbds,
+    /// Simulation without the cost/benefit trade-off: every beneficial
+    /// duplication is performed.
+    Dupalot,
+    /// The backtracking strategy: tentatively duplicate, fully optimize,
+    /// keep only if the static estimate improved.
+    Backtracking,
+}
+
+impl OptLevel {
+    /// Stable lowercase name (used by the harness CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "baseline",
+            OptLevel::Dbds => "dbds",
+            OptLevel::Dupalot => "dupalot",
+            OptLevel::Backtracking => "backtracking",
+        }
+    }
+}
+
+/// Tunables of the DBDS phase. Defaults follow the paper.
+#[derive(Clone, Debug)]
+pub struct DbdsConfig {
+    /// Trade-off parameters (§5.4).
+    pub tradeoff: TradeoffConfig,
+    /// Maximum simulate→trade-off→optimize iterations (§5.2: 3).
+    pub max_iterations: usize,
+    /// Minimum cumulative probability-weighted benefit of an iteration
+    /// for another one to run (§5.2: "only … if the cumulative benefit of
+    /// the previous one is above a certain threshold").
+    pub iteration_benefit_threshold: f64,
+    /// Maximum number of consecutive merges a single candidate may cover.
+    /// 1 reproduces the paper's shipped implementation; larger values
+    /// enable the §8 future-work *path-based duplication*: the DST
+    /// simulates through jump-connected merges and the optimization tier
+    /// duplicates each merge of the accepted path in turn.
+    pub max_path_length: usize,
+}
+
+impl Default for DbdsConfig {
+    fn default() -> Self {
+        DbdsConfig {
+            tradeoff: TradeoffConfig::default(),
+            max_iterations: 3,
+            // Calibrated so that only a minority of units run a second
+            // iteration, matching §5.2's "this only applies for about 20%
+            // of all compilation units".
+            iteration_benefit_threshold: 48.0,
+            max_path_length: 1,
+        }
+    }
+}
+
+/// Statistics of one compilation.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// DBDS iterations executed.
+    pub iterations: usize,
+    /// Predecessor→merge pairs simulated (across iterations).
+    pub candidates: usize,
+    /// Duplications performed.
+    pub duplications: usize,
+    /// Opportunities recorded by the simulation for the performed
+    /// duplications, per optimization class.
+    pub opportunities: HashMap<OptKind, usize>,
+    /// Estimated code size before the phase.
+    pub initial_size: u64,
+    /// Estimated code size after the phase.
+    pub final_size: u64,
+    /// Work measure: instructions visited by simulation and rewriting
+    /// (deterministic compile-effort proxy).
+    pub work: u64,
+    /// Wall-clock nanoseconds spent in the simulation tier.
+    pub sim_ns: u128,
+    /// Wall-clock nanoseconds spent performing duplications.
+    pub transform_ns: u128,
+    /// Wall-clock nanoseconds spent in the optimization pipeline
+    /// (pre-pass, per-iteration cleanup and final fixpoint).
+    pub opt_ns: u128,
+}
+
+/// Compiles `g` under the given configuration: the duplication phase
+/// according to `level`, bracketed by the standard optimization pipeline.
+pub fn compile(g: &mut Graph, model: &CostModel, level: OptLevel, cfg: &DbdsConfig) -> PhaseStats {
+    match level {
+        OptLevel::Baseline => {
+            let mut stats = PhaseStats {
+                initial_size: model.graph_size(g),
+                ..PhaseStats::default()
+            };
+            optimize_full(g);
+            stats.final_size = model.graph_size(g);
+            stats.work = g.live_inst_count() as u64;
+            stats
+        }
+        OptLevel::Dbds => run_dbds(g, model, cfg, SelectionMode::CostBenefit),
+        OptLevel::Dupalot => run_dbds(g, model, cfg, SelectionMode::Dupalot),
+        OptLevel::Backtracking => crate::backtracking::run_backtracking(g, model, cfg).into(),
+    }
+}
+
+/// Runs the full three-tier DBDS phase on `g`.
+pub fn run_dbds(
+    g: &mut Graph,
+    model: &CostModel,
+    cfg: &DbdsConfig,
+    mode: SelectionMode,
+) -> PhaseStats {
+    let mut stats = PhaseStats::default();
+    let t = Instant::now();
+    optimize_full(g);
+    stats.opt_ns += t.elapsed().as_nanos();
+    let initial_size = model.graph_size(g);
+    stats.initial_size = initial_size;
+    let mut visited: HashSet<BlockId> = HashSet::new();
+
+    for _ in 0..cfg.max_iterations {
+        stats.iterations += 1;
+        let t = Instant::now();
+        let results = simulate_paths(g, model, cfg.max_path_length);
+        stats.sim_ns += t.elapsed().as_nanos();
+        stats.candidates += results.len();
+        stats.work += g.live_inst_count() as u64 * 2; // simulation visit
+        let current_size = model.graph_size(g);
+        let selected = select(
+            &results,
+            &cfg.tradeoff,
+            mode,
+            initial_size,
+            current_size,
+            &visited,
+        );
+        // The transform invalidates the borrow of `results`; take owned
+        // copies of what we need.
+        let plan: Vec<crate::simulation::SimulationResult> =
+            selected.into_iter().cloned().collect();
+        if plan.is_empty() {
+            break;
+        }
+        let mut cumulative = 0.0;
+        let t = Instant::now();
+        for s in &plan {
+            // Re-validate: earlier duplications this round may have
+            // restructured the pair.
+            if !g.is_merge(s.merge) || !g.succs(s.pred).contains(&s.merge) {
+                continue;
+            }
+            let mut dup = duplicate(g, s.pred, s.merge);
+            visited.insert(s.merge);
+            stats.duplications += 1;
+            stats.work += g.block_insts(s.merge).len() as u64;
+            // Path-based extension: duplicate the remaining merges of the
+            // accepted path into the freshly created copies.
+            for &m in &s.path[1..] {
+                if !g.is_merge(m) || !g.succs(dup.copy).contains(&m) {
+                    break;
+                }
+                dup = duplicate(g, dup.copy, m);
+                visited.insert(m);
+                stats.duplications += 1;
+                stats.work += g.block_insts(m).len() as u64;
+            }
+            cumulative += s.weighted_benefit();
+            for o in &s.opportunities {
+                *stats.opportunities.entry(o.kind).or_insert(0) += 1;
+            }
+        }
+        stats.transform_ns += t.elapsed().as_nanos();
+        // The optimization tier: apply the enabled optimizations. One
+        // pipeline round suffices between iterations (the paper applies
+        // the recorded action steps locally); the full fixpoint runs once
+        // at the end.
+        let t = Instant::now();
+        optimize_once(g);
+        stats.opt_ns += t.elapsed().as_nanos();
+        if cumulative < cfg.iteration_benefit_threshold {
+            break;
+        }
+    }
+    let t = Instant::now();
+    optimize_full(g);
+    stats.opt_ns += t.elapsed().as_nanos();
+    stats.final_size = model.graph_size(g);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbds_ir::{
+        execute, verify, ClassTable, CmpOp, ConstValue, GraphBuilder, Inst, Terminator, Type, Value,
+    };
+    use std::sync::Arc;
+
+    fn empty_table() -> Arc<ClassTable> {
+        Arc::new(ClassTable::new())
+    }
+
+    fn figure1() -> Graph {
+        let mut b = GraphBuilder::new("foo", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, zero], Type::Int);
+        let two = b.iconst(2);
+        let sum = b.add(two, phi);
+        b.ret(Some(sum));
+        b.finish()
+    }
+
+    #[test]
+    fn dbds_reproduces_figure1c() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &DbdsConfig::default());
+        verify(&g).unwrap();
+        assert!(stats.duplications >= 1, "stats: {stats:?}");
+        assert_eq!(execute(&g, &[Value::Int(5)]).outcome, Ok(Value::Int(7)));
+        assert_eq!(execute(&g, &[Value::Int(-1)]).outcome, Ok(Value::Int(2)));
+        // Figure 1c: the false path returns the constant 2 — no add on
+        // that path anymore. Find the return blocks.
+        let mut const_return_found = false;
+        for b in g.reachable_blocks() {
+            if let Terminator::Return { value: Some(v) } = g.terminator(b) {
+                if matches!(g.inst(*v), Inst::Const(ConstValue::Int(2))) {
+                    const_return_found = true;
+                }
+            }
+        }
+        assert!(const_return_found, "expected a `return 2` path:\n{g}");
+    }
+
+    #[test]
+    fn baseline_does_not_duplicate() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let before_blocks = g.reachable_blocks().len();
+        let stats = compile(&mut g, &model, OptLevel::Baseline, &DbdsConfig::default());
+        assert_eq!(stats.duplications, 0);
+        verify(&g).unwrap();
+        // The diamond with the φ remains (no duplication happened).
+        assert_eq!(g.reachable_blocks().len(), before_blocks);
+        assert_eq!(execute(&g, &[Value::Int(5)]).outcome, Ok(Value::Int(7)));
+    }
+
+    #[test]
+    fn dupalot_duplicates_at_least_as_much_as_dbds() {
+        let mut g1 = figure1();
+        let mut g2 = figure1();
+        let model = CostModel::new();
+        let cfg = DbdsConfig::default();
+        let dbds = compile(&mut g1, &model, OptLevel::Dbds, &cfg);
+        let dupalot = compile(&mut g2, &model, OptLevel::Dupalot, &cfg);
+        assert!(dupalot.duplications >= dbds.duplications);
+        verify(&g1).unwrap();
+        verify(&g2).unwrap();
+    }
+
+    #[test]
+    fn all_levels_preserve_semantics_on_listing1() {
+        let build = || {
+            let mut b = GraphBuilder::new("l1", &[Type::Int], empty_table());
+            let i = b.param(0);
+            let zero = b.iconst(0);
+            let thirteen = b.iconst(13);
+            let twelve = b.iconst(12);
+            let c = b.cmp(CmpOp::Gt, i, zero);
+            let (bt, bf, bm, b12, bi) = (
+                b.new_block(),
+                b.new_block(),
+                b.new_block(),
+                b.new_block(),
+                b.new_block(),
+            );
+            b.branch(c, bt, bf, 0.5);
+            b.switch_to(bt);
+            b.jump(bm);
+            b.switch_to(bf);
+            b.jump(bm);
+            b.switch_to(bm);
+            let p = b.phi(vec![i, thirteen], Type::Int);
+            let c2 = b.cmp(CmpOp::Gt, p, twelve);
+            b.branch(c2, b12, bi, 0.5);
+            b.switch_to(b12);
+            b.ret(Some(twelve));
+            b.switch_to(bi);
+            b.ret(Some(i));
+            b.finish()
+        };
+        let model = CostModel::new();
+        let cfg = DbdsConfig::default();
+        let reference = build();
+        for level in [
+            OptLevel::Baseline,
+            OptLevel::Dbds,
+            OptLevel::Dupalot,
+            OptLevel::Backtracking,
+        ] {
+            let mut g = build();
+            compile(&mut g, &model, level, &cfg);
+            verify(&g).unwrap_or_else(|e| panic!("level {level:?} broke the graph: {e}"));
+            for v in [-7i64, 0, 1, 12, 13, 100] {
+                assert_eq!(
+                    execute(&g, &[Value::Int(v)]).outcome,
+                    execute(&reference, &[Value::Int(v)]).outcome,
+                    "level {level:?}, input {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dbds_improves_static_estimate_on_figure1() {
+        let model = CostModel::new();
+        let measure = |g: &Graph| {
+            let dt = dbds_analysis::DomTree::compute(g);
+            let lf = dbds_analysis::LoopForest::compute(g, &dt);
+            let fr = dbds_analysis::BlockFrequencies::compute(g, &dt, &lf);
+            model.graph_weighted_cycles(g, &fr)
+        };
+        let mut base = figure1();
+        compile(
+            &mut base,
+            &model,
+            OptLevel::Baseline,
+            &DbdsConfig::default(),
+        );
+        let mut opt = figure1();
+        compile(&mut opt, &model, OptLevel::Dbds, &DbdsConfig::default());
+        assert!(
+            measure(&opt) <= measure(&base),
+            "DBDS should not regress the static estimate"
+        );
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let cfg = DbdsConfig {
+            max_iterations: 1,
+            ..DbdsConfig::default()
+        };
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+        assert_eq!(stats.iterations, 1);
+    }
+
+    #[test]
+    fn size_budget_limits_duplications() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let cfg = DbdsConfig {
+            tradeoff: TradeoffConfig {
+                size_increase_budget: 1.0, // no growth allowed
+                ..TradeoffConfig::default()
+            },
+            ..DbdsConfig::default()
+        };
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+        // Figure 1's duplication shrinks one path but the heuristic sees a
+        // positive cost on the kept path only via budget; with zero budget
+        // only negative/zero-cost candidates pass.
+        assert!(stats.final_size <= stats.initial_size.max(stats.initial_size));
+        verify(&g).unwrap();
+    }
+}

@@ -1,0 +1,686 @@
+//! The DBDS simulation tier (§4.1).
+//!
+//! A depth-first traversal of the dominator tree carries a [`FactEnv`]
+//! (synonyms, condition-refined stamps, memory caches, virtual objects).
+//! Whenever the traversal sits on a block `b_pi` with a merge successor
+//! `b_m`, it pauses and starts a *duplication simulation traversal* (DST):
+//! the instructions of `b_m` are evaluated as if they had been appended to
+//! `b_pi`, with every φ mapped to its input on the `b_pi` edge through the
+//! synonym map. Applicability checks that fire during the DST become
+//! [`Opportunity`] records; the static performance estimator (the node
+//! cost model) prices each one in *cycles saved* and *code size delta*.
+//! No IR is copied or mutated at any point — that is the entire argument
+//! for simulation over backtracking (§3).
+
+use dbds_analysis::{BlockFrequencies, DomTree, LoopForest};
+use dbds_costmodel::CostModel;
+use dbds_ir::{BlockId, ConstValue, Graph, Inst, InstId, InstKind, Terminator};
+use dbds_opt::{evaluate, record_effects, FactEnv, OptKind, Synonym, Verdict};
+
+/// One optimization opportunity discovered during a DST.
+#[derive(Clone, Debug)]
+pub struct Opportunity {
+    /// The merge-block instruction that becomes optimizable (or the
+    /// allocation, for a predicted scalar replacement).
+    pub inst: InstId,
+    /// The optimization class that fires.
+    pub kind: OptKind,
+    /// Estimated cycles saved on this path.
+    pub cycles_saved: f64,
+    /// Estimated code-size change (negative shrinks the copy).
+    pub size_delta: i64,
+}
+
+/// The simulation result for one predecessor→merge pair.
+#[derive(Clone, Debug)]
+pub struct SimulationResult {
+    /// The predecessor block `b_pi`.
+    pub pred: BlockId,
+    /// The merge block `b_m`.
+    pub merge: BlockId,
+    /// The merge blocks covered, in order; `path[0] == merge`. Longer
+    /// paths come from the §8 path-based extension: the DST continued
+    /// through a jump into a further merge.
+    pub path: Vec<BlockId>,
+    /// Relative execution probability of the duplicated code (the
+    /// `p` of the `shouldDuplicate` heuristic): the frequency of the
+    /// `pred → merge` edge relative to the unit's hottest block.
+    pub probability: f64,
+    /// Total estimated cycles saved by the enabled optimizations.
+    pub cycles_saved: f64,
+    /// Estimated code-size increase of performing the duplication (copy
+    /// size after the enabled optimizations, minus any eliminated
+    /// allocations elsewhere).
+    pub size_cost: i64,
+    /// The individual opportunities.
+    pub opportunities: Vec<Opportunity>,
+}
+
+impl SimulationResult {
+    /// Probability-weighted benefit used for candidate ranking.
+    pub fn weighted_benefit(&self) -> f64 {
+        self.cycles_saved * self.probability
+    }
+}
+
+/// Simulates every predecessor→merge duplication in `g` and returns the
+/// per-pair results, unsorted.
+pub fn simulate(g: &Graph, model: &CostModel) -> Vec<SimulationResult> {
+    simulate_paths(g, model, 1)
+}
+
+/// Like [`simulate`], but lets the DST continue across up to
+/// `max_path_len` consecutive merges connected by jumps — the §8
+/// "duplication over multiple merges along paths" extension. Every
+/// prefix of a path is reported as its own candidate, so the trade-off
+/// tier can stop at the profitable length.
+pub fn simulate_paths(g: &Graph, model: &CostModel, max_path_len: usize) -> Vec<SimulationResult> {
+    let max_path_len = max_path_len.max(1);
+    let dt = DomTree::compute(g);
+    let loops = LoopForest::compute(g, &dt);
+    let freqs = BlockFrequencies::compute(g, &dt, &loops);
+    let mut out = Vec::new();
+    walk(
+        g,
+        model,
+        &dt,
+        &freqs,
+        g.entry(),
+        FactEnv::new(),
+        max_path_len,
+        &mut out,
+    );
+    out
+}
+
+/// The main dominator-tree DFS. Mirrors the canonicalization pass's fact
+/// propagation but never mutates the graph; at every merge successor it
+/// launches a DST.
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    g: &Graph,
+    model: &CostModel,
+    dt: &DomTree,
+    freqs: &BlockFrequencies,
+    b: BlockId,
+    mut env: FactEnv,
+    max_path_len: usize,
+    out: &mut Vec<SimulationResult>,
+) {
+    // Evaluate this block's instructions to accumulate facts. Fresh
+    // allocations become virtual objects so PEA-style reasoning can see
+    // through them; `record_effects` materializes them on any escape.
+    for &i in g.block_insts(b) {
+        let eval = evaluate(g, &env, i);
+        if let Inst::New { class } = g.inst(i) {
+            env.add_virtual(i, *class);
+        }
+        record_effects(g, &mut env, i, &eval);
+    }
+
+    // Pause and run a DST for every merge successor (the gray blocks of
+    // Figure 2 in the paper).
+    for s in g.succs(b) {
+        if s != b && g.is_merge(s) {
+            let mut dst_env = env.clone();
+            assume_edge(g, &mut dst_env, b, s);
+            out.extend(run_dst(g, model, freqs, dst_env, b, s, max_path_len));
+        }
+    }
+
+    for &child in dt.children(b) {
+        if g.preds(child) == [b] {
+            let mut child_env = env.clone();
+            assume_edge(g, &mut child_env, b, child);
+            walk(g, model, dt, freqs, child, child_env, max_path_len, out);
+        } else {
+            walk(
+                g,
+                model,
+                dt,
+                freqs,
+                child,
+                env.clone_pure(),
+                max_path_len,
+                out,
+            );
+        }
+    }
+}
+
+/// Refines `env` with the branch condition implied by the edge `b → s`.
+fn assume_edge(g: &Graph, env: &mut FactEnv, b: BlockId, s: BlockId) {
+    if let Terminator::Branch {
+        cond,
+        then_bb,
+        else_bb,
+        ..
+    } = g.terminator(b)
+    {
+        if s == *then_bb {
+            let _ = env.assume_condition(g, *cond, true);
+        } else if s == *else_bb {
+            let _ = env.assume_condition(g, *cond, false);
+        }
+    }
+}
+
+/// Runs one duplication simulation traversal for `(pred, merge)` under
+/// `env` (the facts valid at the end of `pred` plus the edge condition).
+fn run_dst(
+    g: &Graph,
+    model: &CostModel,
+    freqs: &BlockFrequencies,
+    mut env: FactEnv,
+    pred: BlockId,
+    merge: BlockId,
+    max_path_len: usize,
+) -> Vec<SimulationResult> {
+    let probability = if freqs.max_freq() > 0.0 {
+        freqs.freq(pred) * dbds_analysis::edge_probability(g, pred, merge) / freqs.max_freq()
+    } else {
+        0.0
+    };
+
+    let mut acc = SegmentAcc {
+        opportunities: Vec::new(),
+        cycles_saved: 0.0,
+        size_cost: 0,
+    };
+    let mut results = Vec::new();
+    let mut path: Vec<BlockId> = Vec::new();
+    let mut cur_pred = pred;
+    let mut cur_merge = merge;
+    loop {
+        path.push(cur_merge);
+        let continuation = simulate_segment(g, model, &mut env, cur_pred, cur_merge, &mut acc);
+        results.push(SimulationResult {
+            pred,
+            merge,
+            path: path.clone(),
+            probability,
+            cycles_saved: acc.cycles_saved,
+            size_cost: acc.size_cost,
+            opportunities: acc.opportunities.clone(),
+        });
+        // §8 path extension: continue through an unconditional jump into a
+        // further merge (each prefix was already emitted above).
+        match continuation {
+            Some(next)
+                if path.len() < max_path_len
+                    && g.is_merge(next)
+                    && next != cur_merge
+                    && !path.contains(&next)
+                    && next != pred =>
+            {
+                cur_pred = cur_merge;
+                cur_merge = next;
+            }
+            _ => break,
+        }
+    }
+    results
+}
+
+/// Running totals while a DST walks one or more merge segments.
+struct SegmentAcc {
+    opportunities: Vec<Opportunity>,
+    cycles_saved: f64,
+    size_cost: i64,
+}
+
+/// Evaluates one merge block of a DST path under `env` (facts valid at
+/// the end of `pred`), accumulating into `acc`. Returns the jump target
+/// when the (possibly folded) terminator allows the path to continue.
+fn simulate_segment(
+    g: &Graph,
+    model: &CostModel,
+    env: &mut FactEnv,
+    pred: BlockId,
+    merge: BlockId,
+    acc: &mut SegmentAcc,
+) -> Option<BlockId> {
+    let k = g.pred_index(merge, pred);
+
+    // Seed the synonym map: every φ of the merge maps to its input on the
+    // `pred` edge ("the synonym of relation" of Figure 3d).
+    let phis: Vec<InstId> = g.phis(merge).to_vec();
+    for &phi in &phis {
+        let input = match g.inst(phi) {
+            Inst::Phi { inputs } => inputs[k],
+            _ => unreachable!(),
+        };
+        if env.resolve(input).id == phi {
+            continue; // degenerate self-reference through a back edge
+        }
+        env.set_synonym(phi, Synonym::Value(input));
+
+        // Predicted scalar replacement (Listing 3/4): if the φ input is an
+        // allocation whose only escape is this φ, duplicating removes the
+        // escape and the allocation dissolves.
+        let rep = env.resolve(input).id;
+        if let Inst::New { class } = g.inst(rep) {
+            if escapes_only_via_merge_phis(g, rep, merge) {
+                env.add_virtual(rep, *class);
+                let saved = f64::from(model.cycles(InstKind::New));
+                acc.cycles_saved += saved;
+                acc.size_cost -= i64::from(model.size(InstKind::New));
+                acc.opportunities.push(Opportunity {
+                    inst: rep,
+                    kind: OptKind::ScalarReplace,
+                    cycles_saved: saved,
+                    size_delta: -i64::from(model.size(InstKind::New)),
+                });
+            }
+        }
+    }
+
+    // Walk the merge block's body as if appended to `pred`.
+    for &i in &g.block_insts(merge)[phis.len()..] {
+        let kind = g.inst(i).kind();
+        let old_cycles = f64::from(model.cycles(kind));
+        let old_size = i64::from(model.size(kind));
+        let eval = evaluate(g, env, i);
+        if let Inst::New { class } = g.inst(i) {
+            env.add_virtual(i, *class);
+        }
+        match &eval.verdict {
+            Verdict::Keep => {
+                acc.size_cost += old_size;
+            }
+            Verdict::Const(_) => {
+                acc.cycles_saved += old_cycles;
+                acc.size_cost += i64::from(model.size(InstKind::Const));
+                acc.opportunities.push(Opportunity {
+                    inst: i,
+                    kind: eval.kind.expect("progress has a kind"),
+                    cycles_saved: old_cycles,
+                    size_delta: i64::from(model.size(InstKind::Const)) - old_size,
+                });
+            }
+            Verdict::Alias(_) | Verdict::Eliminated => {
+                acc.cycles_saved += old_cycles;
+                acc.opportunities.push(Opportunity {
+                    inst: i,
+                    kind: eval.kind.expect("progress has a kind"),
+                    cycles_saved: old_cycles,
+                    size_delta: -old_size,
+                });
+            }
+            Verdict::Rewrite { op, .. } => {
+                let new_kind = InstKind::from(*op);
+                let saved = old_cycles - f64::from(model.cycles(new_kind));
+                let new_size =
+                    i64::from(model.size(new_kind)) + i64::from(model.size(InstKind::Const));
+                acc.cycles_saved += saved;
+                acc.size_cost += new_size;
+                acc.opportunities.push(Opportunity {
+                    inst: i,
+                    kind: eval.kind.expect("progress has a kind"),
+                    cycles_saved: saved,
+                    size_delta: new_size - old_size,
+                });
+            }
+        }
+        record_effects(g, env, i, &eval);
+    }
+
+    // The copied terminator: a branch whose condition became a constant
+    // folds to a jump.
+    match g.terminator(merge) {
+        Terminator::Branch { cond, .. } => {
+            let known = env
+                .resolve_full(g, *cond)
+                .konst
+                .and_then(ConstValue::as_bool)
+                .or_else(|| env.stamp_of(g, *cond).as_bool_constant());
+            if known.is_some() {
+                let saved = f64::from(model.cycles(InstKind::Branch))
+                    - f64::from(model.cycles(InstKind::Jump));
+                acc.cycles_saved += saved;
+                acc.size_cost += i64::from(model.size(InstKind::Jump));
+                acc.opportunities.push(Opportunity {
+                    inst: *cond,
+                    kind: OptKind::ConditionalElim,
+                    cycles_saved: saved,
+                    size_delta: i64::from(model.size(InstKind::Jump))
+                        - i64::from(model.size(InstKind::Branch)),
+                });
+            } else {
+                acc.size_cost += i64::from(model.size(InstKind::Branch));
+            }
+            None
+        }
+        Terminator::Jump { target } => {
+            acc.size_cost += i64::from(model.size(InstKind::Jump));
+            Some(*target)
+        }
+        term => {
+            acc.size_cost += i64::from(model.size(term.kind()));
+            None
+        }
+    }
+}
+
+/// Returns `true` when every use of `alloc` is a field access, a foldable
+/// test, or an input of a φ belonging to `merge` — i.e. duplicating
+/// `merge` removes the only escape.
+fn escapes_only_via_merge_phis(g: &Graph, alloc: InstId, merge: BlockId) -> bool {
+    for b in g.blocks() {
+        for &i in g.block_insts(b) {
+            let mut mentions = false;
+            g.inst(i).for_each_input(|input| mentions |= input == alloc);
+            if !mentions {
+                continue;
+            }
+            let ok = match g.inst(i) {
+                Inst::LoadField { object, .. } => *object == alloc,
+                Inst::StoreField { object, value, .. } => *object == alloc && *value != alloc,
+                Inst::InstanceOf { object, .. } => *object == alloc,
+                Inst::Phi { .. } => g.block_of(i) == Some(merge),
+                _ => false,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        let mut in_term = false;
+        g.terminator(b)
+            .for_each_input(|input| in_term |= input == alloc);
+        if in_term {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbds_ir::{ClassTable, CmpOp, GraphBuilder, Type};
+    use std::sync::Arc;
+
+    fn empty_table() -> Arc<ClassTable> {
+        Arc::new(ClassTable::new())
+    }
+
+    fn model() -> CostModel {
+        CostModel::new()
+    }
+
+    /// Figure 3's program f: x / φ(a>b ? x : 2) — on the false path the
+    /// division strength-reduces to a shift, CS = 31.
+    fn figure3() -> (Graph, BlockId, BlockId, BlockId) {
+        let mut b = GraphBuilder::new("f", &[Type::Int, Type::Int, Type::Int], empty_table());
+        let a = b.param(0);
+        let bb = b.param(1);
+        let x = b.param(2);
+        // Give x a non-negative stamp via a dominating guard: x >= 0.
+        let zero = b.iconst(0);
+        let guard = b.cmp(CmpOp::Ge, x, zero);
+        let (bg, bdeopt) = (b.new_block(), b.new_block());
+        b.branch(guard, bg, bdeopt, 0.999);
+        b.switch_to(bdeopt);
+        b.deopt();
+        b.switch_to(bg);
+        let two = b.iconst(2);
+        let c = b.cmp(CmpOp::Gt, a, bb);
+        let (bp1, bp2, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bp1, bp2, 0.5);
+        b.switch_to(bp1);
+        b.jump(bm);
+        b.switch_to(bp2);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, two], Type::Int);
+        let div = b.div(x, phi);
+        b.ret(Some(div));
+        (b.finish(), bp1, bp2, bm)
+    }
+
+    #[test]
+    fn figure3_division_saves_31_cycles_on_constant_path() {
+        let (g, bp1, bp2, bm) = figure3();
+        let results = simulate(&g, &model());
+        let r2 = results
+            .iter()
+            .find(|r| r.pred == bp2 && r.merge == bm)
+            .expect("pair (bp2, bm) simulated");
+        // φ → 2, so x / 2 → x >> 1: CS = 32 − 1 = 31 (§4.1).
+        assert!(
+            (r2.cycles_saved - 31.0).abs() < 1e-9,
+            "expected CS 31, got {}",
+            r2.cycles_saved
+        );
+        assert_eq!(r2.opportunities.len(), 1);
+        assert_eq!(r2.opportunities[0].kind, OptKind::StrengthReduce);
+
+        // On the x path the φ becomes x: x / x is NOT reduced by our rules
+        // (x may be 0), so no benefit.
+        let r1 = results
+            .iter()
+            .find(|r| r.pred == bp1 && r.merge == bm)
+            .expect("pair (bp1, bm) simulated");
+        assert!(r1.cycles_saved < 31.0);
+    }
+
+    #[test]
+    fn figure1_constant_folding_detected() {
+        let mut b = GraphBuilder::new("foo", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, zero], Type::Int);
+        let two = b.iconst(2);
+        let sum = b.add(two, phi);
+        b.ret(Some(sum));
+        let g = b.finish();
+        let results = simulate(&g, &model());
+        assert_eq!(results.len(), 2);
+        let rf = results.iter().find(|r| r.pred == bf).unwrap();
+        // 2 + 0 constant-folds: CS = cycles(Add) = 1.
+        assert!(rf.cycles_saved >= 1.0);
+        assert!(rf
+            .opportunities
+            .iter()
+            .any(|o| o.kind == OptKind::ConstantFold));
+        let rt = results.iter().find(|r| r.pred == bt).unwrap();
+        // 2 + x does not fold.
+        assert!(rt.opportunities.is_empty());
+    }
+
+    #[test]
+    fn listing1_conditional_elimination_detected() {
+        // if (i > 0) p = i else p = 13; if (p > 12) return 12; return i.
+        let mut b = GraphBuilder::new("ce", &[Type::Int], empty_table());
+        let i = b.param(0);
+        let zero = b.iconst(0);
+        let thirteen = b.iconst(13);
+        let twelve = b.iconst(12);
+        let c = b.cmp(CmpOp::Gt, i, zero);
+        let (bt, bf, bm, b12, bi) = (
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+        );
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let p = b.phi(vec![i, thirteen], Type::Int);
+        let c2 = b.cmp(CmpOp::Gt, p, twelve);
+        b.branch(c2, b12, bi, 0.5);
+        b.switch_to(b12);
+        b.ret(Some(twelve));
+        b.switch_to(bi);
+        b.ret(Some(i));
+        let g = b.finish();
+        let results = simulate(&g, &model());
+        // On the false path p = 13 > 12 is true: compare folds + branch
+        // folds.
+        let rf = results.iter().find(|r| r.pred == bf).unwrap();
+        let kinds: Vec<OptKind> = rf.opportunities.iter().map(|o| o.kind).collect();
+        // The compare of two pinned constants folds (classified as CF) and
+        // the branch on it disappears (classified as CE).
+        assert!(
+            kinds.contains(&OptKind::ConditionalElim) && kinds.len() >= 2,
+            "expected compare + branch fold, got {kinds:?}"
+        );
+        // On the true path i > 0 does not pin i > 12: no fold.
+        let rt = results.iter().find(|r| r.pred == bt).unwrap();
+        assert!(rt.opportunities.len() < rf.opportunities.len());
+    }
+
+    #[test]
+    fn listing3_pea_detected() {
+        // if (a == null) p = new A(0) else p = a; return p.x.
+        let mut t = ClassTable::new();
+        let acls = t.add_class("A");
+        let fx = t.add_field(acls, "x", Type::Int);
+        let mut b = GraphBuilder::new("pea", &[Type::Ref(acls)], Arc::new(t));
+        let a = b.param(0);
+        let null = b.null(acls);
+        let isnull = b.cmp(CmpOp::Eq, a, null);
+        let (balloc, bpass, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(isnull, balloc, bpass, 0.5);
+        b.switch_to(balloc);
+        let fresh = b.new_object(acls);
+        let zero = b.iconst(0);
+        b.store(fresh, fx, zero);
+        b.jump(bm);
+        b.switch_to(bpass);
+        b.jump(bm);
+        b.switch_to(bm);
+        let p = b.phi(vec![fresh, a], Type::Ref(acls));
+        let load = b.load(p, fx);
+        b.ret(Some(load));
+        let g = b.finish();
+        let results = simulate(&g, &model());
+        let ralloc = results.iter().find(|r| r.pred == balloc).unwrap();
+        // Allocation elimination (8 cycles) + load from virtual (2 cycles).
+        assert!(
+            ralloc.cycles_saved >= 10.0,
+            "expected ≥10 cycles saved, got {}",
+            ralloc.cycles_saved
+        );
+        assert!(ralloc
+            .opportunities
+            .iter()
+            .any(|o| o.kind == OptKind::ScalarReplace));
+        // Negative size contribution from the removed allocation.
+        let rpass = results.iter().find(|r| r.pred == bpass).unwrap();
+        assert!(ralloc.size_cost < rpass.size_cost);
+    }
+
+    #[test]
+    fn listing5_read_elimination_detected() {
+        // if (i > 0) { s = a.x } else { s = 0 }; return a.x.
+        let mut t = ClassTable::new();
+        let acls = t.add_class("A");
+        let fx = t.add_field(acls, "x", Type::Int);
+        let scls = t.add_class("S");
+        let fs = t.add_field(scls, "s", Type::Int);
+        let mut b = GraphBuilder::new(
+            "re",
+            &[Type::Ref(acls), Type::Int, Type::Ref(scls)],
+            Arc::new(t),
+        );
+        let a = b.param(0);
+        let i = b.param(1);
+        let s = b.param(2);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, i, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        let read1 = b.load(a, fx);
+        b.store(s, fs, read1);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.store(s, fs, zero);
+        b.jump(bm);
+        b.switch_to(bm);
+        let read2 = b.load(a, fx);
+        b.ret(Some(read2));
+        let g = b.finish();
+        let results = simulate(&g, &model());
+        let rt = results.iter().find(|r| r.pred == bt).unwrap();
+        // Read2 becomes fully redundant on the true path.
+        assert!(rt.opportunities.iter().any(|o| o.kind == OptKind::ReadElim));
+        let rf = results.iter().find(|r| r.pred == bf).unwrap();
+        assert!(!rf.opportunities.iter().any(|o| o.kind == OptKind::ReadElim));
+    }
+
+    #[test]
+    fn probability_reflects_edge_frequency() {
+        let mut b = GraphBuilder::new("p", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.9);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, zero], Type::Int);
+        b.ret(Some(phi));
+        let g = b.finish();
+        let results = simulate(&g, &model());
+        let rt = results.iter().find(|r| r.pred == bt).unwrap();
+        let rf = results.iter().find(|r| r.pred == bf).unwrap();
+        assert!((rt.probability - 0.9).abs() < 1e-9);
+        assert!((rf.probability - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_merges_no_results() {
+        let mut b = GraphBuilder::new("s", &[Type::Int], empty_table());
+        let x = b.param(0);
+        b.ret(Some(x));
+        let g = b.finish();
+        assert!(simulate(&g, &model()).is_empty());
+    }
+
+    #[test]
+    fn size_cost_matches_copy_size_when_nothing_fires() {
+        // A merge whose body can't be optimized: the size cost is the full
+        // copy (body + terminator).
+        let mut b = GraphBuilder::new("sz", &[Type::Int, Type::Int], empty_table());
+        let x = b.param(0);
+        let y = b.param(1);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, y], Type::Int);
+        let s = b.add(phi, y);
+        let m = b.mul(s, s);
+        b.ret(Some(m));
+        let g = b.finish();
+        let model = model();
+        let results = simulate(&g, &model);
+        for r in &results {
+            // add(1) + mul(1) + return(2) = 4 size units.
+            assert_eq!(r.size_cost, 4, "pred {}", r.pred);
+            assert!(r.opportunities.is_empty());
+        }
+    }
+}

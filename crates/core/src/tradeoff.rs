@@ -1,0 +1,265 @@
+//! The trade-off tier (§4.2, §5.4).
+//!
+//! Implements the paper's `shouldDuplicate` heuristic verbatim:
+//!
+//! ```text
+//! (b × p × BS) > c  ∧  (cs < MS)  ∧  (cs + c < is × IB)
+//! ```
+//!
+//! with `b` the benefit (cycles saved), `p` the relative probability of
+//! the predecessor, `BS = 256` the benefit scale factor, `c` the code-size
+//! cost, `cs` the current compilation-unit size, `is` the initial size,
+//! `IB = 1.5` the code-size increase budget and `MS` the VM's maximum
+//! compilation-unit size. Candidates are ranked by probability-weighted
+//! benefit, with merges not yet duplicated in earlier iterations
+//! considered first (§5.2).
+
+use crate::simulation::SimulationResult;
+use std::collections::HashSet;
+
+use dbds_ir::BlockId;
+
+/// Tunable parameters of the trade-off tier. Defaults are the paper's.
+#[derive(Clone, Debug)]
+pub struct TradeoffConfig {
+    /// `BS`: how much estimated cost one probability-weighted cycle of
+    /// benefit justifies. The paper derived 256 empirically.
+    pub benefit_scale: f64,
+    /// `IB`: the maximum code-size growth, relative to the initial size
+    /// (1.5 = +50%).
+    pub size_increase_budget: f64,
+    /// `MS`: the VM's hard limit on compilation-unit size (HotSpot's
+    /// `-XX:JVMCINMethodSizeLimit`, 655360 bytes by default).
+    pub max_unit_size: u64,
+}
+
+impl Default for TradeoffConfig {
+    fn default() -> Self {
+        TradeoffConfig {
+            benefit_scale: 256.0,
+            size_increase_budget: 1.5,
+            max_unit_size: 655_360,
+        }
+    }
+}
+
+/// How the trade-off tier selects candidates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SelectionMode {
+    /// The full cost/benefit heuristic (the paper's *DBDS*
+    /// configuration).
+    CostBenefit,
+    /// Perform every duplication with any benefit, ignoring costs (the
+    /// paper's *dupalot* configuration; the hard VM size limit still
+    /// applies).
+    Dupalot,
+}
+
+/// The paper's `shouldDuplicate(b_pi, b_m, benefit, cost)` predicate.
+pub fn should_duplicate(
+    cfg: &TradeoffConfig,
+    benefit: f64,
+    probability: f64,
+    cost: i64,
+    current_size: u64,
+    initial_size: u64,
+) -> bool {
+    let cost_pos = cost.max(0) as f64;
+    benefit * probability * cfg.benefit_scale > cost_pos
+        && current_size < cfg.max_unit_size
+        && (current_size as f64 + cost_pos) < initial_size as f64 * cfg.size_increase_budget
+}
+
+/// Ranks the simulation results and selects those worth duplicating,
+/// tracking the running size budget. `visited` holds merges already
+/// duplicated in previous iterations; fresh merges are preferred.
+pub fn select<'a>(
+    results: &'a [SimulationResult],
+    cfg: &TradeoffConfig,
+    mode: SelectionMode,
+    initial_size: u64,
+    current_size: u64,
+    visited: &HashSet<BlockId>,
+) -> Vec<&'a SimulationResult> {
+    let mut ranked: Vec<&SimulationResult> = results.iter().collect();
+    // New merges first, then descending probability-weighted benefit;
+    // break ties deterministically by block ids.
+    ranked.sort_by(|a, b| {
+        let fresh_a = !visited.contains(&a.merge);
+        let fresh_b = !visited.contains(&b.merge);
+        fresh_b
+            .cmp(&fresh_a)
+            .then_with(|| {
+                b.weighted_benefit()
+                    .partial_cmp(&a.weighted_benefit())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| (a.merge, a.pred).cmp(&(b.merge, b.pred)))
+    });
+
+    let mut accepted = Vec::new();
+    let mut size = current_size;
+    for r in ranked {
+        let take = match mode {
+            SelectionMode::CostBenefit => should_duplicate(
+                cfg,
+                r.cycles_saved,
+                r.probability,
+                r.size_cost,
+                size,
+                initial_size,
+            ),
+            SelectionMode::Dupalot => r.cycles_saved > 0.0 && size < cfg.max_unit_size,
+        };
+        if take {
+            accepted.push(r);
+            size = size.saturating_add(r.size_cost.max(0) as u64);
+        }
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimulationResult;
+
+    fn result(pred: u32, merge: u32, benefit: f64, prob: f64, cost: i64) -> SimulationResult {
+        SimulationResult {
+            pred: BlockId(pred),
+            merge: BlockId(merge),
+            path: vec![BlockId(merge)],
+            probability: prob,
+            cycles_saved: benefit,
+            size_cost: cost,
+            opportunities: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn should_duplicate_formula() {
+        let cfg = TradeoffConfig::default();
+        // b × p × 256 > c (sizes chosen so the growth budget is slack).
+        assert!(should_duplicate(&cfg, 1.0, 1.0, 255, 1000, 1000));
+        assert!(!should_duplicate(&cfg, 1.0, 1.0, 256, 1000, 1000));
+        // Probability scales the benefit down.
+        assert!(!should_duplicate(&cfg, 1.0, 0.001, 255, 1000, 1000));
+        // Hard unit-size limit.
+        assert!(!should_duplicate(&cfg, 100.0, 1.0, 10, 655_360, 655_360));
+        // Growth budget: cs + c < is × 1.5.
+        assert!(!should_duplicate(&cfg, 100.0, 1.0, 60, 140, 100));
+        assert!(should_duplicate(&cfg, 100.0, 1.0, 9, 140, 100));
+    }
+
+    #[test]
+    fn zero_benefit_never_selected() {
+        let cfg = TradeoffConfig::default();
+        let results = vec![result(1, 2, 0.0, 1.0, 0)];
+        let visited = HashSet::new();
+        assert!(select(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            100,
+            100,
+            &visited
+        )
+        .is_empty());
+        assert!(select(&results, &cfg, SelectionMode::Dupalot, 100, 100, &visited).is_empty());
+    }
+
+    #[test]
+    fn dupalot_ignores_cost() {
+        let cfg = TradeoffConfig::default();
+        // Enormous cost, tiny benefit.
+        let results = vec![result(1, 2, 0.1, 0.01, 100_000)];
+        let visited = HashSet::new();
+        assert!(select(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            100,
+            100,
+            &visited
+        )
+        .is_empty());
+        assert_eq!(
+            select(&results, &cfg, SelectionMode::Dupalot, 100, 100, &visited).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn ranking_prefers_weighted_benefit() {
+        let cfg = TradeoffConfig::default();
+        let results = vec![
+            result(1, 10, 5.0, 0.1, 1),  // weighted 0.5
+            result(2, 11, 3.0, 1.0, 1),  // weighted 3.0
+            result(3, 12, 50.0, 0.9, 1), // weighted 45
+        ];
+        let visited = HashSet::new();
+        let sel = select(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            100,
+            100,
+            &visited,
+        );
+        let order: Vec<u32> = sel.iter().map(|r| r.pred.0).collect();
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn fresh_merges_rank_before_visited_ones() {
+        let cfg = TradeoffConfig::default();
+        let results = vec![
+            result(1, 10, 50.0, 1.0, 1), // visited, high benefit
+            result(2, 11, 5.0, 1.0, 1),  // fresh, lower benefit
+        ];
+        let mut visited = HashSet::new();
+        visited.insert(BlockId(10));
+        let sel = select(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            100,
+            100,
+            &visited,
+        );
+        let order: Vec<u32> = sel.iter().map(|r| r.merge.0).collect();
+        assert_eq!(order, vec![11, 10]);
+    }
+
+    #[test]
+    fn budget_is_consumed_in_rank_order() {
+        let cfg = TradeoffConfig {
+            benefit_scale: 256.0,
+            size_increase_budget: 1.5,
+            max_unit_size: 655_360,
+        };
+        // Initial size 100 → budget allows < 150 total.
+        let results = vec![
+            result(1, 10, 100.0, 1.0, 30), // accepted: 100+30 < 150
+            result(2, 11, 90.0, 1.0, 30),  // rejected: 130+30 ≥ 150
+            result(3, 12, 80.0, 1.0, 10),  // accepted: 130+10 < 150
+        ];
+        let visited = HashSet::new();
+        let sel = select(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            100,
+            100,
+            &visited,
+        );
+        let order: Vec<u32> = sel.iter().map(|r| r.pred.0).collect();
+        assert_eq!(order, vec![1, 3]);
+    }
+
+    #[test]
+    fn negative_cost_counts_as_free() {
+        let cfg = TradeoffConfig::default();
+        assert!(should_duplicate(&cfg, 0.1, 0.5, -10, 100, 100));
+    }
+}

@@ -1,0 +1,149 @@
+//! Command-line entry point reproducing the paper's figures and tables.
+//!
+//! ```text
+//! figures --figure 5|6|7|8      one suite figure
+//! figures --summary             cross-suite headline numbers
+//! figures --table backtracking  the §3.1 compile-time comparison
+//! figures --all                 everything, in paper order
+//! ```
+
+use dbds_core::{compile, DbdsConfig, OptLevel};
+use dbds_costmodel::CostModel;
+use dbds_harness::{
+    format_backtracking, format_figure, format_summary, run_suite, BacktrackRow, IcacheModel,
+};
+use dbds_workloads::Suite;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = CostModel::new();
+    let cfg = DbdsConfig::default();
+    let icache = IcacheModel::default();
+
+    match args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["--figure", n] => {
+            let suite = match *n {
+                "5" => Suite::JavaDaCapo,
+                "6" => Suite::ScalaDaCapo,
+                "7" => Suite::Micro,
+                "8" => Suite::Octane,
+                other => {
+                    eprintln!("unknown figure `{other}` (expected 5, 6, 7 or 8)");
+                    std::process::exit(2);
+                }
+            };
+            let result = run_suite(suite, &model, &cfg, &icache);
+            print!("{}", format_figure(&result));
+        }
+        ["--summary"] => {
+            let results: Vec<_> = Suite::ALL
+                .iter()
+                .map(|&s| run_suite(s, &model, &cfg, &icache))
+                .collect();
+            print!("{}", format_summary(&results));
+        }
+        ["--table", "backtracking"] => {
+            print!("{}", backtracking_table(&model, &cfg));
+        }
+        ["--table", "phases"] => {
+            print!("{}", phases_table(&model, &cfg));
+        }
+        ["--all"] => {
+            let mut results = Vec::new();
+            for &suite in &Suite::ALL {
+                let result = run_suite(suite, &model, &cfg, &icache);
+                print!("{}", format_figure(&result));
+                println!();
+                results.push(result);
+            }
+            print!("{}", format_summary(&results));
+            println!();
+            print!("{}", backtracking_table(&model, &cfg));
+        }
+        _ => {
+            eprintln!(
+                "usage: figures --figure <5|6|7|8> | --summary | --table backtracking | --table phases | --all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Per-tier compile-time breakdown of the DBDS phase (the paper's
+/// "timing statements … used throughout the compiler", §6.1): how the
+/// phase splits between simulation, the duplication transform and the
+/// optimization pipeline, per suite.
+fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
+    use dbds_workloads::Suite;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "DBDS phase breakdown (per suite, sums over all benchmarks)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} | {:>11} | {:>11} | {:>11} | {:>9}",
+        "suite", "simulate", "duplicate", "optimize", "sim share"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(68));
+    for suite in Suite::ALL {
+        let mut sim = 0u128;
+        let mut tr = 0u128;
+        let mut opt = 0u128;
+        for w in suite.workloads() {
+            let mut g = w.graph.clone();
+            let stats = compile(&mut g, model, OptLevel::Dbds, cfg);
+            sim += stats.sim_ns;
+            tr += stats.transform_ns;
+            opt += stats.opt_ns;
+        }
+        let total = (sim + tr + opt).max(1);
+        let _ = writeln!(
+            out,
+            "{:<14} | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.1}%",
+            suite.id(),
+            sim as f64 / 1e6,
+            tr as f64 / 1e6,
+            opt as f64 / 1e6,
+            sim as f64 / total as f64 * 100.0
+        );
+    }
+    out
+}
+
+/// Compares DBDS and backtracking compile times on the micro suite (the
+/// suite is small enough that Algorithm 1's whole-graph copies finish in
+/// reasonable time — which is exactly the point of the comparison).
+fn backtracking_table(model: &CostModel, cfg: &DbdsConfig) -> String {
+    let rows: Vec<BacktrackRow> = Suite::Micro
+        .workloads()
+        .iter()
+        .map(|w| {
+            let mut g1 = w.graph.clone();
+            let t0 = Instant::now();
+            let dbds = compile(&mut g1, model, OptLevel::Dbds, cfg);
+            let dbds_ns = t0.elapsed().as_nanos();
+
+            let mut g2 = w.graph.clone();
+            let t1 = Instant::now();
+            let back = compile(&mut g2, model, OptLevel::Backtracking, cfg);
+            let backtracking_ns = t1.elapsed().as_nanos();
+
+            BacktrackRow {
+                name: w.name.clone(),
+                dbds_ns,
+                backtracking_ns,
+                dbds_duplications: dbds.duplications,
+                backtracking_accepted: back.duplications,
+            }
+        })
+        .collect();
+    format_backtracking(&rows)
+}

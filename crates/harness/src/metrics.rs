@@ -1,0 +1,206 @@
+//! Measurement of the paper's three metrics (§6.1): peak performance,
+//! code size, and compile time.
+//!
+//! - **Peak performance** — the workload is interpreted on its inputs and
+//!   the per-kind execution tally is priced by the node cost model
+//!   (dynamic cycles, lower is better). An instruction-cache pressure
+//!   model adds a penalty for oversized code: this is the mechanism by
+//!   which unbounded duplication (*dupalot*) can *lose* peak performance,
+//!   as the paper observes on `raytrace` (§6.2). See DESIGN.md §2.
+//! - **Code size** — the static size estimate of the final IR (the same
+//!   estimator Graal's budget uses).
+//! - **Compile time** — wall-clock of the optimization pipeline, plus a
+//!   deterministic work counter.
+
+use dbds_core::{compile, DbdsConfig, OptLevel, PhaseStats};
+use dbds_costmodel::CostModel;
+use dbds_ir::{execute, Graph, Outcome};
+use dbds_workloads::Workload;
+use std::time::Instant;
+
+/// A simple instruction-cache pressure model: code beyond `threshold`
+/// size units costs `slope` fractional slowdown per threshold-multiple.
+#[derive(Clone, Copy, Debug)]
+pub struct IcacheModel {
+    /// Size up to which code is penalty-free.
+    pub threshold: f64,
+    /// Fractional slowdown per `threshold` bytes of excess code.
+    pub slope: f64,
+}
+
+impl Default for IcacheModel {
+    fn default() -> Self {
+        IcacheModel {
+            threshold: 4500.0,
+            slope: 0.30,
+        }
+    }
+}
+
+impl IcacheModel {
+    /// The multiplicative run-time factor for a unit of `code_size`.
+    pub fn factor(&self, code_size: u64) -> f64 {
+        let excess = (code_size as f64 - self.threshold).max(0.0);
+        1.0 + self.slope * (excess / self.threshold)
+    }
+}
+
+/// The measured metrics of one compiled workload.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// Dynamic cycles over all inputs, icache-adjusted (lower is better).
+    pub peak_cycles: f64,
+    /// Dynamic cycles without the icache adjustment.
+    pub raw_cycles: u64,
+    /// Static code-size estimate of the final IR.
+    pub code_size: u64,
+    /// Wall-clock compile time in nanoseconds.
+    pub compile_ns: u128,
+    /// Deterministic compile-work counter from the phase.
+    pub work: u64,
+    /// Phase statistics (duplications, candidates, …).
+    pub stats: PhaseStats,
+    /// The observable outcomes per input (used for differential checks).
+    pub outcomes: Vec<Outcome>,
+}
+
+/// Compiles a copy of `w.graph` under `level` and measures all metrics.
+///
+/// # Panics
+///
+/// Panics if the compiled graph fails verification — an optimizer bug.
+pub fn measure(
+    w: &Workload,
+    level: OptLevel,
+    model: &CostModel,
+    cfg: &DbdsConfig,
+    icache: &IcacheModel,
+) -> Metrics {
+    let mut g = w.graph.clone();
+    // Compile time covers the whole pipeline — mid-tier optimizations and
+    // duplication phase plus the back end (liveness, linear scan,
+    // emission), like the paper's whole-compilation timing.
+    let start = Instant::now();
+    let stats = compile(&mut g, model, level, cfg);
+    let machine = dbds_backend::compile_to_machine_code(&g);
+    let compile_ns = start.elapsed().as_nanos();
+    dbds_ir::verify(&g).unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, level.name()));
+    let (raw_cycles, outcomes) = run_inputs(&g, w);
+    // Code size is the installed machine code, as in §6.1 ("a counter
+    // that tracks machine code size after code installation").
+    let code_size = machine.size() as u64;
+    Metrics {
+        peak_cycles: raw_cycles as f64 * icache.factor(code_size),
+        raw_cycles,
+        code_size,
+        compile_ns,
+        work: stats.work,
+        stats,
+        outcomes,
+    }
+}
+
+fn run_inputs(g: &Graph, w: &Workload) -> (u64, Vec<Outcome>) {
+    let model = CostModel::new();
+    let mut total = 0u64;
+    let mut outcomes = Vec::with_capacity(w.inputs.len());
+    for input in &w.inputs {
+        let r = execute(g, input);
+        total += model.dynamic_cycles(&r.counts);
+        outcomes.push(r.outcome);
+    }
+    (total, outcomes)
+}
+
+/// Percent change of `new` relative to `old` where *increase* is positive
+/// (used for code size and compile time).
+pub fn pct_increase(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new / old - 1.0) * 100.0
+    }
+}
+
+/// Percent *speedup* of `new` vs `old` cycle counts (positive = faster),
+/// matching the paper's "peak performance increase".
+pub fn pct_speedup(old_cycles: f64, new_cycles: f64) -> f64 {
+    if new_cycles == 0.0 {
+        0.0
+    } else {
+        (old_cycles / new_cycles - 1.0) * 100.0
+    }
+}
+
+/// Geometric mean of `(1 + pct/100)` ratios, returned as a percentage.
+pub fn geomean_pct(pcts: &[f64]) -> f64 {
+    if pcts.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = pcts.iter().map(|p| (1.0 + p / 100.0).ln()).sum();
+    ((log_sum / pcts.len() as f64).exp() - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbds_workloads::Suite;
+
+    #[test]
+    fn icache_model_is_flat_then_linear() {
+        let m = IcacheModel {
+            threshold: 1000.0,
+            slope: 0.5,
+        };
+        assert_eq!(m.factor(500), 1.0);
+        assert_eq!(m.factor(1000), 1.0);
+        assert!((m.factor(1500) - 1.25).abs() < 1e-12);
+        assert!((m.factor(2000) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_helpers() {
+        assert!((pct_increase(100.0, 150.0) - 50.0).abs() < 1e-12);
+        assert!((pct_speedup(150.0, 100.0) - 50.0).abs() < 1e-12);
+        assert!((pct_speedup(100.0, 100.0)).abs() < 1e-12);
+        let g = geomean_pct(&[10.0, 10.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_pct(&[]), 0.0);
+        // Mixing +100% and -50% cancels out geometrically.
+        assert!(geomean_pct(&[100.0, -50.0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_baseline_vs_dbds_preserves_outcomes() {
+        let w = &Suite::Micro.workloads()[0];
+        let model = CostModel::new();
+        let cfg = DbdsConfig::default();
+        let ic = IcacheModel::default();
+        let base = measure(w, OptLevel::Baseline, &model, &cfg, &ic);
+        let dbds = measure(w, OptLevel::Dbds, &model, &cfg, &ic);
+        assert_eq!(
+            base.outcomes, dbds.outcomes,
+            "optimization changed semantics"
+        );
+        // Duplication never makes the interpreter execute more cycles.
+        assert!(dbds.raw_cycles <= base.raw_cycles);
+    }
+
+    #[test]
+    fn dbds_speeds_up_a_micro_benchmark() {
+        // At least one micro benchmark must show a strict improvement.
+        let model = CostModel::new();
+        let cfg = DbdsConfig::default();
+        let ic = IcacheModel::default();
+        let mut improved = 0;
+        for w in Suite::Micro.workloads() {
+            let base = measure(&w, OptLevel::Baseline, &model, &cfg, &ic);
+            let dbds = measure(&w, OptLevel::Dbds, &model, &cfg, &ic);
+            assert_eq!(base.outcomes, dbds.outcomes, "{}", w.name);
+            if dbds.raw_cycles < base.raw_cycles {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 5, "only {improved}/9 micro benchmarks improved");
+    }
+}

@@ -1,0 +1,153 @@
+//! Suite execution: every benchmark under baseline / DBDS / dupalot,
+//! exactly like the paper's three configurations (§6.1).
+
+use crate::metrics::{measure, pct_increase, pct_speedup, IcacheModel, Metrics};
+use dbds_core::{DbdsConfig, OptLevel};
+use dbds_costmodel::CostModel;
+use dbds_workloads::{Suite, Workload};
+
+/// The three per-configuration measurements of one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Duplication disabled.
+    pub baseline: Metrics,
+    /// The DBDS configuration.
+    pub dbds: Metrics,
+    /// The dupalot configuration.
+    pub dupalot: Metrics,
+}
+
+impl BenchmarkRow {
+    /// Peak performance change of a configuration vs baseline (positive =
+    /// faster), as the figures plot it.
+    pub fn peak_pct(&self, level: OptLevel) -> f64 {
+        pct_speedup(self.baseline.peak_cycles, self.pick(level).peak_cycles)
+    }
+
+    /// Compile-time increase vs baseline, in percent.
+    pub fn compile_pct(&self, level: OptLevel) -> f64 {
+        pct_increase(
+            self.baseline.compile_ns as f64,
+            self.pick(level).compile_ns as f64,
+        )
+    }
+
+    /// Code-size increase vs baseline, in percent.
+    pub fn size_pct(&self, level: OptLevel) -> f64 {
+        pct_increase(
+            self.baseline.code_size as f64,
+            self.pick(level).code_size as f64,
+        )
+    }
+
+    fn pick(&self, level: OptLevel) -> &Metrics {
+        match level {
+            OptLevel::Dbds => &self.dbds,
+            OptLevel::Dupalot => &self.dupalot,
+            OptLevel::Baseline => &self.baseline,
+            OptLevel::Backtracking => panic!("backtracking is not part of suite rows"),
+        }
+    }
+
+    /// Checks that every configuration computed the same outcomes as the
+    /// baseline — the end-to-end correctness guarantee.
+    pub fn outcomes_agree(&self) -> bool {
+        self.baseline.outcomes == self.dbds.outcomes
+            && self.baseline.outcomes == self.dupalot.outcomes
+    }
+}
+
+/// A measured suite.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// Which suite.
+    pub suite: Suite,
+    /// One row per benchmark, in figure order.
+    pub rows: Vec<BenchmarkRow>,
+}
+
+impl SuiteResult {
+    /// Geometric-mean percentage for a metric/configuration pair.
+    pub fn geomean(&self, level: OptLevel, metric: Metric) -> f64 {
+        let pcts: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| match metric {
+                Metric::Peak => r.peak_pct(level),
+                Metric::CompileTime => r.compile_pct(level),
+                Metric::CodeSize => r.size_pct(level),
+            })
+            .collect();
+        crate::metrics::geomean_pct(&pcts)
+    }
+}
+
+/// The three metrics of the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Peak performance change (higher is better).
+    Peak,
+    /// Compile-time increase (lower is better).
+    CompileTime,
+    /// Code-size increase (lower is better).
+    CodeSize,
+}
+
+/// Runs one benchmark under all three configurations.
+pub fn run_benchmark(
+    w: &Workload,
+    model: &CostModel,
+    cfg: &DbdsConfig,
+    icache: &IcacheModel,
+) -> BenchmarkRow {
+    BenchmarkRow {
+        name: w.name.clone(),
+        baseline: measure(w, OptLevel::Baseline, model, cfg, icache),
+        dbds: measure(w, OptLevel::Dbds, model, cfg, icache),
+        dupalot: measure(w, OptLevel::Dupalot, model, cfg, icache),
+    }
+}
+
+/// Runs a whole suite.
+pub fn run_suite(
+    suite: Suite,
+    model: &CostModel,
+    cfg: &DbdsConfig,
+    icache: &IcacheModel,
+) -> SuiteResult {
+    let rows = suite
+        .workloads()
+        .iter()
+        .map(|w| run_benchmark(w, model, cfg, icache))
+        .collect();
+    SuiteResult { suite, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_suite_round_trip() {
+        let model = CostModel::new();
+        let cfg = DbdsConfig::default();
+        let ic = IcacheModel::default();
+        let result = run_suite(Suite::Micro, &model, &cfg, &ic);
+        assert_eq!(result.rows.len(), 9);
+        for row in &result.rows {
+            assert!(row.outcomes_agree(), "{} outcomes diverged", row.name);
+        }
+        // Suite-level shape: positive mean peak improvement for DBDS, and
+        // dupalot grows code at least as much as DBDS on average.
+        let peak = result.geomean(OptLevel::Dbds, Metric::Peak);
+        assert!(peak > 0.0, "micro DBDS geomean peak {peak}%");
+        let dbds_size = result.geomean(OptLevel::Dbds, Metric::CodeSize);
+        let dupalot_size = result.geomean(OptLevel::Dupalot, Metric::CodeSize);
+        assert!(
+            dupalot_size >= dbds_size - 1.0,
+            "dupalot mean size {dupalot_size}% below DBDS {dbds_size}%"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Small statistics helpers for the estimator-validation experiment
+//! (§8: "we plan to validate the presented IR performance estimator …
+//! validating a correlation between our benefit and cost estimations and
+//! the real performance and code size of an application").
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 for degenerate inputs (fewer than two points or zero
+/// variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must pair up");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation: Pearson over the rank transforms (average
+/// ranks for ties).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // Group ties and assign the average rank.
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [9.0, 6.0, 3.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_spearman_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let r = ranks(&[5.0, 1.0, 5.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Class and field metadata shared by the graphs of a compilation session.
+//!
+//! A [`ClassTable`] plays the role of the JVM class hierarchy in the paper's
+//! setting: it declares classes and their instance fields so that `new`,
+//! `load` and `store` instructions can be type checked and interpreted.
+//! Tables are immutable once built and shared between graphs via
+//! [`std::sync::Arc`], which keeps whole-graph copies (needed by the
+//! backtracking baseline) cheap.
+
+use crate::ids::{ClassId, FieldId};
+use crate::types::Type;
+
+/// Metadata for one declared field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldInfo {
+    /// Field name, unique within its class.
+    pub name: String,
+    /// Class the field belongs to.
+    pub class: ClassId,
+    /// Declared type of the field.
+    pub ty: Type,
+}
+
+/// Metadata for one declared class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Class name, unique within the table.
+    pub name: String,
+    /// Ids of the fields declared by this class, in declaration order.
+    pub fields: Vec<FieldId>,
+}
+
+/// An immutable registry of classes and fields.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassTable {
+    classes: Vec<ClassInfo>,
+    fields: Vec<FieldInfo>,
+}
+
+impl ClassTable {
+    /// Creates an empty class table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a new class with the given name and returns its id.
+    pub fn add_class(&mut self, name: impl Into<String>) -> ClassId {
+        let id = ClassId::from_index(self.classes.len());
+        self.classes.push(ClassInfo {
+            name: name.into(),
+            fields: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a new field on `class` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not a valid id of this table or if `ty` is
+    /// [`Type::Void`].
+    pub fn add_field(&mut self, class: ClassId, name: impl Into<String>, ty: Type) -> FieldId {
+        assert!(!ty.is_void(), "fields cannot have void type");
+        let id = FieldId::from_index(self.fields.len());
+        self.fields.push(FieldInfo {
+            name: name.into(),
+            class,
+            ty,
+        });
+        self.classes[class.index()].fields.push(id);
+        id
+    }
+
+    /// Returns the metadata of `class`.
+    pub fn class(&self, class: ClassId) -> &ClassInfo {
+        &self.classes[class.index()]
+    }
+
+    /// Returns the metadata of `field`.
+    pub fn field(&self, field: FieldId) -> &FieldInfo {
+        &self.fields[field.index()]
+    }
+
+    /// Number of declared classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of declared fields across all classes.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Iterates over all class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len()).map(ClassId::from_index)
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId::from_index)
+    }
+
+    /// Looks up a field of `class` by name.
+    pub fn field_by_name(&self, class: ClassId, name: &str) -> Option<FieldId> {
+        self.classes[class.index()]
+            .fields
+            .iter()
+            .copied()
+            .find(|&f| self.fields[f.index()].name == name)
+    }
+
+    /// Returns `true` when `field` belongs to `class`.
+    pub fn field_belongs_to(&self, field: FieldId, class: ClassId) -> bool {
+        field.index() < self.fields.len() && self.fields[field.index()].class == class
+    }
+
+    /// Returns `true` when `class` is a valid id of this table.
+    pub fn contains_class(&self, class: ClassId) -> bool {
+        class.index() < self.classes.len()
+    }
+
+    /// Returns `true` when `field` is a valid id of this table.
+    pub fn contains_field(&self, field: FieldId) -> bool {
+        field.index() < self.fields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed_int_table() -> (ClassTable, ClassId, FieldId) {
+        let mut t = ClassTable::new();
+        let c = t.add_class("Integer");
+        let f = t.add_field(c, "value", Type::Int);
+        (t, c, f)
+    }
+
+    #[test]
+    fn declares_classes_and_fields() {
+        let (t, c, f) = boxed_int_table();
+        assert_eq!(t.class_count(), 1);
+        assert_eq!(t.field_count(), 1);
+        assert_eq!(t.class(c).name, "Integer");
+        assert_eq!(t.field(f).name, "value");
+        assert_eq!(t.field(f).ty, Type::Int);
+        assert_eq!(t.field(f).class, c);
+        assert!(t.field_belongs_to(f, c));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (t, c, f) = boxed_int_table();
+        assert_eq!(t.class_by_name("Integer"), Some(c));
+        assert_eq!(t.class_by_name("Missing"), None);
+        assert_eq!(t.field_by_name(c, "value"), Some(f));
+        assert_eq!(t.field_by_name(c, "nope"), None);
+    }
+
+    #[test]
+    fn multiple_classes_have_distinct_field_ids() {
+        let mut t = ClassTable::new();
+        let a = t.add_class("A");
+        let b = t.add_class("B");
+        let fa = t.add_field(a, "x", Type::Int);
+        let fb = t.add_field(b, "x", Type::Int);
+        assert_ne!(fa, fb);
+        assert!(t.field_belongs_to(fa, a));
+        assert!(!t.field_belongs_to(fa, b));
+        assert_eq!(t.class(b).fields, vec![fb]);
+    }
+
+    #[test]
+    #[should_panic(expected = "void")]
+    fn rejects_void_fields() {
+        let mut t = ClassTable::new();
+        let c = t.add_class("A");
+        t.add_field(c, "bad", Type::Void);
+    }
+
+    #[test]
+    fn containment_checks() {
+        let (t, c, f) = boxed_int_table();
+        assert!(t.contains_class(c));
+        assert!(!t.contains_class(ClassId(7)));
+        assert!(t.contains_field(f));
+        assert!(!t.contains_field(FieldId(7)));
+    }
+}

@@ -1,0 +1,903 @@
+//! The SSA control-flow graph.
+//!
+//! A [`Graph`] is one compilation unit: an arena of instructions, an arena
+//! of basic blocks, and a shared [`ClassTable`]. Instructions are owned by
+//! blocks in execution order, with φs constrained to a prefix of each
+//! block's instruction list. Every block stores its predecessor list, and
+//! the *i*-th input of every φ corresponds to the *i*-th predecessor — the
+//! edge-mutation API below is the only way to change edges and keeps this
+//! alignment invariant intact.
+
+use crate::classes::ClassTable;
+use crate::ids::{BlockId, InstId};
+use crate::inst::{Inst, Terminator};
+use crate::types::Type;
+use std::sync::Arc;
+
+/// An instruction together with its result type and owning block.
+#[derive(Clone, Debug)]
+pub struct InstData {
+    /// The instruction payload.
+    pub inst: Inst,
+    /// The type of the produced value ([`Type::Void`] if none).
+    pub ty: Type,
+    /// The block currently containing the instruction, or `None` when the
+    /// instruction has been removed from the graph.
+    block: Option<BlockId>,
+}
+
+/// A basic block: φs, then ordinary instructions, then one terminator.
+#[derive(Clone, Debug)]
+struct BlockData {
+    /// Instructions in execution order; all φs precede all non-φs.
+    insts: Vec<InstId>,
+    /// The block terminator.
+    term: Terminator,
+    /// Predecessor blocks. Gives the input order for this block's φs.
+    preds: Vec<BlockId>,
+}
+
+/// An SSA control-flow graph for a single compilation unit.
+///
+/// # Examples
+///
+/// ```
+/// use dbds_ir::{ClassTable, ConstValue, Graph, Inst, Terminator, Type};
+/// use std::sync::Arc;
+///
+/// let mut g = Graph::new("answer", &[], Arc::new(ClassTable::new()));
+/// let entry = g.entry();
+/// let c = g.append_inst(entry, Inst::Const(ConstValue::Int(42)), Type::Int);
+/// g.set_terminator(entry, Terminator::Return { value: Some(c) });
+/// assert_eq!(g.block_insts(entry), &[c]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Human-readable compilation unit name.
+    pub name: String,
+    params: Vec<Type>,
+    param_values: Vec<InstId>,
+    entry: BlockId,
+    insts: Vec<InstData>,
+    blocks: Vec<BlockData>,
+    class_table: Arc<ClassTable>,
+}
+
+impl Graph {
+    /// Creates a graph with an entry block containing one [`Inst::Param`]
+    /// per element of `params`. The entry terminator starts as
+    /// [`Terminator::Deopt`] and should be replaced before use.
+    pub fn new(name: impl Into<String>, params: &[Type], class_table: Arc<ClassTable>) -> Self {
+        let mut g = Graph {
+            name: name.into(),
+            params: params.to_vec(),
+            param_values: Vec::new(),
+            entry: BlockId(0),
+            insts: Vec::new(),
+            blocks: vec![BlockData {
+                insts: Vec::new(),
+                term: Terminator::Deopt,
+                preds: Vec::new(),
+            }],
+            class_table,
+        };
+        for (i, &ty) in params.iter().enumerate() {
+            assert!(!ty.is_void(), "parameters cannot be void");
+            let id = g.append_inst(g.entry, Inst::Param(i as u32), ty);
+            g.param_values.push(id);
+        }
+        g
+    }
+
+    /// The shared class table.
+    pub fn class_table(&self) -> &Arc<ClassTable> {
+        &self.class_table
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Parameter types, in order.
+    pub fn param_types(&self) -> &[Type] {
+        &self.params
+    }
+
+    /// The SSA values of the function parameters, in order.
+    pub fn param_values(&self) -> &[InstId] {
+        &self.param_values
+    }
+
+    /// Number of blocks ever created (including none removed — blocks are
+    /// never deallocated, only disconnected).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of instruction slots ever created (including detached ones).
+    pub fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of instructions currently attached to a block.
+    pub fn live_inst_count(&self) -> usize {
+        self.insts.iter().filter(|d| d.block.is_some()).count()
+    }
+
+    /// Iterates over all block ids, in creation order.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(BlockId::from_index)
+    }
+
+    /// Iterates over the block ids reachable from the entry block, in an
+    /// unspecified order.
+    pub fn reachable_blocks(&self) -> Vec<BlockId> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry];
+        let mut out = Vec::new();
+        seen[self.entry.index()] = true;
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            for s in self.succs(b) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Creates a new, empty, unreachable block terminated by
+    /// [`Terminator::Deopt`].
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(BlockData {
+            insts: Vec::new(),
+            term: Terminator::Deopt,
+            preds: Vec::new(),
+        });
+        id
+    }
+
+    /// The instruction payload of `id`.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()].inst
+    }
+
+    /// Mutable access to the instruction payload of `id`.
+    ///
+    /// Callers must not change the number of φ inputs through this (use the
+    /// edge API), nor change the produced type.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()].inst
+    }
+
+    /// The result type of `id`.
+    pub fn ty(&self, id: InstId) -> Type {
+        self.insts[id.index()].ty
+    }
+
+    /// The block currently containing `id`, or `None` if detached.
+    pub fn block_of(&self, id: InstId) -> Option<BlockId> {
+        self.insts[id.index()].block
+    }
+
+    /// The instructions of `b` in execution order (φs first).
+    pub fn block_insts(&self, b: BlockId) -> &[InstId] {
+        &self.blocks[b.index()].insts
+    }
+
+    /// The φ instructions of `b` (the φ prefix of its instruction list).
+    pub fn phis(&self, b: BlockId) -> &[InstId] {
+        let insts = &self.blocks[b.index()].insts;
+        let end = insts
+            .iter()
+            .position(|&i| !self.inst(i).is_phi())
+            .unwrap_or(insts.len());
+        &insts[..end]
+    }
+
+    /// The terminator of `b`.
+    pub fn terminator(&self, b: BlockId) -> &Terminator {
+        &self.blocks[b.index()].term
+    }
+
+    /// Successor blocks of `b`, in terminator order.
+    pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
+        self.blocks[b.index()].term.successors()
+    }
+
+    /// Predecessor blocks of `b`. The order defines φ input positions.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.blocks[b.index()].preds
+    }
+
+    /// Index of `pred` within `b`'s predecessor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` is not a predecessor of `b`.
+    pub fn pred_index(&self, b: BlockId, pred: BlockId) -> usize {
+        self.blocks[b.index()]
+            .preds
+            .iter()
+            .position(|&p| p == pred)
+            .unwrap_or_else(|| panic!("{pred} is not a predecessor of {b}"))
+    }
+
+    /// Returns `true` when `b` is a control-flow merge (≥ 2 predecessors).
+    pub fn is_merge(&self, b: BlockId) -> bool {
+        self.blocks[b.index()].preds.len() >= 2
+    }
+
+    /// All merge blocks of the graph, in id order.
+    pub fn merge_blocks(&self) -> Vec<BlockId> {
+        self.blocks().filter(|&b| self.is_merge(b)).collect()
+    }
+
+    /// Appends a non-φ instruction to the end of `b` (before the
+    /// terminator) and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is a φ (use [`Graph::append_phi`]).
+    pub fn append_inst(&mut self, b: BlockId, inst: Inst, ty: Type) -> InstId {
+        assert!(!inst.is_phi(), "use append_phi for phis");
+        let id = self.alloc_inst(inst, ty, b);
+        self.blocks[b.index()].insts.push(id);
+        id
+    }
+
+    /// Inserts a non-φ instruction at position `at` of `b`'s instruction
+    /// list and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is a φ or `at` lies inside the φ prefix.
+    pub fn insert_inst(&mut self, b: BlockId, at: usize, inst: Inst, ty: Type) -> InstId {
+        assert!(!inst.is_phi(), "use append_phi for phis");
+        assert!(at >= self.phis(b).len(), "cannot insert before phis");
+        let id = self.alloc_inst(inst, ty, b);
+        self.blocks[b.index()].insts.insert(at, id);
+        id
+    }
+
+    /// Appends a φ to `b`. `inputs` must have exactly one value per current
+    /// predecessor of `b`, in predecessor order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the predecessor count.
+    pub fn append_phi(&mut self, b: BlockId, inputs: Vec<InstId>, ty: Type) -> InstId {
+        assert_eq!(
+            inputs.len(),
+            self.blocks[b.index()].preds.len(),
+            "phi input count must match predecessor count of {b}"
+        );
+        let at = self.phis(b).len();
+        let id = self.alloc_inst(Inst::Phi { inputs }, ty, b);
+        self.blocks[b.index()].insts.insert(at, id);
+        id
+    }
+
+    fn alloc_inst(&mut self, inst: Inst, ty: Type, b: BlockId) -> InstId {
+        let id = InstId::from_index(self.insts.len());
+        self.insts.push(InstData {
+            inst,
+            ty,
+            block: Some(b),
+        });
+        id
+    }
+
+    /// Detaches `id` from its block. The slot stays allocated; `id` must no
+    /// longer be referenced by any remaining instruction or terminator
+    /// (checked by the verifier, not here).
+    pub fn remove_inst(&mut self, id: InstId) {
+        if let Some(b) = self.insts[id.index()].block.take() {
+            let insts = &mut self.blocks[b.index()].insts;
+            let pos = insts
+                .iter()
+                .position(|&i| i == id)
+                .expect("inst missing from its block");
+            insts.remove(pos);
+        }
+    }
+
+    /// Replaces the terminator of `b`, updating predecessor lists of all
+    /// old and new successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a newly added successor already has φs (their inputs could
+    /// not be inferred — use [`Graph::retarget_edge`] via a
+    /// retarget instead), or if the new terminator lists the same successor
+    /// twice.
+    pub fn set_terminator(&mut self, b: BlockId, term: Terminator) {
+        let new_succs = term.successors();
+        if new_succs.len() == 2 {
+            assert_ne!(
+                new_succs[0], new_succs[1],
+                "branch successors must be distinct"
+            );
+        }
+        let old_succs = self.blocks[b.index()].term.successors();
+        for s in old_succs {
+            self.remove_pred(s, b);
+        }
+        for &s in &new_succs {
+            assert!(
+                self.phis(s).is_empty(),
+                "cannot add an edge into {s}: it has phis; use connect_edge_with_phi_inputs"
+            );
+            self.blocks[s.index()].preds.push(b);
+        }
+        self.blocks[b.index()].term = term;
+    }
+
+    /// Redirects the control-flow edge `from → old_to` to point at
+    /// `new_to`, supplying `phi_inputs` (one per φ of `new_to`, in φ
+    /// order) for the new edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not exist, if `phi_inputs` does not match
+    /// `new_to`'s φ count, or if `from` already has an edge to `new_to`
+    /// (duplicate edges are not representable).
+    pub fn retarget_edge(
+        &mut self,
+        from: BlockId,
+        old_to: BlockId,
+        new_to: BlockId,
+        phi_inputs: &[InstId],
+    ) {
+        assert!(
+            self.succs(from).contains(&old_to),
+            "no edge {from} -> {old_to}"
+        );
+        if old_to != new_to {
+            assert!(
+                !self.succs(from).contains(&new_to),
+                "edge {from} -> {new_to} already exists"
+            );
+        }
+        let mut done = false;
+        self.blocks[from.index()].term.for_each_successor_mut(|s| {
+            if !done && *s == old_to {
+                *s = new_to;
+                done = true;
+            }
+        });
+        self.remove_pred(old_to, from);
+        self.add_pred_with_phi_inputs(new_to, from, phi_inputs);
+    }
+
+    /// Installs a terminator on a block that currently has no successors,
+    /// supplying φ inputs for every new edge: `phi_inputs[i]` provides one
+    /// value per φ of the `i`-th successor of `term` (in φ order). Used by
+    /// the duplication transform, whose copied block branches into blocks
+    /// that already have φs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` currently has successors, if the successor count does
+    /// not match `phi_inputs`, if a successor's φ count does not match its
+    /// input list, or if `term` lists the same successor twice.
+    pub fn install_terminator_with_phi_inputs(
+        &mut self,
+        b: BlockId,
+        term: Terminator,
+        phi_inputs: &[Vec<InstId>],
+    ) {
+        assert!(
+            self.blocks[b.index()].term.successors().is_empty(),
+            "{b} already has successors"
+        );
+        let succs = term.successors();
+        assert_eq!(
+            succs.len(),
+            phi_inputs.len(),
+            "one input list per successor"
+        );
+        if succs.len() == 2 {
+            assert_ne!(succs[0], succs[1], "branch successors must be distinct");
+        }
+        for (s, inputs) in succs.iter().zip(phi_inputs) {
+            self.add_pred_with_phi_inputs(*s, b, inputs);
+        }
+        self.blocks[b.index()].term = term;
+    }
+
+    /// Adds the edge `from → to` implied by `from`'s terminator already
+    /// mentioning `to` is **not** supported; this helper is for building an
+    /// edge into a block that has φs: it appends `from` to `to`'s
+    /// predecessors and one input per φ. The caller is responsible for the
+    /// terminator side (used by [`Graph::retarget_edge`] and the
+    /// duplication transform).
+    fn add_pred_with_phi_inputs(&mut self, to: BlockId, from: BlockId, phi_inputs: &[InstId]) {
+        let phis: Vec<InstId> = self.phis(to).to_vec();
+        assert_eq!(
+            phis.len(),
+            phi_inputs.len(),
+            "need exactly one phi input per phi of {to}"
+        );
+        self.blocks[to.index()].preds.push(from);
+        for (phi, &input) in phis.iter().zip(phi_inputs) {
+            match &mut self.insts[phi.index()].inst {
+                Inst::Phi { inputs } => inputs.push(input),
+                _ => unreachable!("phi prefix returned a non-phi"),
+            }
+        }
+    }
+
+    /// Removes `from` from `to`'s predecessor list, dropping the φ input at
+    /// the corresponding position of each φ of `to`.
+    fn remove_pred(&mut self, to: BlockId, from: BlockId) {
+        let idx = self.pred_index(to, from);
+        self.blocks[to.index()].preds.remove(idx);
+        let phis: Vec<InstId> = self.phis(to).to_vec();
+        for phi in phis {
+            match &mut self.insts[phi.index()].inst {
+                Inst::Phi { inputs } => {
+                    inputs.remove(idx);
+                }
+                _ => unreachable!("phi prefix returned a non-phi"),
+            }
+        }
+    }
+
+    /// Folds the branch terminating `b` into an unconditional jump to the
+    /// successor chosen by `take_then`, removing the edge to the other
+    /// successor (and its φ inputs there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not terminated by a branch.
+    pub fn fold_branch(&mut self, b: BlockId, take_then: bool) {
+        let (then_bb, else_bb) = match self.blocks[b.index()].term {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => (then_bb, else_bb),
+            _ => panic!("{b} is not terminated by a branch"),
+        };
+        let (taken, dropped) = if take_then {
+            (then_bb, else_bb)
+        } else {
+            (else_bb, then_bb)
+        };
+        self.remove_pred(dropped, b);
+        self.blocks[b.index()].term = Terminator::Jump { target: taken };
+    }
+
+    /// Applies `f` to every value operand of `b`'s terminator, leaving its
+    /// successors untouched. Used by the parser to patch forward
+    /// references and by optimizations to rewrite branch conditions.
+    pub fn patch_terminator_inputs(&mut self, b: BlockId, f: impl FnMut(&mut InstId)) {
+        self.blocks[b.index()].term.for_each_input_mut(f);
+    }
+
+    /// Sets the probability of the branch terminating `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not terminated by a branch.
+    pub fn set_branch_probability(&mut self, b: BlockId, prob: f64) {
+        match &mut self.blocks[b.index()].term {
+            Terminator::Branch { prob_then, .. } => *prob_then = prob,
+            _ => panic!("{b} is not terminated by a branch"),
+        }
+    }
+
+    /// Rewrites every use of `old` (in instructions and terminators of all
+    /// blocks) to `new`.
+    pub fn replace_all_uses(&mut self, old: InstId, new: InstId) {
+        assert_ne!(old, new, "cannot replace a value with itself");
+        for data in &mut self.insts {
+            if data.block.is_some() {
+                data.inst.for_each_input_mut(|i| {
+                    if *i == old {
+                        *i = new;
+                    }
+                });
+            }
+        }
+        for block in &mut self.blocks {
+            block.term.for_each_input_mut(|i| {
+                if *i == old {
+                    *i = new;
+                }
+            });
+        }
+    }
+
+    /// Counts how many operands across the graph reference `id`.
+    pub fn use_count(&self, id: InstId) -> usize {
+        let mut n = 0;
+        for data in &self.insts {
+            if data.block.is_some() {
+                data.inst.for_each_input(|i| {
+                    if i == id {
+                        n += 1;
+                    }
+                });
+            }
+        }
+        for block in &self.blocks {
+            block.term.for_each_input(|i| {
+                if i == id {
+                    n += 1;
+                }
+            });
+        }
+        n
+    }
+
+    /// Returns `true` if any live instruction or terminator uses `id`.
+    pub fn has_uses(&self, id: InstId) -> bool {
+        self.use_count(id) > 0
+    }
+
+    /// Moves every non-φ instruction of `from` (in order) to the end of
+    /// `to`, and transfers `from`'s terminator to `to`. Used when a block
+    /// degenerates to a single predecessor and gets merged into it.
+    ///
+    /// The caller must first have eliminated `from`'s φs and must ensure
+    /// `to`'s unique successor is `from`.
+    pub fn merge_block_into_pred(&mut self, from: BlockId, to: BlockId) {
+        assert_eq!(
+            self.succs(to),
+            vec![from],
+            "{to} must jump straight to {from}"
+        );
+        assert_eq!(
+            self.preds(from),
+            &[to],
+            "{from} must have {to} as sole predecessor"
+        );
+        assert!(self.phis(from).is_empty(), "{from} still has phis");
+        let moved: Vec<InstId> = std::mem::take(&mut self.blocks[from.index()].insts);
+        for &i in &moved {
+            self.insts[i.index()].block = Some(to);
+        }
+        self.blocks[to.index()].insts.extend(moved);
+        // Transfer the terminator: reuse the edge bookkeeping by first
+        // clearing `from`'s terminator, then installing it on `to`.
+        let term = std::mem::replace(&mut self.blocks[from.index()].term, Terminator::Deopt);
+        for s in term.successors() {
+            // Rewrite pred entries of successors from `from` to `to`.
+            let idx = self.pred_index(s, from);
+            self.blocks[s.index()].preds[idx] = to;
+        }
+        // `to`'s old terminator was Jump{from}; drop its pred entry.
+        self.remove_pred(from, to);
+        self.blocks[to.index()].term = term;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, CmpOp};
+    use crate::types::ConstValue;
+
+    fn empty_table() -> Arc<ClassTable> {
+        Arc::new(ClassTable::new())
+    }
+
+    /// Builds the diamond from Figure 1 of the paper:
+    /// `if (x > 0) phi = x else phi = 0; return 2 + phi`.
+    fn figure1() -> (Graph, BlockId, BlockId, BlockId, InstId) {
+        let mut g = Graph::new("foo", &[Type::Int], empty_table());
+        let entry = g.entry();
+        let x = g.param_values()[0];
+        let zero = g.append_inst(entry, Inst::Const(ConstValue::Int(0)), Type::Int);
+        let cond = g.append_inst(
+            entry,
+            Inst::Compare {
+                op: CmpOp::Gt,
+                lhs: x,
+                rhs: zero,
+            },
+            Type::Bool,
+        );
+        let bt = g.add_block();
+        let bf = g.add_block();
+        let bm = g.add_block();
+        g.set_terminator(
+            entry,
+            Terminator::Branch {
+                cond,
+                then_bb: bt,
+                else_bb: bf,
+                prob_then: 0.5,
+            },
+        );
+        g.set_terminator(bt, Terminator::Jump { target: bm });
+        g.set_terminator(bf, Terminator::Jump { target: bm });
+        let phi = g.append_phi(bm, vec![x, zero], Type::Int);
+        let two = g.append_inst(bm, Inst::Const(ConstValue::Int(2)), Type::Int);
+        let sum = g.append_inst(
+            bm,
+            Inst::Binary {
+                op: BinOp::Add,
+                lhs: two,
+                rhs: phi,
+            },
+            Type::Int,
+        );
+        g.set_terminator(bm, Terminator::Return { value: Some(sum) });
+        (g, bt, bf, bm, phi)
+    }
+
+    #[test]
+    fn builds_diamond_with_consistent_edges() {
+        let (g, bt, bf, bm, phi) = figure1();
+        assert_eq!(g.preds(bm), &[bt, bf]);
+        assert_eq!(g.succs(g.entry()), vec![bt, bf]);
+        assert!(g.is_merge(bm));
+        assert_eq!(g.merge_blocks(), vec![bm]);
+        assert_eq!(g.phis(bm), &[phi]);
+        match g.inst(phi) {
+            Inst::Phi { inputs } => assert_eq!(inputs.len(), 2),
+            _ => panic!("expected phi"),
+        }
+    }
+
+    #[test]
+    fn params_are_created_in_entry() {
+        let g = Graph::new("p", &[Type::Int, Type::Bool], empty_table());
+        assert_eq!(g.param_values().len(), 2);
+        assert_eq!(g.ty(g.param_values()[0]), Type::Int);
+        assert_eq!(g.ty(g.param_values()[1]), Type::Bool);
+        assert_eq!(g.block_of(g.param_values()[0]), Some(g.entry()));
+    }
+
+    #[test]
+    fn fold_branch_drops_phi_input() {
+        // entry branches to bt or directly to the merge bm; bt jumps to bm.
+        let mut g = Graph::new("fold", &[Type::Int], empty_table());
+        let entry = g.entry();
+        let x = g.param_values()[0];
+        let zero = g.append_inst(entry, Inst::Const(ConstValue::Int(0)), Type::Int);
+        let cond = g.append_inst(
+            entry,
+            Inst::Compare {
+                op: CmpOp::Gt,
+                lhs: x,
+                rhs: zero,
+            },
+            Type::Bool,
+        );
+        let bt = g.add_block();
+        let bm = g.add_block();
+        g.set_terminator(
+            entry,
+            Terminator::Branch {
+                cond,
+                then_bb: bt,
+                else_bb: bm,
+                prob_then: 0.5,
+            },
+        );
+        g.set_terminator(bt, Terminator::Jump { target: bm });
+        let phi = g.append_phi(bm, vec![zero, x], Type::Int);
+        g.set_terminator(bm, Terminator::Return { value: Some(phi) });
+        assert_eq!(g.preds(bm), &[entry, bt]);
+
+        // Fold the branch towards bt: the entry→bm edge disappears and the
+        // phi loses the corresponding input.
+        g.fold_branch(entry, true);
+        assert_eq!(g.succs(entry), vec![bt]);
+        assert_eq!(g.preds(bm), &[bt]);
+        match g.inst(phi) {
+            Inst::Phi { inputs } => assert_eq!(inputs, &vec![x]),
+            _ => panic!("expected phi"),
+        }
+    }
+
+    #[test]
+    fn retarget_edge_moves_phi_inputs() {
+        let (mut g, bt, bf, bm, phi) = figure1();
+        // Create a copy-destination block b' and retarget bt -> b'.
+        let bcopy = g.add_block();
+        g.set_terminator(bcopy, Terminator::Return { value: None });
+        let x = g.param_values()[0];
+        let before_inputs = match g.inst(phi) {
+            Inst::Phi { inputs } => inputs.clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(before_inputs[0], x);
+        g.retarget_edge(bt, bm, bcopy, &[]);
+        assert_eq!(g.succs(bt), vec![bcopy]);
+        assert_eq!(g.preds(bm), &[bf]);
+        assert_eq!(g.preds(bcopy), &[bt]);
+        match g.inst(phi) {
+            Inst::Phi { inputs } => {
+                assert_eq!(inputs.len(), 1);
+                assert_ne!(inputs[0], x);
+            }
+            _ => panic!("expected phi"),
+        }
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_operands_and_terminators() {
+        let (mut g, _bt, _bf, bm, phi) = figure1();
+        let entry = g.entry();
+        let hundred = g.append_inst(entry, Inst::Const(ConstValue::Int(100)), Type::Int);
+        assert!(g.has_uses(phi));
+        g.replace_all_uses(phi, hundred);
+        assert!(!g.has_uses(phi));
+        // The add in bm now uses `hundred`.
+        let add = *g.block_insts(bm).last().unwrap();
+        let inputs = g.inst(add).collect_inputs();
+        assert!(inputs.contains(&hundred));
+    }
+
+    #[test]
+    fn remove_inst_detaches() {
+        let (mut g, _bt, _bf, bm, phi) = figure1();
+        let hundred = g.append_inst(g.entry(), Inst::Const(ConstValue::Int(100)), Type::Int);
+        g.replace_all_uses(phi, hundred);
+        let live_before = g.live_inst_count();
+        g.remove_inst(phi);
+        assert_eq!(g.block_of(phi), None);
+        assert_eq!(g.live_inst_count(), live_before - 1);
+        assert!(g.phis(bm).is_empty());
+    }
+
+    #[test]
+    fn use_count_counts_multiplicity() {
+        let mut g = Graph::new("m", &[Type::Int], empty_table());
+        let x = g.param_values()[0];
+        let sq = g.append_inst(
+            g.entry(),
+            Inst::Binary {
+                op: BinOp::Mul,
+                lhs: x,
+                rhs: x,
+            },
+            Type::Int,
+        );
+        g.set_terminator(g.entry(), Terminator::Return { value: Some(sq) });
+        assert_eq!(g.use_count(x), 2);
+        assert_eq!(g.use_count(sq), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_duplicate_branch_successors() {
+        let mut g = Graph::new("d", &[Type::Bool], empty_table());
+        let c = g.param_values()[0];
+        let b1 = g.add_block();
+        g.set_terminator(
+            g.entry(),
+            Terminator::Branch {
+                cond: c,
+                then_bb: b1,
+                else_bb: b1,
+                prob_then: 0.5,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "has phis")]
+    fn set_terminator_rejects_new_edges_into_phi_blocks() {
+        let (mut g, _bt, _bf, bm, _phi) = figure1();
+        let nb = g.add_block();
+        g.set_terminator(nb, Terminator::Jump { target: bm });
+    }
+
+    #[test]
+    fn merge_block_into_pred_moves_instructions() {
+        let mut g = Graph::new("mb", &[Type::Int], empty_table());
+        let entry = g.entry();
+        let b1 = g.add_block();
+        g.set_terminator(entry, Terminator::Jump { target: b1 });
+        let x = g.param_values()[0];
+        let one = g.append_inst(b1, Inst::Const(ConstValue::Int(1)), Type::Int);
+        let add = g.append_inst(
+            b1,
+            Inst::Binary {
+                op: BinOp::Add,
+                lhs: x,
+                rhs: one,
+            },
+            Type::Int,
+        );
+        g.set_terminator(b1, Terminator::Return { value: Some(add) });
+        g.merge_block_into_pred(b1, entry);
+        assert_eq!(g.block_of(add), Some(entry));
+        assert!(matches!(
+            g.terminator(entry),
+            Terminator::Return { value: Some(v) } if *v == add
+        ));
+        assert!(g.block_insts(b1).is_empty());
+    }
+
+    #[test]
+    fn patch_terminator_inputs_rewrites_cond() {
+        let mut g = Graph::new("p", &[Type::Bool, Type::Bool], empty_table());
+        let c1 = g.param_values()[0];
+        let c2 = g.param_values()[1];
+        let (b1, b2) = (g.add_block(), g.add_block());
+        g.set_terminator(
+            g.entry(),
+            Terminator::Branch {
+                cond: c1,
+                then_bb: b1,
+                else_bb: b2,
+                prob_then: 0.5,
+            },
+        );
+        g.patch_terminator_inputs(g.entry(), |i| *i = c2);
+        assert!(matches!(
+            g.terminator(g.entry()),
+            Terminator::Branch { cond, .. } if *cond == c2
+        ));
+        // Successors and pred bookkeeping untouched.
+        assert_eq!(g.preds(b1), &[g.entry()]);
+    }
+
+    #[test]
+    fn set_branch_probability_updates_profile() {
+        let mut g = Graph::new("bp", &[Type::Bool], empty_table());
+        let c = g.param_values()[0];
+        let (b1, b2) = (g.add_block(), g.add_block());
+        g.set_terminator(
+            g.entry(),
+            Terminator::Branch {
+                cond: c,
+                then_bb: b1,
+                else_bb: b2,
+                prob_then: 0.5,
+            },
+        );
+        g.set_branch_probability(g.entry(), 0.25);
+        assert!(matches!(
+            g.terminator(g.entry()),
+            Terminator::Branch { prob_then, .. } if *prob_then == 0.25
+        ));
+    }
+
+    #[test]
+    fn install_terminator_with_phi_inputs_extends_phis() {
+        // A merge with a phi gains a third predecessor through the
+        // install API (the duplication transform's path).
+        let (mut g, _bt, _bf, bm, phi) = figure1();
+        let extra = g.add_block();
+        let hundred = g.append_inst(g.entry(), Inst::Const(ConstValue::Int(100)), Type::Int);
+        g.install_terminator_with_phi_inputs(
+            extra,
+            Terminator::Jump { target: bm },
+            &[vec![hundred]],
+        );
+        assert_eq!(g.preds(bm).len(), 3);
+        match g.inst(phi) {
+            Inst::Phi { inputs } => {
+                assert_eq!(inputs.len(), 3);
+                assert_eq!(inputs[2], hundred);
+            }
+            _ => panic!("expected phi"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has successors")]
+    fn install_terminator_rejects_terminated_blocks() {
+        let (mut g, bt, _bf, bm, _) = figure1();
+        g.install_terminator_with_phi_inputs(bt, Terminator::Jump { target: bm }, &[vec![]]);
+    }
+
+    #[test]
+    fn reachable_blocks_ignores_disconnected() {
+        let (mut g, bt, bf, bm, _) = figure1();
+        let orphan = g.add_block();
+        let reach = g.reachable_blocks();
+        assert!(reach.contains(&bt) && reach.contains(&bf) && reach.contains(&bm));
+        assert!(!reach.contains(&orphan));
+    }
+}

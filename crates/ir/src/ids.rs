@@ -1,0 +1,100 @@
+//! Typed index newtypes used throughout the IR.
+//!
+//! All IR entities live in arenas inside a [`crate::Graph`] (or a
+//! [`crate::ClassTable`]) and are referred to by small copyable ids. Using
+//! distinct newtypes instead of raw `u32`s makes it impossible to confuse a
+//! block with an instruction at compile time.
+
+use std::fmt;
+
+/// Identifies a basic block inside a [`crate::Graph`].
+///
+/// Blocks are numbered densely in creation order; `BlockId(0)` is not
+/// necessarily the entry block (see [`crate::Graph::entry`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Identifies an instruction inside a [`crate::Graph`].
+///
+/// Following Graal IR, every instruction produces at most one value, so an
+/// `InstId` doubles as the SSA value id of the value the instruction
+/// produces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+/// Identifies a class in a [`crate::ClassTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u32);
+
+/// Identifies a field of some class in a [`crate::ClassTable`].
+///
+/// Field ids are global (not per-class): each declared field of each class
+/// gets a unique id, which keeps instruction operands compact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldId(pub u32);
+
+macro_rules! id_impls {
+    ($t:ident, $prefix:expr) => {
+        impl $t {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $t(u32::try_from(index).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_impls!(BlockId, "b");
+id_impls!(InstId, "v");
+id_impls!(ClassId, "c");
+id_impls!(FieldId, "f");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_short_prefixes() {
+        assert_eq!(BlockId(3).to_string(), "b3");
+        assert_eq!(InstId(17).to_string(), "v17");
+        assert_eq!(ClassId(0).to_string(), "c0");
+        assert_eq!(FieldId(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn round_trips_through_index() {
+        let b = BlockId::from_index(42);
+        assert_eq!(b.index(), 42);
+        let v = InstId::from_index(0);
+        assert_eq!(v, InstId(0));
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(InstId(1) < InstId(2));
+        assert!(BlockId(0) < BlockId(10));
+    }
+}

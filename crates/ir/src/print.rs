@@ -1,0 +1,236 @@
+//! Textual printing of graphs and class tables.
+//!
+//! The format round-trips through [`crate::parse`]: `print → parse → print`
+//! reaches a fixpoint, which the integration tests rely on. Value names in
+//! the output are the raw [`InstId`]s (`v17`), block names the raw
+//! [`BlockId`]s (`b3`); the parser accepts arbitrary identifiers.
+
+use crate::classes::ClassTable;
+use crate::ids::BlockId;
+use crate::inst::{Inst, Terminator};
+use crate::types::{ConstValue, Type};
+use crate::Graph;
+use std::fmt::Write as _;
+
+/// Renders a class table as `class` declarations.
+pub fn print_class_table(table: &ClassTable) -> String {
+    let mut out = String::new();
+    for c in table.class_ids() {
+        let info = table.class(c);
+        let fields: Vec<String> = info
+            .fields
+            .iter()
+            .map(|&f| {
+                let fi = table.field(f);
+                format!("{}: {}", fi.name, type_str(fi.ty, table))
+            })
+            .collect();
+        let _ = writeln!(out, "class {} {{ {} }}", info.name, fields.join(", "));
+    }
+    out
+}
+
+/// Renders `g` in the textual IR format.
+pub fn print_graph(g: &Graph) -> String {
+    let table = g.class_table();
+    let mut out = String::new();
+    let params: Vec<String> = g
+        .param_values()
+        .iter()
+        .map(|&p| format!("{p}: {}", type_str(g.ty(p), table)))
+        .collect();
+    let _ = writeln!(out, "func @{}({}) {{", g.name, params.join(", "));
+
+    let mut reachable = g.reachable_blocks();
+    reachable.sort();
+    for b in reachable {
+        let _ = writeln!(out, "{b}:");
+        for &i in g.block_insts(b) {
+            if matches!(g.inst(i), Inst::Param(_)) {
+                continue; // params are printed in the signature
+            }
+            let _ = writeln!(out, "  {}", inst_line(g, b, i));
+        }
+        let _ = writeln!(out, "  {}", term_line(g, b));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn type_str(ty: Type, table: &ClassTable) -> String {
+    match ty {
+        Type::Ref(c) => format!("ref {}", table.class(c).name),
+        other => other.to_string(),
+    }
+}
+
+fn const_str(c: ConstValue, table: &ClassTable) -> String {
+    match c {
+        ConstValue::Int(i) => i.to_string(),
+        ConstValue::Bool(b) => b.to_string(),
+        ConstValue::Null(cl) => format!("null {}", table.class(cl).name),
+        ConstValue::NullArr => "nullarr".to_string(),
+    }
+}
+
+fn inst_line(g: &Graph, b: BlockId, i: crate::ids::InstId) -> String {
+    let table = g.class_table();
+    let ty = type_str(g.ty(i), table);
+    let body = match g.inst(i) {
+        Inst::Const(c) => format!("const {}", const_str(*c, table)),
+        Inst::Param(idx) => format!("param {idx}"),
+        Inst::Binary { op, lhs, rhs } => format!("{} {lhs}, {rhs}", op.mnemonic()),
+        Inst::Compare { op, lhs, rhs } => format!("cmp {} {lhs}, {rhs}", op.mnemonic()),
+        Inst::Not(x) => format!("not {x}"),
+        Inst::Neg(x) => format!("neg {x}"),
+        Inst::Phi { inputs } => {
+            let preds = g.preds(b);
+            let parts: Vec<String> = preds
+                .iter()
+                .zip(inputs)
+                .map(|(p, v)| format!("{p}: {v}"))
+                .collect();
+            format!("phi [{}]", parts.join(", "))
+        }
+        Inst::New { class } => format!("new {}", table.class(*class).name),
+        Inst::LoadField { object, field } => {
+            let fi = table.field(*field);
+            format!("load {object}, {}.{}", table.class(fi.class).name, fi.name)
+        }
+        Inst::StoreField {
+            object,
+            field,
+            value,
+        } => {
+            let fi = table.field(*field);
+            format!(
+                "store {object}, {}.{}, {value}",
+                table.class(fi.class).name,
+                fi.name
+            )
+        }
+        Inst::InstanceOf { object, class } => {
+            format!("instanceof {object}, {}", table.class(*class).name)
+        }
+        Inst::NewArray { length } => format!("newarray {length}"),
+        Inst::ArrayLoad { array, index } => format!("aload {array}, {index}"),
+        Inst::ArrayStore {
+            array,
+            index,
+            value,
+        } => format!("astore {array}, {index}, {value}"),
+        Inst::ArrayLength(a) => format!("alength {a}"),
+        Inst::Invoke { args } => {
+            let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            if parts.is_empty() {
+                "invoke".to_string()
+            } else {
+                format!("invoke {}", parts.join(", "))
+            }
+        }
+    };
+    format!("{i}: {ty} = {body}")
+}
+
+fn term_line(g: &Graph, b: BlockId) -> String {
+    match g.terminator(b) {
+        Terminator::Jump { target } => format!("jump {target}"),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+            prob_then,
+        } => format!("branch {cond}, {then_bb}, {else_bb}, prob {prob_then}"),
+        Terminator::Return { value: Some(v) } => format!("return {v}"),
+        Terminator::Return { value: None } => "return".to_string(),
+        Terminator::Deopt => "deopt".to_string(),
+    }
+}
+
+impl std::fmt::Display for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&print_graph(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::inst::CmpOp;
+    use std::sync::Arc;
+
+    #[test]
+    fn prints_figure1() {
+        let mut t = ClassTable::new();
+        let c = t.add_class("A");
+        t.add_field(c, "x", Type::Int);
+        let mut b = GraphBuilder::new("foo", &[Type::Int], Arc::new(t));
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let cond = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(cond, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, zero], Type::Int);
+        let two = b.iconst(2);
+        let sum = b.add(two, phi);
+        b.ret(Some(sum));
+        let g = b.finish();
+        let text = print_graph(&g);
+        assert!(text.contains("func @foo(v0: int)"), "{text}");
+        assert!(text.contains("cmp gt v0, v1"), "{text}");
+        assert!(text.contains("phi [b1: v0, b2: v1]"), "{text}");
+        assert!(text.contains("branch v2, b1, b2, prob 0.5"), "{text}");
+        assert!(text.contains("return v5"), "{text}");
+    }
+
+    #[test]
+    fn prints_class_table() {
+        let mut t = ClassTable::new();
+        let a = t.add_class("A");
+        t.add_field(a, "x", Type::Int);
+        t.add_field(a, "next", Type::Ref(a));
+        let text = print_class_table(&t);
+        assert_eq!(text, "class A { x: int, next: ref A }\n");
+    }
+
+    #[test]
+    fn prints_heap_and_array_ops() {
+        let mut t = ClassTable::new();
+        let a = t.add_class("A");
+        let fx = t.add_field(a, "x", Type::Int);
+        let mut b = GraphBuilder::new("heap", &[], Arc::new(t));
+        let obj = b.new_object(a);
+        let seven = b.iconst(7);
+        b.store(obj, fx, seven);
+        let l = b.load(obj, fx);
+        let arr = b.new_array(l);
+        let v = b.aload(arr, l);
+        b.astore(arr, l, v);
+        let len = b.alength(arr);
+        let r = b.invoke(vec![len, v]);
+        b.ret(Some(r));
+        let g = b.finish();
+        let text = print_graph(&g);
+        assert!(text.contains("new A"));
+        assert!(text.contains("store v0, A.x, v1"));
+        assert!(text.contains("load v0, A.x"));
+        assert!(text.contains("newarray v3"));
+        assert!(text.contains("invoke v7, v5"));
+    }
+
+    #[test]
+    fn skips_unreachable_blocks() {
+        let mut b = GraphBuilder::new("u", &[], Arc::new(ClassTable::new()));
+        b.ret(None);
+        let dead = b.new_block();
+        let g = b.finish();
+        let text = print_graph(&g);
+        assert!(!text.contains(&format!("{dead}:")));
+    }
+}

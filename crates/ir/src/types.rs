@@ -1,0 +1,146 @@
+//! Value types and compile-time constants.
+
+use crate::ids::ClassId;
+use std::fmt;
+
+/// The type of an SSA value.
+///
+/// The type system is deliberately small: a 64-bit integer type, booleans,
+/// heap references to class instances, and references to arrays of 64-bit
+/// integers. This is rich enough to express every optimization opportunity
+/// class from §2 of the DBDS paper (constant folding, conditional
+/// elimination, partial escape analysis, read elimination, strength
+/// reduction) while keeping the interpreter and verifier simple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// No value. Produced by effect-only instructions such as `store`.
+    Void,
+    /// A boolean, produced by comparisons and logic on booleans.
+    Bool,
+    /// A 64-bit signed integer.
+    Int,
+    /// A (possibly null) reference to an instance of the given class.
+    Ref(ClassId),
+    /// A (possibly null) reference to an array of `Int`.
+    Arr,
+}
+
+impl Type {
+    /// Returns `true` when values of this type live on the heap.
+    pub fn is_reference(self) -> bool {
+        matches!(self, Type::Ref(_) | Type::Arr)
+    }
+
+    /// Returns `true` for `Void`.
+    pub fn is_void(self) -> bool {
+        matches!(self, Type::Void)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+            Type::Ref(c) => write!(f, "ref {c}"),
+            Type::Arr => write!(f, "arr"),
+        }
+    }
+}
+
+/// A compile-time constant value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConstValue {
+    /// A 64-bit integer constant.
+    Int(i64),
+    /// A boolean constant.
+    Bool(bool),
+    /// The null reference. Typed as `Ref(class)` so the verifier can check
+    /// uses; `null` compares equal to any other null regardless of class.
+    Null(ClassId),
+    /// The null array reference.
+    NullArr,
+}
+
+impl ConstValue {
+    /// The [`Type`] of this constant.
+    pub fn ty(self) -> Type {
+        match self {
+            ConstValue::Int(_) => Type::Int,
+            ConstValue::Bool(_) => Type::Bool,
+            ConstValue::Null(c) => Type::Ref(c),
+            ConstValue::NullArr => Type::Arr,
+        }
+    }
+
+    /// Returns the integer payload if this is an [`ConstValue::Int`].
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            ConstValue::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a [`ConstValue::Bool`].
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            ConstValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this constant is one of the null references.
+    pub fn is_null(self) -> bool {
+        matches!(self, ConstValue::Null(_) | ConstValue::NullArr)
+    }
+}
+
+impl fmt::Display for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstValue::Int(i) => write!(f, "{i}"),
+            ConstValue::Bool(b) => write!(f, "{b}"),
+            ConstValue::Null(c) => write!(f, "null {c}"),
+            ConstValue::NullArr => write!(f, "nullarr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_types_match() {
+        assert_eq!(ConstValue::Int(3).ty(), Type::Int);
+        assert_eq!(ConstValue::Bool(true).ty(), Type::Bool);
+        assert_eq!(ConstValue::Null(ClassId(2)).ty(), Type::Ref(ClassId(2)));
+        assert_eq!(ConstValue::NullArr.ty(), Type::Arr);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(ConstValue::Int(7).as_int(), Some(7));
+        assert_eq!(ConstValue::Bool(false).as_int(), None);
+        assert_eq!(ConstValue::Bool(true).as_bool(), Some(true));
+        assert!(ConstValue::Null(ClassId(0)).is_null());
+        assert!(ConstValue::NullArr.is_null());
+        assert!(!ConstValue::Int(0).is_null());
+    }
+
+    #[test]
+    fn reference_types() {
+        assert!(Type::Ref(ClassId(0)).is_reference());
+        assert!(Type::Arr.is_reference());
+        assert!(!Type::Int.is_reference());
+        assert!(Type::Void.is_void());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Ref(ClassId(1)).to_string(), "ref c1");
+        assert_eq!(ConstValue::Int(-4).to_string(), "-4");
+    }
+}

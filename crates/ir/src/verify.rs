@@ -1,0 +1,749 @@
+//! Graph well-formedness verification.
+//!
+//! The verifier checks structural invariants (edge bookkeeping, φ
+//! placement and arity, type correctness) and the SSA dominance property
+//! (every use is dominated by its definition). Every transformation in the
+//! workspace is validated against it in tests, and the DBDS optimization
+//! tier re-verifies graphs after each duplication in debug builds.
+
+use crate::ids::{BlockId, InstId};
+use crate::inst::{CmpOp, Inst, Terminator};
+use crate::types::{ConstValue, Type};
+use crate::Graph;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// The collection of problems found by [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyErrors {
+    /// Individual human-readable problem descriptions.
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for VerifyErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "graph verification failed ({} problems):",
+            self.problems.len()
+        )?;
+        for p in &self.problems {
+            writeln!(f, "  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for VerifyErrors {}
+
+/// Verifies `g`, returning all problems found.
+///
+/// # Errors
+///
+/// Returns a [`VerifyErrors`] describing every violated invariant. An `Ok`
+/// result means the graph is structurally sound, type-correct and in valid
+/// SSA form.
+pub fn verify(g: &Graph) -> Result<(), VerifyErrors> {
+    let mut v = Verifier {
+        g,
+        problems: Vec::new(),
+    };
+    v.check_edges();
+    v.check_blocks();
+    v.check_types();
+    v.check_dominance();
+    if v.problems.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyErrors {
+            problems: v.problems,
+        })
+    }
+}
+
+struct Verifier<'a> {
+    g: &'a Graph,
+    problems: Vec<String>,
+}
+
+impl Verifier<'_> {
+    fn err(&mut self, msg: String) {
+        self.problems.push(msg);
+    }
+
+    fn check_edges(&mut self) {
+        let g = self.g;
+        if !g.preds(g.entry()).is_empty() {
+            self.err(format!("entry {} has predecessors", g.entry()));
+        }
+        for b in g.blocks() {
+            let succs = g.succs(b);
+            if succs.len() == 2 && succs[0] == succs[1] {
+                self.err(format!("{b} branches to the same block twice"));
+            }
+            for s in &succs {
+                let n = g.preds(*s).iter().filter(|&&p| p == b).count();
+                if n != 1 {
+                    self.err(format!(
+                        "edge {b} -> {s}: successor records {n} matching pred entries, expected 1"
+                    ));
+                }
+            }
+            for &p in g.preds(b) {
+                if !g.succs(p).contains(&b) {
+                    self.err(format!(
+                        "{b} lists pred {p}, but {p} does not branch to {b}"
+                    ));
+                }
+            }
+            if let Terminator::Branch { prob_then, .. } = g.terminator(b) {
+                if !(0.0..=1.0).contains(prob_then) || prob_then.is_nan() {
+                    self.err(format!("{b}: branch probability {prob_then} outside [0,1]"));
+                }
+            }
+        }
+        // Reachable blocks must not have unreachable predecessors: the
+        // cleanup pass must disconnect dead code before verification.
+        let mut reachable = vec![false; g.block_count()];
+        for b in g.reachable_blocks() {
+            reachable[b.index()] = true;
+        }
+        for b in g.blocks().filter(|b| reachable[b.index()]) {
+            for &p in g.preds(b) {
+                if !reachable[p.index()] {
+                    self.err(format!("reachable {b} has unreachable predecessor {p}"));
+                }
+            }
+        }
+    }
+
+    fn check_blocks(&mut self) {
+        let g = self.g;
+        for b in g.blocks() {
+            let mut seen_non_phi = false;
+            for &i in g.block_insts(b) {
+                if g.block_of(i) != Some(b) {
+                    self.err(format!(
+                        "{i} listed in {b} but records block {:?}",
+                        g.block_of(i)
+                    ));
+                }
+                match g.inst(i) {
+                    Inst::Phi { inputs } => {
+                        if seen_non_phi {
+                            self.err(format!("{b}: phi {i} appears after non-phi instructions"));
+                        }
+                        if inputs.len() != g.preds(b).len() {
+                            self.err(format!(
+                                "{b}: phi {i} has {} inputs but the block has {} predecessors",
+                                inputs.len(),
+                                g.preds(b).len()
+                            ));
+                        }
+                        if g.preds(b).is_empty() {
+                            self.err(format!("{b}: phi {i} in a block without predecessors"));
+                        }
+                    }
+                    Inst::Param(idx) => {
+                        if b != g.entry() {
+                            self.err(format!("param {i} outside the entry block"));
+                        }
+                        if *idx as usize >= g.param_types().len() {
+                            self.err(format!("param {i} index {idx} out of range"));
+                        } else if g.ty(i) != g.param_types()[*idx as usize] {
+                            self.err(format!("param {i} type mismatch with signature"));
+                        }
+                        seen_non_phi = true;
+                    }
+                    _ => seen_non_phi = true,
+                }
+                let inst = g.inst(i);
+                inst.for_each_input(|input| {
+                    if input.index() >= g.inst_count() {
+                        self.problems
+                            .push(format!("{i} references out-of-range value {input}"));
+                    } else if g.block_of(input).is_none() {
+                        self.problems
+                            .push(format!("{i} in {b} uses removed instruction {input}"));
+                    }
+                });
+            }
+            g.terminator(b).for_each_input(|input| {
+                if g.block_of(input).is_none() {
+                    self.problems.push(format!(
+                        "terminator of {b} uses removed instruction {input}"
+                    ));
+                }
+            });
+        }
+    }
+
+    fn check_types(&mut self) {
+        let g = self.g;
+        let table = g.class_table().clone();
+        for b in g.blocks() {
+            for &i in g.block_insts(b) {
+                let ty = g.ty(i);
+                match g.inst(i) {
+                    Inst::Const(c) => {
+                        if c.ty() != ty {
+                            self.err(format!("{i}: constant {c} typed {ty}"));
+                        }
+                        if let ConstValue::Null(cl) = c {
+                            if !table.contains_class(*cl) {
+                                self.err(format!("{i}: null of unknown class {cl}"));
+                            }
+                        }
+                    }
+                    Inst::Param(_) => {}
+                    Inst::Binary { lhs, rhs, .. } => {
+                        self.expect(i, *lhs, Type::Int);
+                        self.expect(i, *rhs, Type::Int);
+                        if ty != Type::Int {
+                            self.err(format!("{i}: binary op typed {ty}"));
+                        }
+                    }
+                    Inst::Compare { op, lhs, rhs } => {
+                        let lt = g.ty(*lhs);
+                        let rt = g.ty(*rhs);
+                        let ordered = matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge);
+                        if ordered && (lt != Type::Int || rt != Type::Int) {
+                            self.err(format!("{i}: ordered comparison of {lt} and {rt}"));
+                        }
+                        if !ordered && !Self::comparable(lt, rt) {
+                            self.err(format!("{i}: equality comparison of {lt} and {rt}"));
+                        }
+                        if ty != Type::Bool {
+                            self.err(format!("{i}: comparison typed {ty}"));
+                        }
+                    }
+                    Inst::Not(x) => {
+                        self.expect(i, *x, Type::Bool);
+                        if ty != Type::Bool {
+                            self.err(format!("{i}: not typed {ty}"));
+                        }
+                    }
+                    Inst::Neg(x) => {
+                        self.expect(i, *x, Type::Int);
+                        if ty != Type::Int {
+                            self.err(format!("{i}: neg typed {ty}"));
+                        }
+                    }
+                    Inst::Phi { inputs } => {
+                        for &input in inputs {
+                            if g.ty(input) != ty {
+                                self.err(format!(
+                                    "{i}: phi typed {ty} has input {input} of type {}",
+                                    g.ty(input)
+                                ));
+                            }
+                        }
+                    }
+                    Inst::New { class } => {
+                        if !table.contains_class(*class) {
+                            self.err(format!("{i}: new of unknown class {class}"));
+                        } else if ty != Type::Ref(*class) {
+                            self.err(format!("{i}: new {class} typed {ty}"));
+                        }
+                    }
+                    Inst::LoadField { object, field } => {
+                        self.check_receiver(i, *object, *field);
+                        if table.contains_field(*field) && ty != table.field(*field).ty {
+                            self.err(format!("{i}: load of {field} typed {ty}"));
+                        }
+                    }
+                    Inst::StoreField {
+                        object,
+                        field,
+                        value,
+                    } => {
+                        self.check_receiver(i, *object, *field);
+                        if table.contains_field(*field) && g.ty(*value) != table.field(*field).ty {
+                            self.err(format!("{i}: store of {} into {field}", g.ty(*value)));
+                        }
+                        if ty != Type::Void {
+                            self.err(format!("{i}: store typed {ty}"));
+                        }
+                    }
+                    Inst::InstanceOf { object, class } => {
+                        if !matches!(g.ty(*object), Type::Ref(_)) {
+                            self.err(format!("{i}: instanceof on {}", g.ty(*object)));
+                        }
+                        if !table.contains_class(*class) {
+                            self.err(format!("{i}: instanceof unknown class {class}"));
+                        }
+                        if ty != Type::Bool {
+                            self.err(format!("{i}: instanceof typed {ty}"));
+                        }
+                    }
+                    Inst::NewArray { length } => {
+                        self.expect(i, *length, Type::Int);
+                        if ty != Type::Arr {
+                            self.err(format!("{i}: newarray typed {ty}"));
+                        }
+                    }
+                    Inst::ArrayLoad { array, index } => {
+                        self.expect(i, *array, Type::Arr);
+                        self.expect(i, *index, Type::Int);
+                        if ty != Type::Int {
+                            self.err(format!("{i}: aload typed {ty}"));
+                        }
+                    }
+                    Inst::ArrayStore {
+                        array,
+                        index,
+                        value,
+                    } => {
+                        self.expect(i, *array, Type::Arr);
+                        self.expect(i, *index, Type::Int);
+                        self.expect(i, *value, Type::Int);
+                        if ty != Type::Void {
+                            self.err(format!("{i}: astore typed {ty}"));
+                        }
+                    }
+                    Inst::ArrayLength(a) => {
+                        self.expect(i, *a, Type::Arr);
+                        if ty != Type::Int {
+                            self.err(format!("{i}: alength typed {ty}"));
+                        }
+                    }
+                    Inst::Invoke { args } => {
+                        for &a in args {
+                            if g.ty(a) == Type::Void {
+                                self.err(format!("{i}: invoke passes void value {a}"));
+                            }
+                        }
+                        if ty != Type::Int {
+                            self.err(format!("{i}: invoke typed {ty}"));
+                        }
+                    }
+                }
+            }
+            if let Terminator::Branch { cond, .. } = g.terminator(b) {
+                if g.ty(*cond) != Type::Bool {
+                    self.err(format!("terminator of {b}: branch on {}", g.ty(*cond)));
+                }
+            }
+        }
+    }
+
+    fn comparable(a: Type, b: Type) -> bool {
+        matches!(
+            (a, b),
+            (Type::Int, Type::Int)
+                | (Type::Bool, Type::Bool)
+                | (Type::Arr, Type::Arr)
+                | (Type::Ref(_), Type::Ref(_))
+        )
+    }
+
+    fn check_receiver(&mut self, at: InstId, object: InstId, field: crate::ids::FieldId) {
+        let g = self.g;
+        let table = g.class_table();
+        if !table.contains_field(field) {
+            self.err(format!("{at}: unknown field {field}"));
+            return;
+        }
+        match g.ty(object) {
+            Type::Ref(c) => {
+                if !table.field_belongs_to(field, c) {
+                    self.err(format!("{at}: field {field} does not belong to class {c}"));
+                }
+            }
+            other => self.err(format!("{at}: field access on {other}")),
+        }
+    }
+
+    fn expect(&mut self, at: InstId, v: InstId, ty: Type) {
+        let actual = self.g.ty(v);
+        if actual != ty {
+            self.err(format!(
+                "{at}: operand {v} has type {actual}, expected {ty}"
+            ));
+        }
+    }
+
+    fn check_dominance(&mut self) {
+        let g = self.g;
+        let dom = SimpleDomTree::compute(g);
+        // Position of each instruction within its block for same-block checks.
+        let mut pos: HashMap<InstId, usize> = HashMap::new();
+        for b in g.blocks() {
+            for (k, &i) in g.block_insts(b).iter().enumerate() {
+                pos.insert(i, k);
+            }
+        }
+        for &b in &dom.rpo {
+            for (k, &i) in g.block_insts(b).iter().enumerate() {
+                match g.inst(i) {
+                    Inst::Phi { inputs } => {
+                        let preds = g.preds(b).to_vec();
+                        for (input, &pred) in inputs.iter().zip(preds.iter()) {
+                            if !self.value_available_at_end(&dom, &pos, *input, pred) {
+                                self.err(format!(
+                                    "{i} in {b}: phi input {input} does not dominate predecessor {pred}"
+                                ));
+                            }
+                        }
+                    }
+                    inst => {
+                        let mut bad = Vec::new();
+                        inst.for_each_input(|input| {
+                            if !self.value_dominates_use(&dom, &pos, input, b, k) {
+                                bad.push(input);
+                            }
+                        });
+                        for input in bad {
+                            self.err(format!(
+                                "{i} in {b}: use of {input} not dominated by its definition"
+                            ));
+                        }
+                    }
+                }
+            }
+            let term = g.terminator(b);
+            let end = g.block_insts(b).len();
+            let mut bad = Vec::new();
+            term.for_each_input(|input| {
+                if !self.value_dominates_use(&dom, &pos, input, b, end) {
+                    bad.push(input);
+                }
+            });
+            for input in bad {
+                self.err(format!(
+                    "terminator of {b}: use of {input} not dominated by its definition"
+                ));
+            }
+        }
+    }
+
+    /// True if `v` is defined by the end of block `b` on every path (i.e.
+    /// `v`'s block dominates `b`).
+    fn value_available_at_end(
+        &self,
+        dom: &SimpleDomTree,
+        _pos: &HashMap<InstId, usize>,
+        v: InstId,
+        b: BlockId,
+    ) -> bool {
+        match self.g.block_of(v) {
+            Some(db) => dom.dominates(db, b),
+            None => false,
+        }
+    }
+
+    /// True if the definition of `v` strictly precedes a use at position
+    /// `use_pos` of block `b`.
+    fn value_dominates_use(
+        &self,
+        dom: &SimpleDomTree,
+        pos: &HashMap<InstId, usize>,
+        v: InstId,
+        b: BlockId,
+        use_pos: usize,
+    ) -> bool {
+        match self.g.block_of(v) {
+            Some(db) if db == b => pos.get(&v).is_some_and(|&p| p < use_pos),
+            Some(db) => dom.dominates(db, b),
+            None => false,
+        }
+    }
+}
+
+/// A minimal dominator tree used only by the verifier. The full-featured
+/// analysis (queries, children, traversal) lives in `dbds-analysis`; this
+/// one avoids a dependency cycle.
+struct SimpleDomTree {
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+    rpo: Vec<BlockId>,
+}
+
+impl SimpleDomTree {
+    fn compute(g: &Graph) -> Self {
+        // Reverse postorder over reachable blocks.
+        let n = g.block_count();
+        let mut visited = vec![false; n];
+        let mut post: Vec<BlockId> = Vec::new();
+        // Iterative DFS computing postorder.
+        let mut stack: Vec<(BlockId, usize)> = vec![(g.entry(), 0)];
+        visited[g.entry().index()] = true;
+        while let Some(&mut (b, ref mut child)) = stack.last_mut() {
+            let succs = g.succs(b);
+            if *child < succs.len() {
+                let s = succs[*child];
+                *child += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        // Cooper–Harvey–Kennedy iteration.
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[g.entry().index()] = Some(g.entry());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in g.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        SimpleDomTree {
+            idom,
+            rpo_index,
+            rpo,
+        }
+    }
+
+    fn intersect(idom: &[Option<BlockId>], rpo_index: &[usize], a: BlockId, b: BlockId) -> BlockId {
+        let (mut a, mut b) = (a, b);
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].expect("processed block has idom");
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].expect("processed block has idom");
+            }
+        }
+        a
+    }
+
+    /// Does `a` dominate `b`? Blocks unreachable from entry dominate
+    /// nothing and are dominated by nothing.
+    fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[a.index()] == usize::MAX || self.rpo_index[b.index()] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::classes::ClassTable;
+    use crate::inst::BinOp;
+    use std::sync::Arc;
+
+    fn empty_table() -> Arc<ClassTable> {
+        Arc::new(ClassTable::new())
+    }
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new("d", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, zero], Type::Int);
+        b.ret(Some(phi));
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_well_formed_diamond() {
+        verify(&diamond()).unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        let mut g = Graph::new("u", &[], empty_table());
+        let e = g.entry();
+        // add uses a value defined after it.
+        let c1 = g.append_inst(e, Inst::Const(ConstValue::Int(1)), Type::Int);
+        let add = g.append_inst(
+            e,
+            Inst::Binary {
+                op: BinOp::Add,
+                lhs: c1,
+                rhs: InstId(2), // the const created below
+            },
+            Type::Int,
+        );
+        let _c2 = g.append_inst(e, Inst::Const(ConstValue::Int(2)), Type::Int);
+        g.set_terminator(e, Terminator::Return { value: Some(add) });
+        let errs = verify(&g).unwrap_err();
+        assert!(
+            errs.problems.iter().any(|p| p.contains("not dominated")),
+            "{errs}"
+        );
+    }
+
+    #[test]
+    fn rejects_cross_branch_use() {
+        let mut b = GraphBuilder::new("x", &[Type::Bool], empty_table());
+        let c = b.param(0);
+        let (bt, bf) = (b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        let one = b.iconst(1);
+        b.ret(Some(one));
+        b.switch_to(bf);
+        b.ret(Some(one)); // uses a value from the sibling branch
+        let g = b.finish();
+        let errs = verify(&g).unwrap_err();
+        assert!(errs.problems.iter().any(|p| p.contains("not dominated")));
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        let mut g = Graph::new("t", &[Type::Bool], empty_table());
+        let e = g.entry();
+        let p = g.param_values()[0];
+        // add of booleans
+        let bad = g.append_inst(
+            e,
+            Inst::Binary {
+                op: BinOp::Add,
+                lhs: p,
+                rhs: p,
+            },
+            Type::Int,
+        );
+        g.set_terminator(e, Terminator::Return { value: Some(bad) });
+        let errs = verify(&g).unwrap_err();
+        assert!(errs.problems.iter().any(|p| p.contains("expected int")));
+    }
+
+    #[test]
+    fn rejects_phi_input_not_dominating_pred() {
+        let mut b = GraphBuilder::new("pd", &[Type::Bool], empty_table());
+        let c = b.param(0);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        let one = b.iconst(1);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        // Second input (from bf) uses the value defined in bt.
+        let phi = b.phi(vec![one, one], Type::Int);
+        b.ret(Some(phi));
+        let g = b.finish();
+        let errs = verify(&g).unwrap_err();
+        assert!(errs
+            .problems
+            .iter()
+            .any(|p| p.contains("does not dominate predecessor")));
+    }
+
+    #[test]
+    fn rejects_field_access_on_wrong_class() {
+        let mut t = ClassTable::new();
+        let a = t.add_class("A");
+        let b_cl = t.add_class("B");
+        let fa = t.add_field(a, "x", Type::Int);
+        let _fb = t.add_field(b_cl, "y", Type::Int);
+        let mut b = GraphBuilder::new("fa", &[], Arc::new(t));
+        let obj = b.new_object(b_cl);
+        let bad = b.load(obj, fa);
+        b.ret(Some(bad));
+        let g = b.finish();
+        let errs = verify(&g).unwrap_err();
+        assert!(errs.problems.iter().any(|p| p.contains("does not belong")));
+    }
+
+    #[test]
+    fn rejects_use_of_removed_instruction() {
+        let mut g = diamond();
+        // Find the compare and detach its constant operand.
+        let entry = g.entry();
+        let zero = g.block_insts(entry)[1];
+        assert!(matches!(g.inst(zero), Inst::Const(_)));
+        g.remove_inst(zero);
+        let errs = verify(&g).unwrap_err();
+        assert!(errs
+            .problems
+            .iter()
+            .any(|p| p.contains("removed instruction")));
+    }
+
+    #[test]
+    fn loop_with_back_edge_phi_verifies() {
+        let mut b = GraphBuilder::new("loop", &[Type::Int], empty_table());
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        let one = b.iconst(1);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi(vec![zero, zero], Type::Int);
+        let cond = b.cmp(CmpOp::Lt, i, n);
+        b.branch(cond, body, exit, 0.9);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut g = b.finish();
+        let inc = g.append_inst(
+            body,
+            Inst::Binary {
+                op: BinOp::Add,
+                lhs: i,
+                rhs: one,
+            },
+            Type::Int,
+        );
+        if let Inst::Phi { inputs } = g.inst_mut(i) {
+            inputs[1] = inc;
+        }
+        verify(&g).unwrap();
+    }
+
+    #[test]
+    fn display_of_errors_lists_problems() {
+        let mut g = Graph::new("e", &[], empty_table());
+        let e = g.entry();
+        let c = g.append_inst(e, Inst::Const(ConstValue::Bool(true)), Type::Bool);
+        let bad = g.append_inst(e, Inst::Neg(c), Type::Int);
+        g.set_terminator(e, Terminator::Return { value: Some(bad) });
+        let errs = verify(&g).unwrap_err();
+        let text = errs.to_string();
+        assert!(text.contains("verification failed"));
+        assert!(text.contains("expected int"));
+    }
+}

@@ -1,0 +1,438 @@
+//! The fact environment shared by real and simulated optimization.
+//!
+//! §4.1 of the paper introduces *synonym maps* ("a synonym map maps a φ
+//! node to its input on the respective DST predecessor") and runs
+//! applicability checks against them so that no IR needs to be copied
+//! during simulation. [`FactEnv`] generalizes this: it carries
+//!
+//! - **synonyms** — value ⇒ equivalent constant or other value,
+//! - **stamps** — condition-refined value knowledge (see
+//!   [`dbds_analysis::Stamp`]),
+//! - a **field cache** — the last known value of `object.field`, for read
+//!   elimination,
+//! - **virtual objects** — allocations whose fields are tracked
+//!   symbolically, for partial-escape-analysis-style reasoning.
+//!
+//! The same environment type drives the DBDS simulation tier (facts only,
+//! no mutation) and the canonicalization pass (facts plus graph rewrites).
+
+use dbds_analysis::{refine_by_cmp, refine_by_instanceof, Stamp};
+use dbds_ir::{ClassId, ConstValue, FieldId, Graph, Inst, InstId, Type};
+use std::collections::HashMap;
+
+/// What a value is known to be equivalent to.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Synonym {
+    /// Equivalent to another SSA value.
+    Value(InstId),
+    /// Equivalent to a constant.
+    Const(ConstValue),
+}
+
+/// A fully resolved value: the representative SSA id after following the
+/// synonym chain, plus the constant it is pinned to, if any.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Resolved {
+    /// Representative value id.
+    pub id: InstId,
+    /// Known constant value, if pinned.
+    pub konst: Option<ConstValue>,
+}
+
+/// A virtual (not yet materialized) object tracked by PEA-style reasoning.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VirtualObject {
+    /// The allocated class.
+    pub class: ClassId,
+    /// Known field contents. Missing fields hold their default value.
+    pub fields: HashMap<FieldId, Synonym>,
+}
+
+/// The set of facts valid at one program point.
+#[derive(Clone, Default, Debug)]
+pub struct FactEnv {
+    synonyms: HashMap<InstId, Synonym>,
+    stamps: HashMap<InstId, Stamp>,
+    field_cache: HashMap<(InstId, FieldId), Synonym>,
+    virtuals: HashMap<InstId, VirtualObject>,
+}
+
+impl FactEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones only the flow-insensitive facts: synonyms and stamps carry
+    /// over to any dominated block, while the field cache and virtual
+    /// objects (memory state) are only valid along straight-line paths and
+    /// are dropped.
+    pub fn clone_pure(&self) -> Self {
+        FactEnv {
+            synonyms: self.synonyms.clone(),
+            stamps: self.stamps.clone(),
+            field_cache: HashMap::new(),
+            virtuals: HashMap::new(),
+        }
+    }
+
+    /// Registers that `v` is equivalent to `syn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is made a synonym of itself.
+    pub fn set_synonym(&mut self, v: InstId, syn: Synonym) {
+        if let Synonym::Value(w) = syn {
+            assert_ne!(v, w, "value cannot be its own synonym");
+        }
+        self.synonyms.insert(v, syn);
+    }
+
+    /// Follows the synonym chain of `v` to its representative and constant.
+    pub fn resolve(&self, v: InstId) -> Resolved {
+        let mut cur = v;
+        // Chains are short; the bound guards against accidental cycles.
+        for _ in 0..64 {
+            match self.synonyms.get(&cur) {
+                Some(Synonym::Const(c)) => {
+                    return Resolved {
+                        id: cur,
+                        konst: Some(*c),
+                    }
+                }
+                Some(Synonym::Value(w)) => cur = *w,
+                None => break,
+            }
+        }
+        Resolved {
+            id: cur,
+            konst: None,
+        }
+    }
+
+    /// Like [`FactEnv::resolve`], but additionally recognizes values whose
+    /// defining instruction is an [`Inst::Const`] in the graph itself.
+    pub fn resolve_full(&self, g: &Graph, v: InstId) -> Resolved {
+        let r = self.resolve(v);
+        if r.konst.is_none() {
+            if let Inst::Const(c) = g.inst(r.id) {
+                return Resolved {
+                    id: r.id,
+                    konst: Some(*c),
+                };
+            }
+        }
+        r
+    }
+
+    /// The stamp of `v` under the current facts. Constants get constant
+    /// stamps; otherwise refined knowledge recorded for the representative
+    /// is returned, falling back to the instruction's local stamp.
+    pub fn stamp_of(&self, g: &Graph, v: InstId) -> Stamp {
+        let r = self.resolve(v);
+        if let Some(c) = r.konst {
+            return Stamp::of_const(c);
+        }
+        if let Some(s) = self.stamps.get(&r.id) {
+            return s.clone();
+        }
+        // Virtual objects are known non-null with exact class.
+        if let Some(vo) = self.virtuals.get(&r.id) {
+            return Stamp::Obj(dbds_analysis::RefStamp::exact(vo.class));
+        }
+        dbds_analysis::initial_stamp(g, r.id)
+    }
+
+    /// Replaces the recorded stamp of the representative of `v`.
+    pub fn set_stamp(&mut self, v: InstId, stamp: Stamp) {
+        let r = self.resolve(v);
+        self.stamps.insert(r.id, stamp);
+    }
+
+    /// The cached value of `object.field`, if a previous load/store pinned
+    /// it down.
+    pub fn cached_field(&self, object: InstId, field: FieldId) -> Option<Synonym> {
+        let base = self.resolve(object).id;
+        self.field_cache.get(&(base, field)).copied()
+    }
+
+    /// Records `object.field == value`.
+    pub fn cache_field(&mut self, object: InstId, field: FieldId, value: Synonym) {
+        let base = self.resolve(object).id;
+        self.field_cache.insert((base, field), value);
+    }
+
+    /// Invalidates cache entries that a store to `object.field` may alias:
+    /// every entry for `field` with a *different* base object (same-base
+    /// entries are overwritten by the caller).
+    pub fn kill_field_aliases(&mut self, object: InstId, field: FieldId) {
+        let base = self.resolve(object).id;
+        self.field_cache
+            .retain(|&(b, f), _| f != field || b == base);
+    }
+
+    /// Invalidates the entire field cache (used at opaque calls).
+    pub fn kill_all_fields(&mut self) {
+        self.field_cache.clear();
+    }
+
+    /// Begins tracking `alloc` (an [`Inst::New`] value) as a virtual
+    /// object of class `class`.
+    pub fn add_virtual(&mut self, alloc: InstId, class: ClassId) {
+        self.virtuals.insert(
+            alloc,
+            VirtualObject {
+                class,
+                fields: HashMap::new(),
+            },
+        );
+    }
+
+    /// The virtual object backing `v`, if any.
+    pub fn virtual_of(&self, v: InstId) -> Option<&VirtualObject> {
+        let base = self.resolve(v).id;
+        self.virtuals.get(&base)
+    }
+
+    /// Reads a virtual field; defaults to the field type's zero value.
+    pub fn read_virtual_field(&self, g: &Graph, object: InstId, field: FieldId) -> Option<Synonym> {
+        let base = self.resolve(object).id;
+        let vo = self.virtuals.get(&base)?;
+        Some(match vo.fields.get(&field) {
+            Some(s) => *s,
+            None => Synonym::Const(default_const(g, field)),
+        })
+    }
+
+    /// Writes a virtual field. Returns `false` when `object` is not
+    /// virtual.
+    pub fn write_virtual_field(&mut self, object: InstId, field: FieldId, value: Synonym) -> bool {
+        let base = self.resolve(object).id;
+        match self.virtuals.get_mut(&base) {
+            Some(vo) => {
+                vo.fields.insert(field, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops tracking `v` as virtual (the object escaped).
+    pub fn materialize(&mut self, v: InstId) {
+        let base = self.resolve(v).id;
+        self.virtuals.remove(&base);
+    }
+
+    /// Applies the knowledge that branch condition `cond` evaluated to
+    /// `truth`. Returns `false` when the combination is infeasible (the
+    /// guarded path cannot execute).
+    pub fn assume_condition(&mut self, g: &Graph, cond: InstId, truth: bool) -> bool {
+        let r = self.resolve_full(g, cond);
+        if let Some(c) = r.konst {
+            return c.as_bool() == Some(truth);
+        }
+        // The condition itself is now a known boolean.
+        self.set_stamp(cond, Stamp::Bool(Some(truth)));
+        match g.inst(r.id).clone() {
+            Inst::Compare { op, lhs, rhs } => {
+                let ls = self.stamp_of(g, lhs);
+                let rs = self.stamp_of(g, rhs);
+                match refine_by_cmp(op, truth, &ls, &rs) {
+                    Some((l2, r2)) => {
+                        self.set_stamp(lhs, l2);
+                        self.set_stamp(rhs, r2);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Inst::InstanceOf { object, class } => {
+                let s = self.stamp_of(g, object);
+                match s {
+                    Stamp::Obj(ref os) => match refine_by_instanceof(os, class, truth) {
+                        Some(refined) => {
+                            self.set_stamp(object, Stamp::Obj(refined));
+                            true
+                        }
+                        None => false,
+                    },
+                    _ => true,
+                }
+            }
+            Inst::Not(x) => self.assume_condition(g, x, !truth),
+            _ => true,
+        }
+    }
+}
+
+/// The default (zero) constant of `field`'s type.
+fn default_const(g: &Graph, field: FieldId) -> ConstValue {
+    match g.class_table().field(field).ty {
+        Type::Int => ConstValue::Int(0),
+        Type::Bool => ConstValue::Bool(false),
+        Type::Ref(c) => ConstValue::Null(c),
+        Type::Arr => ConstValue::NullArr,
+        Type::Void => unreachable!("fields cannot be void"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbds_analysis::{IntRange, Nullness};
+    use dbds_ir::{ClassTable, CmpOp, GraphBuilder};
+    use std::sync::Arc;
+
+    fn int_graph() -> (Graph, InstId, InstId, InstId) {
+        let mut b = GraphBuilder::new("g", &[Type::Int, Type::Int], Arc::new(ClassTable::new()));
+        let x = b.param(0);
+        let y = b.param(1);
+        let c = b.cmp(CmpOp::Lt, x, y);
+        b.ret(None);
+        (b.finish(), x, y, c)
+    }
+
+    #[test]
+    fn synonym_chains_resolve() {
+        let (_, x, y, c) = int_graph();
+        let mut env = FactEnv::new();
+        env.set_synonym(c, Synonym::Value(y));
+        env.set_synonym(y, Synonym::Const(ConstValue::Int(3)));
+        let r = env.resolve(c);
+        assert_eq!(r.konst, Some(ConstValue::Int(3)));
+        assert_eq!(env.resolve(x).konst, None);
+        assert_eq!(env.resolve(x).id, x);
+    }
+
+    #[test]
+    fn stamps_follow_synonyms() {
+        let (g, x, y, _) = int_graph();
+        let mut env = FactEnv::new();
+        env.set_synonym(x, Synonym::Value(y));
+        env.set_stamp(y, Stamp::Int(IntRange::new(0, 5)));
+        assert_eq!(env.stamp_of(&g, x), Stamp::Int(IntRange::new(0, 5)));
+    }
+
+    #[test]
+    fn assume_cmp_refines_both_sides() {
+        let (g, x, y, c) = int_graph();
+        let mut env = FactEnv::new();
+        env.set_synonym(y, Synonym::Const(ConstValue::Int(10)));
+        assert!(env.assume_condition(&g, c, true)); // x < 10
+        match env.stamp_of(&g, x) {
+            Stamp::Int(r) => assert_eq!(r.hi, 9),
+            s => panic!("unexpected stamp {s:?}"),
+        }
+        assert_eq!(env.stamp_of(&g, c), Stamp::Bool(Some(true)));
+    }
+
+    #[test]
+    fn assume_not_negates() {
+        let (g, x, _y, c) = int_graph();
+        let mut gg = g.clone();
+        let entry = gg.entry();
+        let not = gg.append_inst(entry, Inst::Not(c), Type::Bool);
+        let mut env = FactEnv::new();
+        // not(x < y) true  ⇒  x >= y.
+        assert!(env.assume_condition(&gg, not, true));
+        assert_eq!(env.stamp_of(&gg, c), Stamp::Bool(Some(false)));
+        let _ = x;
+    }
+
+    #[test]
+    fn infeasible_assumption_detected() {
+        let (g, x, y, c) = int_graph();
+        let mut env = FactEnv::new();
+        env.set_synonym(x, Synonym::Const(ConstValue::Int(20)));
+        env.set_synonym(y, Synonym::Const(ConstValue::Int(10)));
+        // 20 < 10 cannot be true.
+        assert!(!env.assume_condition(&g, c, true));
+    }
+
+    #[test]
+    fn field_cache_with_alias_kill() {
+        let mut t = ClassTable::new();
+        let a = t.add_class("A");
+        let fx = t.add_field(a, "x", Type::Int);
+        let fy = t.add_field(a, "y", Type::Int);
+        let mut b = GraphBuilder::new("f", &[Type::Ref(a), Type::Ref(a)], Arc::new(t));
+        let o1 = b.param(0);
+        let o2 = b.param(1);
+        b.ret(None);
+        let g = b.finish();
+        let _ = g;
+        let mut env = FactEnv::new();
+        env.cache_field(o1, fx, Synonym::Const(ConstValue::Int(1)));
+        env.cache_field(o2, fx, Synonym::Const(ConstValue::Int(2)));
+        env.cache_field(o1, fy, Synonym::Const(ConstValue::Int(3)));
+        // A store to o2.x may alias o1.x (different base) but not o1.y.
+        env.kill_field_aliases(o2, fx);
+        assert_eq!(env.cached_field(o1, fx), None);
+        assert_eq!(
+            env.cached_field(o2, fx),
+            Some(Synonym::Const(ConstValue::Int(2)))
+        );
+        assert_eq!(
+            env.cached_field(o1, fy),
+            Some(Synonym::Const(ConstValue::Int(3)))
+        );
+        env.kill_all_fields();
+        assert_eq!(env.cached_field(o2, fx), None);
+    }
+
+    #[test]
+    fn virtual_objects_track_fields() {
+        let mut t = ClassTable::new();
+        let a = t.add_class("A");
+        let fx = t.add_field(a, "x", Type::Int);
+        let table = Arc::new(t);
+        let mut b = GraphBuilder::new("v", &[], table);
+        let alloc = b.new_object(a);
+        b.ret(None);
+        let g = b.finish();
+        let mut env = FactEnv::new();
+        env.add_virtual(alloc, a);
+        // Default field value is the typed zero.
+        assert_eq!(
+            env.read_virtual_field(&g, alloc, fx),
+            Some(Synonym::Const(ConstValue::Int(0)))
+        );
+        assert!(env.write_virtual_field(alloc, fx, Synonym::Const(ConstValue::Int(7))));
+        assert_eq!(
+            env.read_virtual_field(&g, alloc, fx),
+            Some(Synonym::Const(ConstValue::Int(7)))
+        );
+        // Virtual objects are non-null with exact class.
+        match env.stamp_of(&g, alloc) {
+            Stamp::Obj(s) => {
+                assert_eq!(s.nullness, Nullness::NonNull);
+                assert_eq!(s.exact_class, Some(a));
+            }
+            s => panic!("unexpected stamp {s:?}"),
+        }
+        env.materialize(alloc);
+        assert_eq!(env.read_virtual_field(&g, alloc, fx), None);
+        assert!(!env.write_virtual_field(alloc, fx, Synonym::Const(ConstValue::Int(9))));
+    }
+
+    #[test]
+    fn instanceof_assumption_refines() {
+        let mut t = ClassTable::new();
+        let a = t.add_class("A");
+        let table = Arc::new(t);
+        let mut b = GraphBuilder::new("i", &[Type::Ref(a)], table);
+        let o = b.param(0);
+        let test = b.instance_of(o, a);
+        b.ret(None);
+        let g = b.finish();
+        let mut env = FactEnv::new();
+        assert!(env.assume_condition(&g, test, true));
+        match env.stamp_of(&g, o) {
+            Stamp::Obj(s) => {
+                assert_eq!(s.nullness, Nullness::NonNull);
+                assert_eq!(s.exact_class, Some(a));
+            }
+            s => panic!("unexpected stamp {s:?}"),
+        }
+    }
+}

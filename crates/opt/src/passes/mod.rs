@@ -1,0 +1,8 @@
+//! Mutating optimization passes built on the AC/action-step framework.
+
+pub mod canonicalize;
+pub mod dce;
+pub mod gvn;
+pub mod pipeline;
+pub mod scalar_replace;
+pub mod simplify;

@@ -1,0 +1,178 @@
+//! Control-flow simplification: degenerate φs and straight-line block
+//! chains left behind by branch folding and duplication.
+
+use dbds_ir::{Graph, Inst, InstId, Terminator};
+
+/// Replaces φs in single-predecessor blocks with their only input.
+/// Returns `true` when anything changed.
+pub fn remove_single_input_phis(g: &mut Graph) -> bool {
+    let mut changed = false;
+    for b in g.blocks().collect::<Vec<_>>() {
+        if g.preds(b).len() != 1 {
+            continue;
+        }
+        let phis: Vec<InstId> = g.phis(b).to_vec();
+        for phi in phis {
+            let input = match g.inst(phi) {
+                Inst::Phi { inputs } => inputs[0],
+                _ => unreachable!(),
+            };
+            g.replace_all_uses(phi, input);
+            g.remove_inst(phi);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Merges blocks connected by a unique jump edge: when `b` ends in
+/// `jump s`, `s`'s only predecessor is `b`, and `s` has no φs, `s` is
+/// folded into `b`. Returns `true` when anything changed.
+pub fn merge_straightline_blocks(g: &mut Graph) -> bool {
+    let mut changed = false;
+    loop {
+        let mut merged = false;
+        for b in g.blocks().collect::<Vec<_>>() {
+            let target = match g.terminator(b) {
+                Terminator::Jump { target } => *target,
+                _ => continue,
+            };
+            if target == b || target == g.entry() {
+                continue;
+            }
+            if g.preds(target) != [b] || !g.phis(target).is_empty() {
+                continue;
+            }
+            g.merge_block_into_pred(target, b);
+            merged = true;
+            changed = true;
+        }
+        if !merged {
+            break;
+        }
+    }
+    changed
+}
+
+/// Runs both simplifications to a fixpoint.
+pub fn simplify_cfg(g: &mut Graph) -> bool {
+    let mut changed = false;
+    loop {
+        let a = remove_single_input_phis(g);
+        let b = merge_straightline_blocks(g);
+        if !(a || b) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbds_ir::{execute, verify, ClassTable, GraphBuilder, Type, Value};
+    use std::sync::Arc;
+
+    fn empty_table() -> Arc<ClassTable> {
+        Arc::new(ClassTable::new())
+    }
+
+    #[test]
+    fn single_input_phi_is_replaced() {
+        let mut b = GraphBuilder::new("p1", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let b1 = b.new_block();
+        b.jump(b1);
+        b.switch_to(b1);
+        b.ret(None);
+        let mut g = b.finish();
+        // Manually create a single-input phi in b1.
+        let phi = g.append_phi(b1, vec![x], Type::Int);
+        g.set_terminator(b1, Terminator::Return { value: Some(phi) });
+        assert!(remove_single_input_phis(&mut g));
+        verify(&g).unwrap();
+        assert!(matches!(
+            g.terminator(b1),
+            Terminator::Return { value: Some(v) } if *v == x
+        ));
+    }
+
+    #[test]
+    fn chains_collapse_into_one_block() {
+        let mut b = GraphBuilder::new("ch", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let (b1, b2, b3) = (b.new_block(), b.new_block(), b.new_block());
+        let one = b.iconst(1);
+        b.jump(b1);
+        b.switch_to(b1);
+        let a1 = b.add(x, one);
+        b.jump(b2);
+        b.switch_to(b2);
+        let a2 = b.add(a1, one);
+        b.jump(b3);
+        b.switch_to(b3);
+        let a3 = b.add(a2, one);
+        b.ret(Some(a3));
+        let mut g = b.finish();
+        assert!(merge_straightline_blocks(&mut g));
+        verify(&g).unwrap();
+        assert_eq!(g.reachable_blocks().len(), 1);
+        assert_eq!(execute(&g, &[Value::Int(0)]).outcome, Ok(Value::Int(3)));
+    }
+
+    #[test]
+    fn merge_respects_multiple_preds() {
+        // A real merge block must not be folded into one predecessor.
+        let mut b = GraphBuilder::new("m", &[Type::Bool], empty_table());
+        let c = b.param(0);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        b.ret(None);
+        let mut g = b.finish();
+        assert!(!simplify_cfg(&mut g));
+        assert_eq!(g.reachable_blocks().len(), 4);
+    }
+
+    #[test]
+    fn self_loop_is_not_merged() {
+        let mut b = GraphBuilder::new("s", &[], empty_table());
+        let b1 = b.new_block();
+        b.jump(b1);
+        b.switch_to(b1);
+        b.jump(b1);
+        let mut g = b.finish();
+        // b1 jumps to itself; entry jumps to b1 but b1 has 2 preds.
+        assert!(!merge_straightline_blocks(&mut g));
+    }
+
+    #[test]
+    fn fold_then_simplify_leaves_minimal_graph() {
+        // After branch folding a diamond degenerates to a chain.
+        let mut b = GraphBuilder::new("fs", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        let t = b.bconst(true);
+        b.branch(t, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let zero = b.iconst(0);
+        let phi = b.phi(vec![x, zero], Type::Int);
+        b.ret(Some(phi));
+        let mut g = b.finish();
+        g.fold_branch(g.entry(), true);
+        super::super::dce::remove_unreachable_blocks(&mut g);
+        assert!(simplify_cfg(&mut g));
+        verify(&g).unwrap();
+        assert_eq!(g.reachable_blocks().len(), 1);
+        assert_eq!(execute(&g, &[Value::Int(9)]).outcome, Ok(Value::Int(9)));
+    }
+}

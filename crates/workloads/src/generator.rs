@@ -1,0 +1,202 @@
+//! The seeded workload generator.
+//!
+//! A [`Profile`] describes the *character* of a suite — how many fragments
+//! a compilation unit chains and how likely each [`FragmentKind`] is. The
+//! generator expands a profile into a concrete [`dbds_ir::Graph`]
+//! deterministically from a seed, so every run of the harness (and every
+//! benchmark iteration) sees identical workloads.
+
+use crate::fragments::{emit, FragmentCtx, FragmentKind, SharedState};
+use dbds_ir::{ClassTable, Graph, GraphBuilder, Type, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The shape parameters of one suite.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Fragment count range (inclusive min, exclusive max).
+    pub fragments: (usize, usize),
+    /// Relative weight per fragment kind; zero removes the kind.
+    pub weights: Vec<(FragmentKind, f64)>,
+    /// Number of interpreter input vectors to attach.
+    pub input_sets: usize,
+}
+
+impl Profile {
+    fn pick(&self, rng: &mut SmallRng) -> FragmentKind {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        let mut roll = rng.random_range(0.0..total);
+        for &(kind, w) in &self.weights {
+            if roll < w {
+                return kind;
+            }
+            roll -= w;
+        }
+        self.weights.last().expect("non-empty weights").0
+    }
+}
+
+/// Builds the class table shared by all generated units.
+pub fn standard_classes() -> (Arc<ClassTable>, StandardClasses) {
+    let mut t = ClassTable::new();
+    let box_cls = t.add_class("Box");
+    let f_val = t.add_field(box_cls, "val", Type::Int);
+    let holder_cls = t.add_class("Holder");
+    let f_ref = t.add_field(holder_cls, "r", Type::Ref(box_cls));
+    let counter_cls = t.add_class("Counter");
+    let f_n = t.add_field(counter_cls, "n", Type::Int);
+    (
+        Arc::new(t),
+        StandardClasses {
+            box_cls,
+            holder_cls,
+            counter_cls,
+            f_val,
+            f_ref,
+            f_n,
+        },
+    )
+}
+
+/// Ids of the standard generated classes.
+#[derive(Clone, Copy, Debug)]
+pub struct StandardClasses {
+    /// `Box { val: int }`.
+    pub box_cls: dbds_ir::ClassId,
+    /// `Holder { r: ref Box }`.
+    pub holder_cls: dbds_ir::ClassId,
+    /// `Counter { n: int }`.
+    pub counter_cls: dbds_ir::ClassId,
+    /// `Box.val`.
+    pub f_val: dbds_ir::FieldId,
+    /// `Holder.r`.
+    pub f_ref: dbds_ir::FieldId,
+    /// `Counter.n`.
+    pub f_n: dbds_ir::FieldId,
+}
+
+/// Generates one compilation unit named `name` from `profile` and `seed`.
+pub fn generate_graph(name: &str, profile: &Profile, seed: u64) -> Graph {
+    let (table, cls) = standard_classes();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(name, &[Type::Int, Type::Int, Type::Int], table);
+    let params = [b.param(0), b.param(1), b.param(2)];
+
+    // Entry: the shared escaped objects every fragment may touch.
+    let box_obj = b.new_object(cls.box_cls);
+    b.store(box_obj, cls.f_val, params[1]);
+    let inner = b.new_object(cls.box_cls);
+    b.store(inner, cls.f_val, params[2]);
+    let holder = b.new_object(cls.holder_cls);
+    b.store(holder, cls.f_ref, inner);
+    let sink = b.new_object(cls.counter_cls);
+    b.invoke(vec![box_obj, holder, sink]);
+    let shared = SharedState {
+        box_obj,
+        holder,
+        sink,
+        f_val: cls.f_val,
+        f_ref: cls.f_ref,
+        f_n: cls.f_n,
+        box_cls: cls.box_cls,
+    };
+
+    let count = rng.random_range(profile.fragments.0..profile.fragments.1);
+    let mut acc = params[0];
+    for _ in 0..count {
+        let kind = profile.pick(&mut rng);
+        let mut ctx = FragmentCtx {
+            b: &mut b,
+            rng: &mut rng,
+            acc,
+            params,
+            shared,
+        };
+        acc = emit(kind, &mut ctx);
+    }
+    b.ret(Some(acc));
+    b.finish()
+}
+
+/// Generates the interpreter inputs for a unit (deterministic from the
+/// seed; magnitudes kept moderate so loops stay bounded).
+pub fn generate_inputs(profile: &Profile, seed: u64) -> Vec<Vec<Value>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    (0..profile.input_sets)
+        .map(|_| {
+            vec![
+                Value::Int(rng.random_range(-1000..1000)),
+                Value::Int(rng.random_range(-1000..1000)),
+                Value::Int(rng.random_range(-1000..1000)),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbds_ir::{execute, print_graph, verify};
+
+    fn test_profile() -> Profile {
+        Profile {
+            fragments: (6, 10),
+            weights: FragmentKind::ALL.iter().map(|&k| (k, 1.0)).collect(),
+            input_sets: 3,
+        }
+    }
+
+    #[test]
+    fn generated_graphs_verify_and_run() {
+        let p = test_profile();
+        for seed in 0..20 {
+            let g = generate_graph("t", &p, seed);
+            verify(&g).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            for input in generate_inputs(&p, seed) {
+                let r = execute(&g, &input);
+                assert!(r.outcome.is_ok(), "seed {seed}: {:?}", r.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = test_profile();
+        let g1 = generate_graph("d", &p, 99);
+        let g2 = generate_graph("d", &p, 99);
+        assert_eq!(print_graph(&g1), print_graph(&g2));
+        assert_eq!(generate_inputs(&p, 99), generate_inputs(&p, 99));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = test_profile();
+        let g1 = generate_graph("d", &p, 1);
+        let g2 = generate_graph("d", &p, 2);
+        assert_ne!(print_graph(&g1), print_graph(&g2));
+    }
+
+    #[test]
+    fn generated_units_contain_merges() {
+        let p = test_profile();
+        let g = generate_graph("m", &p, 5);
+        assert!(
+            g.merge_blocks().len() >= 4,
+            "expected several merges, got {}",
+            g.merge_blocks().len()
+        );
+    }
+
+    #[test]
+    fn weights_respect_zero() {
+        // Only invoke fragments: no merges at all.
+        let p = Profile {
+            fragments: (5, 6),
+            weights: vec![(FragmentKind::Invoke, 1.0)],
+            input_sets: 1,
+        };
+        let g = generate_graph("inv", &p, 3);
+        assert!(g.merge_blocks().is_empty());
+    }
+}

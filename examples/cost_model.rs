@@ -1,0 +1,119 @@
+//! Figure 4 of the paper: the node cost model at work.
+//!
+//! A merge block containing `Mul(φ, 3)`, a `Store` and a `Return` costs
+//! `0 + 2 + 10 + 2 = 14` cycles. After duplicating it into a 90%- and a
+//! 10%-probability predecessor, the multiplication constant-folds on the
+//! hot path and the probability-weighted cost drops to
+//! `0.1·(10+2+2) + 0.9·(10+2) = 12.2` cycles — exactly the numbers
+//! printed in Figure 4.
+//!
+//! ```text
+//! cargo run --example cost_model
+//! ```
+
+use dbds::analysis::{BlockFrequencies, DomTree, LoopForest};
+use dbds::core::{compile, DbdsConfig, OptLevel, TradeoffConfig};
+use dbds::costmodel::CostModel;
+use dbds::ir::{print_graph, verify, ClassTable, GraphBuilder, InstKind, Type};
+use std::sync::Arc;
+
+fn weighted(g: &dbds::ir::Graph, model: &CostModel) -> f64 {
+    let dt = DomTree::compute(g);
+    let lf = LoopForest::compute(g, &dt);
+    let fr = BlockFrequencies::compute(g, &dt, &lf);
+    model.graph_weighted_cycles(g, &fr)
+}
+
+fn main() {
+    let model = CostModel::new();
+    println!("Node cost table excerpts (cycles / size):");
+    for kind in [
+        InstKind::Const,
+        InstKind::Phi,
+        InstKind::Mul,
+        InstKind::Div,
+        InstKind::Shr,
+        InstKind::New,
+        InstKind::LoadField,
+        InstKind::StoreField,
+        InstKind::Return,
+    ] {
+        println!(
+            "  {:<10} {:>3} / {:<3}",
+            kind.name(),
+            model.cycles(kind),
+            model.size(kind)
+        );
+    }
+
+    // The Figure 4 diamond: φ(3, param0) · 3, stored and returned.
+    let mut t = ClassTable::new();
+    let cls = t.add_class("Sink");
+    let field = t.add_field(cls, "s", Type::Int);
+    // The store targets an escaped object (the paper stores to a static
+    // field) — passed in as a parameter here so scalar replacement cannot
+    // remove it and the example isolates the Figure 4 arithmetic.
+    let mut b = GraphBuilder::new(
+        "fig4",
+        &[Type::Int, Type::Bool, Type::Ref(cls)],
+        Arc::new(t),
+    );
+    let p0 = b.param(0);
+    let cond = b.param(1);
+    let obj = b.param(2);
+    let three = b.iconst(3);
+    let (b1, b2, bm) = (b.new_block(), b.new_block(), b.new_block());
+    b.branch(cond, b1, b2, 0.9);
+    b.switch_to(b1);
+    b.jump(bm);
+    b.switch_to(b2);
+    b.jump(bm);
+    b.switch_to(bm);
+    let phi = b.phi(vec![three, p0], Type::Int);
+    let mul = b.mul(phi, three);
+    b.store(obj, field, mul);
+    b.ret(Some(mul));
+    let mut graph = b.finish();
+    verify(&graph).unwrap();
+
+    let merge_cycles = model.block_cycles(&graph, bm);
+    println!(
+        "\n=== Figure 4, before duplication ===\n{}",
+        print_graph(&graph)
+    );
+    println!("merge block static cost: {merge_cycles} cycles (paper: 14)");
+    assert_eq!(merge_cycles, 14);
+
+    let before = weighted(&graph, &model);
+    // This demonstration unit is a handful of instructions, so the
+    // default 1.5× growth budget (meant for real compilation units)
+    // blocks any duplication; give it room.
+    let cfg = DbdsConfig {
+        tradeoff: TradeoffConfig {
+            size_increase_budget: 3.0,
+            ..TradeoffConfig::default()
+        },
+        ..DbdsConfig::default()
+    };
+    compile(&mut graph, &model, OptLevel::Dbds, &cfg);
+    verify(&graph).unwrap();
+    let after = weighted(&graph, &model);
+
+    println!(
+        "\n=== After duplication + constant folding ===\n{}",
+        print_graph(&graph)
+    );
+    println!("probability-weighted cycles: {before:.1} → {after:.1}");
+    println!("(Figure 4 reports the duplicated merge region dropping from 14 to 12.2 cycles;");
+    println!(" the totals above additionally include the entry block.)");
+    assert!(after < before, "duplication must reduce the estimate");
+    // Figure 4's arithmetic: the hot path's mul (2 cycles × 0.9
+    // probability) folds away, saving 1.8 cycles. Our totals additionally
+    // drop the jump of the merged hot-path block (1 cycle × 0.9 + 0.1),
+    // landing at ≈2.8.
+    let saved = before - after;
+    assert!(
+        (1.7..=3.2).contains(&saved),
+        "expected Figure 4's ≈1.8 plus control-transfer savings, got {saved:.2}"
+    );
+}

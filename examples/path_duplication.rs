@@ -1,0 +1,91 @@
+//! The §8 future-work extension: duplication over multiple merges along
+//! a path.
+//!
+//! The shipped DBDS implementation duplicates one merge at a time; §8
+//! asks whether following the simulation through *chains* of merges can
+//! buy more performance. This example builds a two-merge chain where the
+//! constant from the first merge's φ only becomes profitable inside the
+//! *second* merge's block, and shows that
+//! `DbdsConfig::max_path_length = 2` finds and exploits it.
+//!
+//! ```text
+//! cargo run --example path_duplication
+//! ```
+
+use dbds::core::{compile, simulate_paths, DbdsConfig, OptLevel, TradeoffConfig};
+use dbds::costmodel::CostModel;
+use dbds::ir::{execute, parse_module, print_graph, verify, Value};
+
+const CHAINED: &str = r#"
+    func @chained(x: int, c0: bool, c1: bool) {
+    entry:
+      zero: int = const 0
+      thirteen: int = const 13
+      twelve: int = const 12
+      branch c0, left, right, prob 0.7
+    left:
+      branch c1, bt1, bf1, prob 0.5
+    bt1:
+      jump m1
+    bf1:
+      jump m1
+    m1:
+      p: int = phi [bt1: x, bf1: thirteen]
+      jump m2
+    right:
+      jump m2
+    m2:
+      q: int = phi [m1: p, right: zero]
+      r: int = add q, twelve
+      s: int = mul r, r
+      return s
+    }
+"#;
+
+fn main() {
+    let module = parse_module(CHAINED).expect("chained program parses");
+    let model = CostModel::new();
+    println!(
+        "=== Two chained merges (m1 → m2) ===\n{}",
+        print_graph(&module.graphs[0])
+    );
+
+    // Path-aware simulation: every prefix of a path is a candidate.
+    println!("=== Simulation with max_path_length = 2 ===");
+    for r in simulate_paths(&module.graphs[0], &model, 2) {
+        println!(
+            "pred {} → path {:?}: CS {:.1}, cost {}",
+            r.pred, r.path, r.cycles_saved, r.size_cost
+        );
+    }
+
+    let cfg_for = |path_len: usize| DbdsConfig {
+        max_path_length: path_len,
+        tradeoff: TradeoffConfig {
+            size_increase_budget: 3.0, // tiny demo unit needs headroom
+            ..TradeoffConfig::default()
+        },
+        ..DbdsConfig::default()
+    };
+
+    for path_len in [1usize, 2] {
+        let mut g = module.graphs[0].clone();
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg_for(path_len));
+        verify(&g).unwrap();
+        // Dynamic cycles on the constant-carrying path (c0 = true, c1 = false).
+        let args = [Value::Int(5), Value::Bool(true), Value::Bool(false)];
+        let r = execute(&g, &args);
+        let cycles = model.dynamic_cycles(&r.counts);
+        println!(
+            "\nmax_path_length = {path_len}: {} duplication(s), bf1 path runs in {cycles} cycles",
+            stats.duplications
+        );
+        if path_len == 2 {
+            println!(
+                "=== Optimized with path duplication ===\n{}",
+                print_graph(&g)
+            );
+        }
+        assert_eq!(r.outcome, Ok(Value::Int(625)), "13+12 squared");
+    }
+}

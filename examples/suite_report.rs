@@ -1,0 +1,52 @@
+//! A miniature end-to-end evaluation run: compiles the micro-benchmark
+//! suite under all three configurations and prints the Figure-7-style
+//! table plus the backtracking comparison for one benchmark.
+//!
+//! (The full evaluation lives in the harness binary:
+//! `cargo run -p dbds-harness --bin figures --release -- --all`.)
+//!
+//! ```text
+//! cargo run --release --example suite_report
+//! ```
+
+use dbds::core::{compile, DbdsConfig, OptLevel};
+use dbds::costmodel::CostModel;
+use dbds::harness::{format_figure, run_suite, IcacheModel};
+use dbds::workloads::Suite;
+use std::time::Instant;
+
+fn main() {
+    let model = CostModel::new();
+    let cfg = DbdsConfig::default();
+    let icache = IcacheModel::default();
+
+    let result = run_suite(Suite::Micro, &model, &cfg, &icache);
+    print!("{}", format_figure(&result));
+
+    // All configurations must agree on every benchmark's outcomes — the
+    // end-to-end correctness check.
+    for row in &result.rows {
+        assert!(row.outcomes_agree(), "{} diverged", row.name);
+    }
+    println!(
+        "\nall {} benchmarks agree across configurations ✓",
+        result.rows.len()
+    );
+
+    // One §3.1-style data point: backtracking vs simulation on the first
+    // benchmark.
+    let w = &Suite::Micro.workloads()[0];
+    let mut g1 = w.graph.clone();
+    let t0 = Instant::now();
+    compile(&mut g1, &model, OptLevel::Dbds, &cfg);
+    let dbds_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut g2 = w.graph.clone();
+    let t1 = Instant::now();
+    compile(&mut g2, &model, OptLevel::Backtracking, &cfg);
+    let back_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "\n{}: DBDS compiled in {dbds_ms:.2} ms, backtracking in {back_ms:.2} ms ({:.1}x)",
+        w.name,
+        back_ms / dbds_ms
+    );
+}

@@ -1,0 +1,104 @@
+//! Differential testing across the whole stack: every synthetic
+//! benchmark, compiled under every configuration, must compute exactly
+//! the outcomes of the unoptimized graph — and every optimized graph must
+//! verify and go through the back end.
+
+use dbds::backend::compile_to_machine_code;
+use dbds::core::{compile, DbdsConfig, OptLevel};
+use dbds::costmodel::CostModel;
+use dbds::ir::{execute, verify};
+use dbds::workloads::Suite;
+
+fn check_suite(suite: Suite, levels: &[OptLevel]) {
+    let model = CostModel::new();
+    let cfg = DbdsConfig::default();
+    for w in suite.workloads() {
+        let reference: Vec<_> = w
+            .inputs
+            .iter()
+            .map(|i| execute(&w.graph, i).outcome)
+            .collect();
+        for &level in levels {
+            let mut g = w.graph.clone();
+            compile(&mut g, &model, level, &cfg);
+            verify(&g).unwrap_or_else(|e| {
+                panic!("{}/{} under {}: {e}", suite.id(), w.name, level.name())
+            });
+            let outcomes: Vec<_> = w.inputs.iter().map(|i| execute(&g, i).outcome).collect();
+            assert_eq!(
+                outcomes,
+                reference,
+                "{}/{} under {} changed observable behaviour",
+                suite.id(),
+                w.name,
+                level.name()
+            );
+            // The back end must handle every optimized graph.
+            let mc = compile_to_machine_code(&g);
+            assert!(mc.size() > 0);
+        }
+    }
+}
+
+#[test]
+fn micro_suite_all_levels() {
+    check_suite(
+        Suite::Micro,
+        &[
+            OptLevel::Baseline,
+            OptLevel::Dbds,
+            OptLevel::Dupalot,
+            OptLevel::Backtracking,
+        ],
+    );
+}
+
+#[test]
+fn java_dacapo_suite() {
+    check_suite(
+        Suite::JavaDaCapo,
+        &[OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot],
+    );
+}
+
+#[test]
+fn scala_dacapo_suite() {
+    check_suite(
+        Suite::ScalaDaCapo,
+        &[OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot],
+    );
+}
+
+#[test]
+fn octane_suite() {
+    check_suite(
+        Suite::Octane,
+        &[OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot],
+    );
+}
+
+#[test]
+fn dbds_never_increases_dynamic_cycles() {
+    // Tail duplication specializes paths; the interpreter can only ever
+    // execute the same or fewer priced cycles afterwards.
+    let model = CostModel::new();
+    let cfg = DbdsConfig::default();
+    for suite in [Suite::Micro, Suite::ScalaDaCapo] {
+        for w in suite.workloads() {
+            let mut g = w.graph.clone();
+            compile(&mut g, &model, OptLevel::Dbds, &cfg);
+            for input in &w.inputs {
+                let before = model.dynamic_cycles(&execute(&w.graph, input).counts);
+                let after = model.dynamic_cycles(&execute(&g, input).counts);
+                assert!(
+                    after <= before,
+                    "{}/{}: {} cycles before, {} after",
+                    suite.id(),
+                    w.name,
+                    before,
+                    after
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration test: the paper's Figure 3 worked example, across crates.
+//!
+//! Program `f` (§4.1) divides `x` by `φ(x, 2)`. The simulation must
+//! report CS = 31 on the constant path (division 32 cycles → shift 1
+//! cycle), the trade-off must accept, and the optimization tier must
+//! produce Figure 3e.
+
+use dbds::analysis::{DomTree, LoopForest};
+use dbds::core::{compile, simulate, DbdsConfig, OptLevel};
+use dbds::costmodel::CostModel;
+use dbds::ir::{execute, parse_module, verify, BinOp, Graph, Inst, Value};
+use dbds::opt::OptKind;
+
+const PROGRAM_F: &str = r#"
+    func @f(a: int, b: int, x: int) {
+    entry:
+      zero: int = const 0
+      guard: bool = cmp ge x, zero
+      branch guard, bg, bdeopt, prob 0.999
+    bdeopt:
+      deopt
+    bg:
+      two: int = const 2
+      c: bool = cmp gt a, b
+      branch c, bp1, bp2, prob 0.5
+    bp1:
+      jump bm
+    bp2:
+      jump bm
+    bm:
+      p: int = phi [bp1: x, bp2: two]
+      q: int = div x, p
+      return q
+    }
+"#;
+
+fn program_f() -> Graph {
+    parse_module(PROGRAM_F).unwrap().graphs.remove(0)
+}
+
+#[test]
+fn simulation_reports_cs_31_on_the_constant_path() {
+    let g = program_f();
+    let model = CostModel::new();
+    let results = simulate(&g, &model);
+    // Two predecessor→merge pairs, as in Figure 3c.
+    assert_eq!(results.len(), 2);
+    let best = results
+        .iter()
+        .max_by(|a, b| a.cycles_saved.partial_cmp(&b.cycles_saved).unwrap())
+        .unwrap();
+    assert_eq!(best.cycles_saved, 31.0, "CS = 32 − 1 = 31 (§4.1)");
+    assert_eq!(best.opportunities.len(), 1);
+    assert_eq!(best.opportunities[0].kind, OptKind::StrengthReduce);
+}
+
+#[test]
+fn simulation_traversal_follows_the_dominator_tree() {
+    let g = program_f();
+    let dt = DomTree::compute(&g);
+    // The merge is dominated by the split block, not by either
+    // predecessor — the reason the DST must "pretend" dominance.
+    let merge = g.merge_blocks()[0];
+    let preds: Vec<_> = g.preds(merge).to_vec();
+    for p in &preds {
+        assert!(!dt.dominates(*p, merge));
+        assert_eq!(dt.idom(merge), dt.idom(*p));
+    }
+    let _ = LoopForest::compute(&g, &dt);
+}
+
+#[test]
+fn optimization_tier_produces_figure_3e() {
+    let mut g = program_f();
+    let model = CostModel::new();
+    let stats = compile(&mut g, &model, OptLevel::Dbds, &DbdsConfig::default());
+    verify(&g).unwrap();
+    assert!(stats.duplications >= 1);
+    // Figure 3e: a right shift on one path, the division on the other.
+    let insts: Vec<&Inst> = g
+        .reachable_blocks()
+        .into_iter()
+        .flat_map(|b| g.block_insts(b).to_vec())
+        .map(|i| g.inst(i))
+        .collect();
+    assert!(
+        insts
+            .iter()
+            .any(|i| matches!(i, Inst::Binary { op: BinOp::Shr, .. })),
+        "expected x >> 1 on the constant path"
+    );
+    assert!(
+        insts
+            .iter()
+            .any(|i| matches!(i, Inst::Binary { op: BinOp::Div, .. })),
+        "the x/x path keeps its division"
+    );
+}
+
+#[test]
+fn all_configurations_compute_the_same_results() {
+    let model = CostModel::new();
+    let cfg = DbdsConfig::default();
+    let reference = program_f();
+    for level in [
+        OptLevel::Baseline,
+        OptLevel::Dbds,
+        OptLevel::Dupalot,
+        OptLevel::Backtracking,
+    ] {
+        let mut g = program_f();
+        compile(&mut g, &model, level, &cfg);
+        verify(&g).unwrap();
+        for (a, b, x) in [
+            (5i64, 3i64, 12i64),
+            (1, 3, 12),
+            (0, 0, 0),
+            (2, 1, 7),
+            (9, 9, 100),
+        ] {
+            let args = [Value::Int(a), Value::Int(b), Value::Int(x)];
+            assert_eq!(
+                execute(&g, &args).outcome,
+                execute(&reference, &args).outcome,
+                "{level:?} diverged on f({a}, {b}, {x})"
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The §8 future-work extension: path-based duplication over multiple
+//! merges. "The current optimization tier implementation cannot duplicate
+//! over multiple merges along paths although the simulation tier can
+//! simulate along paths" — this reproduction implements both sides,
+//! gated by `DbdsConfig::max_path_length`.
+
+use dbds::core::{compile, simulate_paths, DbdsConfig, OptLevel, TradeoffConfig};
+use dbds::costmodel::CostModel;
+use dbds::ir::{execute, parse_module, verify, Graph, Value};
+
+/// Two chained merges: the constant from the first merge's φ only pays
+/// off in the *second* merge's block.
+///
+///   if (c0) { if (c1) p = x; else p = 13; q = φ(p…)… } else q = 0
+///   return q + 12   (folds only when q is pinned through BOTH merges)
+const CHAINED: &str = r#"
+    func @chained(x: int, c0: bool, c1: bool) {
+    entry:
+      zero: int = const 0
+      thirteen: int = const 13
+      twelve: int = const 12
+      branch c0, left, right, prob 0.7
+    left:
+      branch c1, bt1, bf1, prob 0.5
+    bt1:
+      jump m1
+    bf1:
+      jump m1
+    m1:
+      p: int = phi [bt1: x, bf1: thirteen]
+      jump m2
+    right:
+      jump m2
+    m2:
+      q: int = phi [m1: p, right: zero]
+      r: int = add q, twelve
+      s: int = mul r, r
+      return s
+    }
+"#;
+
+fn chained() -> Graph {
+    parse_module(CHAINED).unwrap().graphs.remove(0)
+}
+
+#[test]
+fn path_simulation_finds_more_than_single_merge_simulation() {
+    let g = chained();
+    let model = CostModel::new();
+
+    // Identify bf1: the predecessor of m1 whose φ input is the constant.
+    let m1 = g
+        .merge_blocks()
+        .into_iter()
+        .find(|&m| {
+            matches!(g.terminator(m), dbds::ir::Terminator::Jump { .. })
+                && g.succs(m).iter().all(|&s| g.is_merge(s))
+        })
+        .expect("m1 present");
+
+    // With path length 1, the DSTs into m1 stop at its jump: m1's body is
+    // just the φ, so no benefit is visible from bf1.
+    let single = simulate_paths(&g, &model, 1);
+    let single_from_m1_preds = single
+        .iter()
+        .filter(|r| r.merge == m1)
+        .map(|r| r.cycles_saved)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(
+        single_from_m1_preds, 0.0,
+        "single-merge simulation cannot see past m1's jump"
+    );
+
+    // With path length 2, the DST continues through m1 into m2, where
+    // q ↦ p ↦ 13 lets the add and the mul fold.
+    let paths = simulate_paths(&g, &model, 2);
+    assert!(
+        paths.iter().any(|r| r.path.len() == 2),
+        "expected at least one two-merge path candidate"
+    );
+    let path_best = paths
+        .iter()
+        .filter(|r| r.merge == m1 && r.path.len() == 2)
+        .map(|r| r.cycles_saved)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        path_best >= 3.0,
+        "the m1→m2 path should fold the add and the mul, got {path_best}"
+    );
+
+    // Every prefix is still reported, so the trade-off can choose.
+    for r in &paths {
+        assert!(!r.path.is_empty());
+        assert_eq!(r.path[0], r.merge);
+    }
+}
+
+#[test]
+fn path_duplication_transform_preserves_semantics() {
+    let model = CostModel::new();
+    let reference = chained();
+    for path_len in [1usize, 2, 3] {
+        let cfg = DbdsConfig {
+            max_path_length: path_len,
+            tradeoff: TradeoffConfig {
+                // The test unit is tiny; loosen the growth budget so the
+                // path candidates actually run.
+                size_increase_budget: 3.0,
+                ..TradeoffConfig::default()
+            },
+            ..DbdsConfig::default()
+        };
+        let mut g = chained();
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+        verify(&g).unwrap();
+        assert!(stats.duplications >= 1, "path_len {path_len}: {stats:?}");
+        for x in [-9i64, 0, 5, 100] {
+            for c0 in [false, true] {
+                for c1 in [false, true] {
+                    let args = [Value::Int(x), Value::Bool(c0), Value::Bool(c1)];
+                    assert_eq!(
+                        execute(&g, &args).outcome,
+                        execute(&reference, &args).outcome,
+                        "path_len {path_len}, args {args:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn longer_paths_enable_strictly_more_folding() {
+    // With path duplication enabled, the bf1 path should collapse all the
+    // way: 13 is pinned through both merges, so (13+12)^2 = 625 appears
+    // as a constant.
+    let model = CostModel::new();
+    let cfg = DbdsConfig {
+        max_path_length: 2,
+        tradeoff: TradeoffConfig {
+            size_increase_budget: 3.0,
+            ..TradeoffConfig::default()
+        },
+        ..DbdsConfig::default()
+    };
+    let mut g = chained();
+    compile(&mut g, &model, OptLevel::Dbds, &cfg);
+    verify(&g).unwrap();
+    let has_625 = g
+        .reachable_blocks()
+        .into_iter()
+        .flat_map(|b| g.block_insts(b).to_vec())
+        .any(|i| {
+            matches!(
+                g.inst(i),
+                dbds::ir::Inst::Const(dbds::ir::ConstValue::Int(625))
+            )
+        });
+    assert!(has_625, "expected the fully folded constant 625:\n{g}");
+
+    // Dynamic check: on the bf1 path the optimized graph must execute
+    // strictly fewer cycles than with single-merge duplication.
+    let mut single = chained();
+    let cfg1 = DbdsConfig {
+        max_path_length: 1,
+        tradeoff: TradeoffConfig {
+            size_increase_budget: 3.0,
+            ..TradeoffConfig::default()
+        },
+        ..DbdsConfig::default()
+    };
+    compile(&mut single, &model, OptLevel::Dbds, &cfg1);
+    let args = [Value::Int(5), Value::Bool(true), Value::Bool(false)];
+    let cycles_path = model.dynamic_cycles(&execute(&g, &args).counts);
+    let cycles_single = model.dynamic_cycles(&execute(&single, &args).counts);
+    assert!(
+        cycles_path <= cycles_single,
+        "path duplication should not execute more cycles ({cycles_path} vs {cycles_single})"
+    );
+}

@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) over randomly generated programs.
+//!
+//! The generator of `dbds-workloads` is itself seeded, so a random seed
+//! plus random profile knobs gives an unbounded family of well-formed
+//! programs to throw at the optimizer, the duplication transform, the
+//! printer/parser and the back end.
+
+use dbds::backend::compile_to_machine_code;
+use dbds::core::{compile, duplicate, DbdsConfig, OptLevel};
+use dbds::costmodel::CostModel;
+use dbds::ir::{execute, parse_graph, print_graph, verify, Value};
+use dbds::opt::optimize_full;
+use dbds::workloads::{generate_graph, FragmentKind, Profile};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        2usize..10,
+        proptest::collection::vec(0.05f64..1.0, FragmentKind::ALL.len()),
+    )
+        .prop_map(|(count, weights)| Profile {
+            fragments: (count, count + 4),
+            weights: FragmentKind::ALL.iter().copied().zip(weights).collect(),
+            input_sets: 2,
+        })
+}
+
+fn arb_inputs() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-2_000i64..2_000, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated program is well-formed and executes trap-free.
+    #[test]
+    fn generated_programs_are_wellformed(seed in 0u64..1_000_000, profile in arb_profile(), input in arb_inputs()) {
+        let g = generate_graph("prop", &profile, seed);
+        verify(&g).unwrap();
+        let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
+        let r = execute(&g, &args);
+        prop_assert!(r.outcome.is_ok(), "trapped: {:?}", r.outcome);
+    }
+
+    /// The textual format round-trips: parsing preserves semantics, and
+    /// one print→parse pass normalizes value numbering to a fixpoint.
+    #[test]
+    fn print_parse_roundtrip(seed in 0u64..1_000_000, profile in arb_profile(), input in arb_inputs()) {
+        let g = generate_graph("prop", &profile, seed);
+        let g2 = parse_graph(&print_graph(&g), g.class_table().clone()).unwrap();
+        verify(&g2).unwrap();
+        let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
+        prop_assert_eq!(execute(&g, &args).outcome, execute(&g2, &args).outcome);
+        // print ∘ parse is idempotent (it renumbers values canonically).
+        let normalized = print_graph(&g2);
+        let g3 = parse_graph(&normalized, g.class_table().clone()).unwrap();
+        prop_assert_eq!(normalized, print_graph(&g3));
+    }
+
+    /// The full optimization pipeline preserves observable behaviour.
+    #[test]
+    fn optimize_full_preserves_semantics(seed in 0u64..1_000_000, profile in arb_profile(), input in arb_inputs()) {
+        let g = generate_graph("prop", &profile, seed);
+        let mut opt = g.clone();
+        optimize_full(&mut opt);
+        verify(&opt).unwrap();
+        let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
+        prop_assert_eq!(execute(&g, &args).outcome, execute(&opt, &args).outcome);
+    }
+
+    /// Duplicating ANY single predecessor→merge pair preserves semantics
+    /// and SSA validity — the transform is universally sound, not only on
+    /// the pairs DBDS happens to pick.
+    #[test]
+    fn any_single_duplication_is_sound(seed in 0u64..1_000_000, profile in arb_profile(), input in arb_inputs(), pick in 0usize..64) {
+        let g = generate_graph("prop", &profile, seed);
+        let pairs: Vec<(dbds::ir::BlockId, dbds::ir::BlockId)> = g
+            .merge_blocks()
+            .into_iter()
+            .flat_map(|m| g.preds(m).iter().map(move |&p| (p, m)).collect::<Vec<_>>())
+            .filter(|&(p, m)| p != m)
+            .collect();
+        prop_assume!(!pairs.is_empty());
+        let (pred, merge) = pairs[pick % pairs.len()];
+        let mut dup = g.clone();
+        duplicate(&mut dup, pred, merge);
+        verify(&dup).unwrap();
+        let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
+        prop_assert_eq!(execute(&g, &args).outcome, execute(&dup, &args).outcome);
+    }
+
+    /// The full DBDS phase preserves semantics and never worsens the
+    /// dynamic cycle count.
+    #[test]
+    fn dbds_preserves_semantics_and_never_regresses(seed in 0u64..1_000_000, profile in arb_profile(), input in arb_inputs()) {
+        let g = generate_graph("prop", &profile, seed);
+        let model = CostModel::new();
+        let mut opt = g.clone();
+        compile(&mut opt, &model, OptLevel::Dbds, &DbdsConfig::default());
+        verify(&opt).unwrap();
+        let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
+        let before = execute(&g, &args);
+        let after = execute(&opt, &args);
+        prop_assert_eq!(before.outcome, after.outcome);
+        prop_assert!(
+            model.dynamic_cycles(&after.counts) <= model.dynamic_cycles(&before.counts)
+        );
+    }
+
+    /// Path-based duplication (the §8 extension) is as sound as the
+    /// shipped single-merge mode on random programs.
+    #[test]
+    fn path_duplication_preserves_semantics(seed in 0u64..1_000_000, profile in arb_profile(), input in arb_inputs(), path_len in 2usize..4) {
+        let g = generate_graph("prop", &profile, seed);
+        let model = CostModel::new();
+        let cfg = DbdsConfig {
+            max_path_length: path_len,
+            ..DbdsConfig::default()
+        };
+        let mut opt = g.clone();
+        compile(&mut opt, &model, OptLevel::Dbds, &cfg);
+        verify(&opt).unwrap();
+        let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
+        prop_assert_eq!(execute(&g, &args).outcome, execute(&opt, &args).outcome);
+    }
+
+    /// The parser never panics, no matter how mangled the input: it
+    /// either produces a module or a positioned error.
+    #[test]
+    fn parser_never_panics_on_mangled_input(
+        seed in 0u64..100_000,
+        profile in arb_profile(),
+        cut in 0usize..4_000,
+        flips in proptest::collection::vec((0usize..4_000, 0u8..128), 0..8),
+    ) {
+        let g = generate_graph("prop", &profile, seed);
+        let mut text = print_graph(&g).into_bytes();
+        if !text.is_empty() {
+            text.truncate(cut.min(text.len()).max(1));
+            for (pos, byte) in flips {
+                let ix = pos % text.len();
+                text[ix] = byte.max(b' ' - 22); // keep it roughly printable
+            }
+        }
+        let mangled = String::from_utf8_lossy(&text).into_owned();
+        // Must not panic; outcome (Ok/Err) is irrelevant.
+        let _ = dbds::ir::parse_module(&mangled);
+    }
+
+    /// The back end emits deterministic code for every generated program.
+    #[test]
+    fn backend_is_deterministic(seed in 0u64..1_000_000, profile in arb_profile()) {
+        let g = generate_graph("prop", &profile, seed);
+        let a = compile_to_machine_code(&g);
+        let b = compile_to_machine_code(&g);
+        prop_assert!(a.size() > 0);
+        prop_assert_eq!(a.bytes, b.bytes);
+    }
+}
