@@ -1,0 +1,265 @@
+//! Version-keyed caching of CFG analyses, in the style of LLVM's
+//! `AnalysisManager` and Graal's cached `cfg.dominatorTree` (§5.1 of the
+//! paper).
+//!
+//! An [`AnalysisCache`] memoizes the three CFG-level analyses — dominator
+//! tree, loop forest, block frequencies — keyed by the graph's
+//! [`cfg_version`](dbds_ir::Graph::cfg_version) mutation epoch. A lookup on
+//! an unchanged graph is a pointer clone; the first lookup after a
+//! structural mutation recomputes and replaces the stale entry. Pure
+//! value rewrites (constant folding, use replacement) leave `cfg_version`
+//! untouched, so all three analyses survive them.
+//!
+//! Entries are returned as [`Arc`]s so callers can hold several analyses
+//! at once (the simulation walk needs dominators *and* frequencies) while
+//! the cache stays mutably borrowable in between.
+//!
+//! # Examples
+//!
+//! ```
+//! use dbds_analysis::AnalysisCache;
+//! use dbds_ir::parse_module;
+//!
+//! let m = parse_module(
+//!     "func @f(c: bool) {\n\
+//!      entry:\n  branch c, bt, bf, prob 0.5\n\
+//!      bt:\n  jump bm\n\
+//!      bf:\n  jump bm\n\
+//!      bm:\n  return\n}",
+//! )?;
+//! let g = &m.graphs[0];
+//! let mut cache = AnalysisCache::new();
+//! let dt = cache.domtree(g);
+//! let again = cache.domtree(g);
+//! assert!(std::sync::Arc::ptr_eq(&dt, &again));
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! # Ok::<(), dbds_ir::ParseError>(())
+//! ```
+
+use crate::{BlockFrequencies, DomTree, LoopForest};
+use dbds_ir::Graph;
+use std::sync::Arc;
+
+/// Hit/miss/invalidation counters of an [`AnalysisCache`].
+///
+/// Aggregated over all three analyses. Every lookup is either a hit or a
+/// miss; `invalidations` counts the misses that discarded a stale entry
+/// (as opposed to cold-start misses on an empty slot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a still-valid entry.
+    pub hits: u64,
+    /// Lookups that had to (re)compute the analysis.
+    pub misses: u64,
+    /// Stale entries discarded because the graph's CFG epoch moved on.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Accumulates `other` into `self` (for summing across phases).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// One memoized analysis result with the CFG epoch it was computed at.
+#[derive(Debug)]
+struct Slot<T> {
+    version: u64,
+    value: Arc<T>,
+}
+
+/// A version-keyed cache of the CFG-level analyses of one (or several,
+/// sequentially processed) [`Graph`]s.
+///
+/// Validity is purely stamp-based: because version stamps are globally
+/// unique and never reused (see [`Graph::version`]), a stored entry whose
+/// stamp equals the graph's current `cfg_version` is guaranteed to
+/// describe exactly this graph state — even across clone/restore
+/// backtracking, where the same stamp can reappear after `*g = backup`.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    domtree: Option<Slot<DomTree>>,
+    loops: Option<Slot<LoopForest>>,
+    frequencies: Option<Slot<BlockFrequencies>>,
+    stats: CacheStats,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// The dominator tree of `g`, recomputing only if the CFG changed
+    /// since the last lookup.
+    pub fn domtree(&mut self, g: &Graph) -> Arc<DomTree> {
+        let version = g.cfg_version();
+        if let Some(slot) = &self.domtree {
+            if slot.version == version {
+                self.stats.hits += 1;
+                return Arc::clone(&slot.value);
+            }
+            self.stats.invalidations += 1;
+        }
+        self.stats.misses += 1;
+        let value = Arc::new(DomTree::compute(g));
+        self.domtree = Some(Slot {
+            version,
+            value: Arc::clone(&value),
+        });
+        value
+    }
+
+    /// The loop forest of `g`, recomputing only if the CFG changed since
+    /// the last lookup. Pulls the dominator tree through the cache.
+    pub fn loops(&mut self, g: &Graph) -> Arc<LoopForest> {
+        let version = g.cfg_version();
+        if let Some(slot) = &self.loops {
+            if slot.version == version {
+                self.stats.hits += 1;
+                return Arc::clone(&slot.value);
+            }
+            self.stats.invalidations += 1;
+        }
+        self.stats.misses += 1;
+        let dt = self.domtree(g);
+        let value = Arc::new(LoopForest::compute(g, &dt));
+        self.loops = Some(Slot {
+            version,
+            value: Arc::clone(&value),
+        });
+        value
+    }
+
+    /// The block execution frequencies of `g`, recomputing only if the
+    /// CFG (including branch probabilities) changed since the last
+    /// lookup. Pulls dominators and loops through the cache.
+    pub fn frequencies(&mut self, g: &Graph) -> Arc<BlockFrequencies> {
+        let version = g.cfg_version();
+        if let Some(slot) = &self.frequencies {
+            if slot.version == version {
+                self.stats.hits += 1;
+                return Arc::clone(&slot.value);
+            }
+            self.stats.invalidations += 1;
+        }
+        self.stats.misses += 1;
+        let dt = self.domtree(g);
+        let loops = self.loops(g);
+        let value = Arc::new(BlockFrequencies::compute(g, &dt, &loops));
+        self.frequencies = Some(Slot {
+            version,
+            value: Arc::clone(&value),
+        });
+        value
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops all entries (counters are kept). Lookups after this are
+    /// cold-start misses, not invalidations.
+    pub fn clear(&mut self) {
+        self.domtree = None;
+        self.loops = None;
+        self.frequencies = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbds_ir::parse_module;
+
+    fn diamond() -> Graph {
+        let m = parse_module(
+            "func @f(c: bool) {\n\
+             entry:\n  branch c, bt, bf, prob 0.5\n\
+             bt:\n  jump bm\n\
+             bf:\n  jump bm\n\
+             bm:\n  return\n}",
+        )
+        .unwrap();
+        m.graphs.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let g = diamond();
+        let mut cache = AnalysisCache::new();
+        let f1 = cache.frequencies(&g);
+        // First call misses all three (frequencies pulls domtree + loops);
+        // the loops→domtree pull already hits.
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 1);
+        let f2 = cache.frequencies(&g);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn cfg_mutation_invalidates() {
+        let mut g = diamond();
+        let mut cache = AnalysisCache::new();
+        let d1 = cache.domtree(&g);
+        g.add_block();
+        let d2 = cache.domtree(&g);
+        assert!(!Arc::ptr_eq(&d1, &d2));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn value_mutation_preserves_cfg_analyses() {
+        let mut g = diamond();
+        let mut cache = AnalysisCache::new();
+        let d1 = cache.domtree(&g);
+        let entry = g.entry();
+        use dbds_ir::{ConstValue, Inst, Type};
+        g.append_inst(entry, Inst::Const(ConstValue::Int(7)), Type::Int);
+        let d2 = cache.domtree(&g);
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn restored_backup_revalidates_old_entry() {
+        // Backtracking pattern: clone, diverge, restore. The entry cached
+        // for the backup's stamp must be valid again after the restore.
+        let mut g = diamond();
+        let mut cache = AnalysisCache::new();
+        let backup = g.clone();
+        let d_before = cache.domtree(&g);
+        g.add_block();
+        cache.domtree(&g);
+        g = backup;
+        let d_after = cache.domtree(&g);
+        // The diverged entry replaced the slot, so this recomputes — but it
+        // must recompute (stamp differs), never serve the diverged tree.
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(
+            d_before.idom(g.merge_blocks()[0]),
+            d_after.idom(g.merge_blocks()[0])
+        );
+    }
+
+    #[test]
+    fn clear_forces_cold_misses() {
+        let g = diamond();
+        let mut cache = AnalysisCache::new();
+        cache.domtree(&g);
+        cache.clear();
+        cache.domtree(&g);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+}

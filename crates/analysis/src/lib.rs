@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod domtree;
 mod frequency;
 mod loops;
 mod stamps;
 
+pub use cache::{AnalysisCache, CacheStats};
 pub use domtree::{reverse_postorder, DomTree};
 pub use frequency::{edge_probability, BlockFrequencies, LOOP_FACTOR, MAX_FREQUENCY};
 pub use loops::{LoopForest, LoopInfo};

@@ -1,0 +1,139 @@
+//! Property test for the versioned [`AnalysisCache`]: after an arbitrary
+//! interleaving of queries and graph mutations, every analysis pulled
+//! from the cache must be identical to a fresh `::compute` on the current
+//! graph. This pins down the invalidation contract — a stale entry served
+//! after a CFG mutation would show up as a divergent dominator, loop
+//! depth, or block frequency.
+
+use dbds_analysis::{AnalysisCache, BlockFrequencies, DomTree, LoopForest};
+use dbds_ir::{ClassTable, Graph, Terminator, Type};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random CFG over `n` blocks from a shape seed (same scheme as
+/// `dominance_props.rs`): every block gets a terminator chosen from
+/// jump/branch/return so the graph is always well-formed.
+fn random_cfg(n: usize, choices: &[u8]) -> Graph {
+    let mut g = Graph::new("rand", &[Type::Bool], Arc::new(ClassTable::new()));
+    let cond = g.param_values()[0];
+    let mut blocks = vec![g.entry()];
+    for _ in 1..n {
+        blocks.push(g.add_block());
+    }
+    for (i, &b) in blocks.iter().enumerate() {
+        let c = choices.get(i).copied().unwrap_or(0);
+        let t1 = blocks[(i + 1 + c as usize) % n];
+        let t2 = blocks[(i + 2 + (c as usize) * 3) % n];
+        let term = match c % 4 {
+            0 | 1 if t1 != b || c % 4 == 0 => Terminator::Jump { target: t1 },
+            2 if t1 != t2 => Terminator::Branch {
+                cond,
+                then_bb: t1,
+                else_bb: t2,
+                prob_then: 0.5,
+            },
+            _ => Terminator::Return { value: None },
+        };
+        g.set_terminator(b, term);
+    }
+    g
+}
+
+/// One random structural mutation, selected by `(kind, bsel, csel)`.
+fn mutate(g: &mut Graph, kind: u8, bsel: u8, csel: u8) {
+    let blocks: Vec<_> = g.blocks().collect();
+    let b = blocks[bsel as usize % blocks.len()];
+    match kind % 3 {
+        0 => {
+            // Retarget the block's terminator.
+            let cond = g.param_values()[0];
+            let t1 = blocks[(bsel as usize + 1 + csel as usize) % blocks.len()];
+            let t2 = blocks[(csel as usize * 5 + 2) % blocks.len()];
+            let term = match csel % 3 {
+                0 => Terminator::Jump { target: t1 },
+                1 if t1 != t2 => Terminator::Branch {
+                    cond,
+                    then_bb: t1,
+                    else_bb: t2,
+                    prob_then: 0.7,
+                },
+                _ => Terminator::Return { value: None },
+            };
+            g.set_terminator(b, term);
+        }
+        1 => {
+            // Reweigh an existing branch (frequencies must follow).
+            if matches!(g.terminator(b), Terminator::Branch { .. }) {
+                g.set_branch_probability(b, 0.1 + 0.8 * (csel as f64 / 8.0));
+            } else {
+                g.set_terminator(b, Terminator::Return { value: None });
+            }
+        }
+        _ => {
+            // Grow the block set (analyses size tables by block count).
+            let fresh = g.add_block();
+            g.set_terminator(fresh, Terminator::Return { value: None });
+            if csel.is_multiple_of(2) {
+                g.set_terminator(b, Terminator::Jump { target: fresh });
+            }
+        }
+    }
+}
+
+/// Asserts the cached view of `g` equals analyses computed from scratch.
+fn assert_cache_is_fresh(g: &Graph, cache: &mut AnalysisCache) {
+    let dt_fresh = DomTree::compute(g);
+    let lf_fresh = LoopForest::compute(g, &dt_fresh);
+    let fr_fresh = BlockFrequencies::compute(g, &dt_fresh, &lf_fresh);
+    let dt = cache.domtree(g);
+    let lf = cache.loops(g);
+    let fr = cache.frequencies(g);
+    for b in g.blocks() {
+        assert_eq!(dt.idom(b), dt_fresh.idom(b), "idom({b}) diverged");
+        assert_eq!(
+            dt.is_reachable(b),
+            dt_fresh.is_reachable(b),
+            "reachability({b}) diverged"
+        );
+        assert_eq!(lf.depth(b), lf_fresh.depth(b), "loop depth({b}) diverged");
+        assert_eq!(
+            lf.is_header(b),
+            lf_fresh.is_header(b),
+            "header({b}) diverged"
+        );
+        // The computation is deterministic, so cached-vs-fresh must agree
+        // bit-for-bit, not just approximately.
+        assert_eq!(fr.freq(b).to_bits(), fr_fresh.freq(b).to_bits());
+    }
+    assert_eq!(dt.reverse_postorder(), dt_fresh.reverse_postorder());
+    assert_eq!(lf.loops().len(), lf_fresh.loops().len());
+}
+
+proptest! {
+    /// Random mutation interleavings never let the cache serve a stale
+    /// analysis.
+    #[test]
+    fn cached_analyses_equal_fresh_computes(
+        n in 2usize..12,
+        choices in proptest::collection::vec(0u8..8, 16),
+        muts in proptest::collection::vec((0u8..3, 0u8..16, 0u8..8), 1..8),
+    ) {
+        let mut g = random_cfg(n, &choices);
+        let mut cache = AnalysisCache::new();
+        // Cold start agrees.
+        assert_cache_is_fresh(&g, &mut cache);
+        for (kind, bsel, csel) in muts {
+            // Warm the cache (possibly a hit), mutate, re-check.
+            let _ = cache.frequencies(&g);
+            mutate(&mut g, kind, bsel, csel);
+            assert_cache_is_fresh(&g, &mut cache);
+        }
+        // Repeated queries on the now-stable graph are hits and still
+        // agree with a fresh compute.
+        let before = cache.stats();
+        assert_cache_is_fresh(&g, &mut cache);
+        let after = cache.stats();
+        prop_assert_eq!(after.misses, before.misses);
+        prop_assert!(after.hits > before.hits);
+    }
+}

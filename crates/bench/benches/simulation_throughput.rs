@@ -5,6 +5,7 @@
 //! in compilation time than performing the actual transformation").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbds_analysis::AnalysisCache;
 use dbds_core::simulate;
 use dbds_costmodel::CostModel;
 use dbds_opt::optimize_full;
@@ -18,12 +19,18 @@ fn bench(c: &mut Criterion) {
     for suite in [Suite::Micro, Suite::Octane] {
         // Simulate the canonicalized graph, as the phase driver does.
         let mut w = suite.workloads().into_iter().next().unwrap();
-        optimize_full(&mut w.graph);
+        optimize_full(&mut w.graph, &mut AnalysisCache::new());
         group.throughput(Throughput::Elements(w.graph.live_inst_count() as u64));
         group.bench_with_input(
             BenchmarkId::new("simulate", suite.id()),
             &w.graph,
-            |b, g| b.iter(|| black_box(simulate(g, &model).len())),
+            |b, g| {
+                b.iter(|| {
+                    // Cold cache per iteration: the bench measures the
+                    // full simulate cost including analysis computation.
+                    black_box(simulate(g, &model, &mut AnalysisCache::new()).len())
+                })
+            },
         );
     }
     group.finish();

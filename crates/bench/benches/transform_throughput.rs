@@ -4,6 +4,7 @@
 //! baseline — the gap is the reason simulation wins (§3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbds_analysis::AnalysisCache;
 use dbds_core::duplicate;
 use dbds_opt::optimize_full;
 use dbds_workloads::Suite;
@@ -14,7 +15,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     for suite in [Suite::Micro, Suite::Octane] {
         let mut w = suite.workloads().into_iter().next().unwrap();
-        optimize_full(&mut w.graph);
+        optimize_full(&mut w.graph, &mut AnalysisCache::new());
         let pair = w
             .graph
             .merge_blocks()

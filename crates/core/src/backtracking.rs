@@ -9,7 +9,7 @@
 
 use crate::phase::{DbdsConfig, PhaseStats};
 use crate::transform::duplicate;
-use dbds_analysis::{BlockFrequencies, DomTree, LoopForest};
+use dbds_analysis::AnalysisCache;
 use dbds_costmodel::CostModel;
 use dbds_ir::Graph;
 use dbds_opt::optimize_full;
@@ -45,6 +45,7 @@ impl From<BacktrackStats> for PhaseStats {
             sim_ns: 0,
             transform_ns: 0,
             opt_ns: 0,
+            cache: Default::default(),
         }
     }
 }
@@ -58,17 +59,18 @@ const MAX_ROUNDS: usize = 64;
 /// does not count as "an optimization triggered" in Algorithm 1's sense.
 const IMPROVEMENT_NOISE: f64 = 1.0;
 
-fn weighted_cycles(g: &Graph, model: &CostModel) -> f64 {
-    let dt = DomTree::compute(g);
-    let lf = LoopForest::compute(g, &dt);
-    let fr = BlockFrequencies::compute(g, &dt, &lf);
-    model.graph_weighted_cycles(g, &fr)
-}
-
-/// Runs Algorithm 1 on `g`.
-pub fn run_backtracking(g: &mut Graph, model: &CostModel, cfg: &DbdsConfig) -> BacktrackStats {
+/// Runs Algorithm 1 on `g`. Analyses for the optimization pipeline and
+/// the static estimator flow through `cache`; the restore path (`*g =
+/// backup`) is safe because version stamps are never reused, so a cache
+/// entry can never describe the wrong timeline.
+pub fn run_backtracking(
+    g: &mut Graph,
+    model: &CostModel,
+    cfg: &DbdsConfig,
+    cache: &mut AnalysisCache,
+) -> BacktrackStats {
     let mut stats = BacktrackStats::default();
-    optimize_full(g);
+    optimize_full(g, cache);
     let initial_size = model.graph_size(g);
     stats.initial_size = initial_size;
 
@@ -87,12 +89,12 @@ pub fn run_backtracking(g: &mut Graph, model: &CostModel, cfg: &DbdsConfig) -> B
                 // entire CFG as a backup.
                 let backup = g.clone();
                 stats.instructions_copied += g.live_inst_count() as u64;
-                let before = weighted_cycles(g, model);
+                let before = model.weighted_cycles(g, cache);
 
                 duplicate(g, pred, merge);
-                optimize_full(g);
+                optimize_full(g, cache);
 
-                let after = weighted_cycles(g, model);
+                let after = model.weighted_cycles(g, cache);
                 let size = model.graph_size(g);
                 let improved = before - after > IMPROVEMENT_NOISE;
                 let fits = size < cfg.tradeoff.max_unit_size
@@ -146,7 +148,12 @@ mod tests {
     fn backtracking_finds_the_figure1_duplication() {
         let mut g = figure1();
         let model = CostModel::new();
-        let stats = run_backtracking(&mut g, &model, &DbdsConfig::default());
+        let stats = run_backtracking(
+            &mut g,
+            &model,
+            &DbdsConfig::default(),
+            &mut AnalysisCache::new(),
+        );
         verify(&g).unwrap();
         assert!(stats.accepted >= 1, "{stats:?}");
         assert!(stats.attempts >= stats.accepted);
@@ -176,7 +183,12 @@ mod tests {
         b.ret(Some(s));
         let mut g = b.finish();
         let model = CostModel::new();
-        let stats = run_backtracking(&mut g, &model, &DbdsConfig::default());
+        let stats = run_backtracking(
+            &mut g,
+            &model,
+            &DbdsConfig::default(),
+            &mut AnalysisCache::new(),
+        );
         assert_eq!(stats.accepted, 0);
         assert!(stats.attempts >= 2);
         verify(&g).unwrap();
@@ -187,7 +199,12 @@ mod tests {
         // The copied-instruction counter reflects Algorithm 1's cost.
         let mut g = figure1();
         let model = CostModel::new();
-        let stats = run_backtracking(&mut g, &model, &DbdsConfig::default());
+        let stats = run_backtracking(
+            &mut g,
+            &model,
+            &DbdsConfig::default(),
+            &mut AnalysisCache::new(),
+        );
         assert!(stats.instructions_copied as usize >= stats.attempts);
     }
 }

@@ -11,6 +11,7 @@
 use crate::simulation::simulate_paths;
 use crate::tradeoff::{select, SelectionMode, TradeoffConfig};
 use crate::transform::duplicate;
+use dbds_analysis::{AnalysisCache, CacheStats};
 use dbds_costmodel::CostModel;
 use dbds_ir::{BlockId, Graph};
 use dbds_opt::{optimize_full, optimize_once, OptKind};
@@ -104,38 +105,66 @@ pub struct PhaseStats {
     /// Wall-clock nanoseconds spent in the optimization pipeline
     /// (pre-pass, per-iteration cleanup and final fixpoint).
     pub opt_ns: u128,
+    /// Analysis-cache counters accumulated over the compilation
+    /// (dominators, loops, frequencies served from / recomputed into the
+    /// [`AnalysisCache`]).
+    pub cache: CacheStats,
+}
+
+impl PhaseStats {
+    /// Copies the cache counters accumulated between `base` and `cache`'s
+    /// current state into these stats (delta form, so callers may share
+    /// one long-lived cache across compilations).
+    fn record_cache(&mut self, cache: &AnalysisCache, base: CacheStats) {
+        let now = cache.stats();
+        self.cache = CacheStats {
+            hits: now.hits - base.hits,
+            misses: now.misses - base.misses,
+            invalidations: now.invalidations - base.invalidations,
+        };
+    }
 }
 
 /// Compiles `g` under the given configuration: the duplication phase
 /// according to `level`, bracketed by the standard optimization pipeline.
 pub fn compile(g: &mut Graph, model: &CostModel, level: OptLevel, cfg: &DbdsConfig) -> PhaseStats {
+    let mut cache = AnalysisCache::new();
     match level {
         OptLevel::Baseline => {
             let mut stats = PhaseStats {
                 initial_size: model.graph_size(g),
                 ..PhaseStats::default()
             };
-            optimize_full(g);
+            optimize_full(g, &mut cache);
             stats.final_size = model.graph_size(g);
             stats.work = g.live_inst_count() as u64;
+            stats.record_cache(&cache, CacheStats::default());
             stats
         }
-        OptLevel::Dbds => run_dbds(g, model, cfg, SelectionMode::CostBenefit),
-        OptLevel::Dupalot => run_dbds(g, model, cfg, SelectionMode::Dupalot),
-        OptLevel::Backtracking => crate::backtracking::run_backtracking(g, model, cfg).into(),
+        OptLevel::Dbds => run_dbds(g, model, cfg, SelectionMode::CostBenefit, &mut cache),
+        OptLevel::Dupalot => run_dbds(g, model, cfg, SelectionMode::Dupalot, &mut cache),
+        OptLevel::Backtracking => {
+            let mut stats: PhaseStats =
+                crate::backtracking::run_backtracking(g, model, cfg, &mut cache).into();
+            stats.record_cache(&cache, CacheStats::default());
+            stats
+        }
     }
 }
 
-/// Runs the full three-tier DBDS phase on `g`.
+/// Runs the full three-tier DBDS phase on `g`, pulling every CFG analysis
+/// through `cache`.
 pub fn run_dbds(
     g: &mut Graph,
     model: &CostModel,
     cfg: &DbdsConfig,
     mode: SelectionMode,
+    cache: &mut AnalysisCache,
 ) -> PhaseStats {
     let mut stats = PhaseStats::default();
+    let cache_base = cache.stats();
     let t = Instant::now();
-    optimize_full(g);
+    optimize_full(g, cache);
     stats.opt_ns += t.elapsed().as_nanos();
     let initial_size = model.graph_size(g);
     stats.initial_size = initial_size;
@@ -144,7 +173,7 @@ pub fn run_dbds(
     for _ in 0..cfg.max_iterations {
         stats.iterations += 1;
         let t = Instant::now();
-        let results = simulate_paths(g, model, cfg.max_path_length);
+        let results = simulate_paths(g, model, cache, cfg.max_path_length);
         stats.sim_ns += t.elapsed().as_nanos();
         stats.candidates += results.len();
         stats.work += g.live_inst_count() as u64 * 2; // simulation visit
@@ -198,16 +227,17 @@ pub fn run_dbds(
         // the recorded action steps locally); the full fixpoint runs once
         // at the end.
         let t = Instant::now();
-        optimize_once(g);
+        optimize_once(g, cache);
         stats.opt_ns += t.elapsed().as_nanos();
         if cumulative < cfg.iteration_benefit_threshold {
             break;
         }
     }
     let t = Instant::now();
-    optimize_full(g);
+    optimize_full(g, cache);
     stats.opt_ns += t.elapsed().as_nanos();
     stats.final_size = model.graph_size(g);
+    stats.record_cache(cache, cache_base);
     stats
 }
 
@@ -346,12 +376,7 @@ mod tests {
     #[test]
     fn dbds_improves_static_estimate_on_figure1() {
         let model = CostModel::new();
-        let measure = |g: &Graph| {
-            let dt = dbds_analysis::DomTree::compute(g);
-            let lf = dbds_analysis::LoopForest::compute(g, &dt);
-            let fr = dbds_analysis::BlockFrequencies::compute(g, &dt, &lf);
-            model.graph_weighted_cycles(g, &fr)
-        };
+        let measure = |g: &Graph| model.weighted_cycles(g, &mut AnalysisCache::new());
         let mut base = figure1();
         compile(
             &mut base,
@@ -394,7 +419,57 @@ mod tests {
         // Figure 1's duplication shrinks one path but the heuristic sees a
         // positive cost on the kept path only via budget; with zero budget
         // only negative/zero-cost candidates pass.
-        assert!(stats.final_size <= stats.initial_size.max(stats.initial_size));
+        assert!(stats.final_size <= stats.initial_size);
         verify(&g).unwrap();
+    }
+
+    #[test]
+    fn phase_stats_report_cache_counters() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &DbdsConfig::default());
+        // Every compilation computes dominators at least once (cold cache)
+        // and the simulate → optimize loop revisits them.
+        assert!(stats.cache.misses > 0, "stats: {stats:?}");
+        assert!(stats.cache.hits > 0, "stats: {stats:?}");
+        assert!(stats.cache.invalidations <= stats.cache.misses);
+    }
+
+    #[test]
+    fn unchanged_iteration_recomputes_no_dominators() {
+        // An already-optimal straight-line graph: the phase's fixpoint
+        // pipeline and the simulation tier run repeatedly without any
+        // structural change, so after the first (cold) computation every
+        // analysis lookup must be a cache hit.
+        let mut b = GraphBuilder::new("line", &[Type::Int], empty_table());
+        let x = b.param(0);
+        b.ret(Some(x));
+        let mut g = b.finish();
+        let model = CostModel::new();
+        let mut cache = AnalysisCache::new();
+        // Warm the cache: one optimize pass (no structural change on this
+        // graph) plus one simulation sweep.
+        dbds_opt::optimize_full(&mut g, &mut cache);
+        simulate_paths(&g, &model, &mut cache, 1);
+        let warm = cache.stats();
+        // A full no-change phase iteration on the warm cache.
+        let stats = run_dbds(
+            &mut g,
+            &model,
+            &DbdsConfig::default(),
+            SelectionMode::CostBenefit,
+            &mut cache,
+        );
+        assert_eq!(stats.duplications, 0);
+        let now = cache.stats();
+        assert_eq!(
+            now.misses, warm.misses,
+            "no-structural-change iteration must not recompute any analysis"
+        );
+        assert_eq!(now.invalidations, warm.invalidations);
+        assert!(now.hits > warm.hits);
+        // The delta recorded into PhaseStats agrees: all hits, no misses.
+        assert_eq!(stats.cache.misses, 0);
+        assert!(stats.cache.hits > 0);
     }
 }

@@ -12,7 +12,7 @@
 //! No IR is copied or mutated at any point — that is the entire argument
 //! for simulation over backtracking (§3).
 
-use dbds_analysis::{BlockFrequencies, DomTree, LoopForest};
+use dbds_analysis::{AnalysisCache, BlockFrequencies, DomTree};
 use dbds_costmodel::CostModel;
 use dbds_ir::{BlockId, ConstValue, Graph, Inst, InstId, InstKind, Terminator};
 use dbds_opt::{evaluate, record_effects, FactEnv, OptKind, Synonym, Verdict};
@@ -64,9 +64,11 @@ impl SimulationResult {
 }
 
 /// Simulates every predecessor→merge duplication in `g` and returns the
-/// per-pair results, unsorted.
-pub fn simulate(g: &Graph, model: &CostModel) -> Vec<SimulationResult> {
-    simulate_paths(g, model, 1)
+/// per-pair results, unsorted. Dominators and frequencies are pulled
+/// through `cache`, so repeated simulations of an unchanged graph cost no
+/// analysis recomputation.
+pub fn simulate(g: &Graph, model: &CostModel, cache: &mut AnalysisCache) -> Vec<SimulationResult> {
+    simulate_paths(g, model, cache, 1)
 }
 
 /// Like [`simulate`], but lets the DST continue across up to
@@ -74,11 +76,15 @@ pub fn simulate(g: &Graph, model: &CostModel) -> Vec<SimulationResult> {
 /// "duplication over multiple merges along paths" extension. Every
 /// prefix of a path is reported as its own candidate, so the trade-off
 /// tier can stop at the profitable length.
-pub fn simulate_paths(g: &Graph, model: &CostModel, max_path_len: usize) -> Vec<SimulationResult> {
+pub fn simulate_paths(
+    g: &Graph,
+    model: &CostModel,
+    cache: &mut AnalysisCache,
+    max_path_len: usize,
+) -> Vec<SimulationResult> {
     let max_path_len = max_path_len.max(1);
-    let dt = DomTree::compute(g);
-    let loops = LoopForest::compute(g, &dt);
-    let freqs = BlockFrequencies::compute(g, &dt, &loops);
+    let dt = cache.domtree(g);
+    let freqs = cache.frequencies(g);
     let mut out = Vec::new();
     walk(
         g,
@@ -441,7 +447,7 @@ mod tests {
     #[test]
     fn figure3_division_saves_31_cycles_on_constant_path() {
         let (g, bp1, bp2, bm) = figure3();
-        let results = simulate(&g, &model());
+        let results = simulate(&g, &model(), &mut AnalysisCache::new());
         let r2 = results
             .iter()
             .find(|r| r.pred == bp2 && r.merge == bm)
@@ -482,7 +488,7 @@ mod tests {
         let sum = b.add(two, phi);
         b.ret(Some(sum));
         let g = b.finish();
-        let results = simulate(&g, &model());
+        let results = simulate(&g, &model(), &mut AnalysisCache::new());
         assert_eq!(results.len(), 2);
         let rf = results.iter().find(|r| r.pred == bf).unwrap();
         // 2 + 0 constant-folds: CS = cycles(Add) = 1.
@@ -526,7 +532,7 @@ mod tests {
         b.switch_to(bi);
         b.ret(Some(i));
         let g = b.finish();
-        let results = simulate(&g, &model());
+        let results = simulate(&g, &model(), &mut AnalysisCache::new());
         // On the false path p = 13 > 12 is true: compare folds + branch
         // folds.
         let rf = results.iter().find(|r| r.pred == bf).unwrap();
@@ -566,7 +572,7 @@ mod tests {
         let load = b.load(p, fx);
         b.ret(Some(load));
         let g = b.finish();
-        let results = simulate(&g, &model());
+        let results = simulate(&g, &model(), &mut AnalysisCache::new());
         let ralloc = results.iter().find(|r| r.pred == balloc).unwrap();
         // Allocation elimination (8 cycles) + load from virtual (2 cycles).
         assert!(
@@ -614,7 +620,7 @@ mod tests {
         let read2 = b.load(a, fx);
         b.ret(Some(read2));
         let g = b.finish();
-        let results = simulate(&g, &model());
+        let results = simulate(&g, &model(), &mut AnalysisCache::new());
         let rt = results.iter().find(|r| r.pred == bt).unwrap();
         // Read2 becomes fully redundant on the true path.
         assert!(rt.opportunities.iter().any(|o| o.kind == OptKind::ReadElim));
@@ -638,7 +644,7 @@ mod tests {
         let phi = b.phi(vec![x, zero], Type::Int);
         b.ret(Some(phi));
         let g = b.finish();
-        let results = simulate(&g, &model());
+        let results = simulate(&g, &model(), &mut AnalysisCache::new());
         let rt = results.iter().find(|r| r.pred == bt).unwrap();
         let rf = results.iter().find(|r| r.pred == bf).unwrap();
         assert!((rt.probability - 0.9).abs() < 1e-9);
@@ -651,7 +657,7 @@ mod tests {
         let x = b.param(0);
         b.ret(Some(x));
         let g = b.finish();
-        assert!(simulate(&g, &model()).is_empty());
+        assert!(simulate(&g, &model(), &mut AnalysisCache::new()).is_empty());
     }
 
     #[test]
@@ -676,7 +682,7 @@ mod tests {
         b.ret(Some(m));
         let g = b.finish();
         let model = model();
-        let results = simulate(&g, &model);
+        let results = simulate(&g, &model, &mut AnalysisCache::new());
         for r in &results {
             // add(1) + mul(1) + return(2) = 4 size units.
             assert_eq!(r.size_cost, 4, "pred {}", r.pred);

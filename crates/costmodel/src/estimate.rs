@@ -7,7 +7,7 @@
 //! counts — the reproduction's peak-performance metric.
 
 use crate::model::CostModel;
-use dbds_analysis::BlockFrequencies;
+use dbds_analysis::{AnalysisCache, BlockFrequencies};
 use dbds_ir::{BlockId, Graph, Inst, InstKind, KindCounts};
 
 impl CostModel {
@@ -58,6 +58,15 @@ impl CostModel {
             .iter()
             .map(|&b| freqs.freq(b) * self.block_cycles(g, b) as f64)
             .sum()
+    }
+
+    /// [`graph_weighted_cycles`](CostModel::graph_weighted_cycles) with the
+    /// frequencies pulled through an [`AnalysisCache`]: the one-call form
+    /// every estimator call site uses (simulation, backtracking search,
+    /// harness validation).
+    pub fn weighted_cycles(&self, g: &Graph, cache: &mut AnalysisCache) -> f64 {
+        let freqs = cache.frequencies(g);
+        self.graph_weighted_cycles(g, &freqs)
     }
 
     /// Turns an interpreter execution tally into dynamic cycles: the
@@ -118,10 +127,8 @@ mod tests {
     fn weighted_cycles_track_frequencies() {
         let (g, bm) = figure4();
         let m = CostModel::new();
-        let dt = DomTree::compute(&g);
-        let lf = LoopForest::compute(&g, &dt);
-        let freqs = BlockFrequencies::compute(&g, &dt, &lf);
-        let total = m.graph_weighted_cycles(&g, &freqs);
+        let mut cache = AnalysisCache::new();
+        let total = m.weighted_cycles(&g, &mut cache);
         // The merge executes once per entry; its contribution is its full
         // static cost.
         assert!(total >= m.block_cycles(&g, bm) as f64);
@@ -129,6 +136,11 @@ mod tests {
         // + jump 1 weighted 0.9; else jump 1 weighted 0.1; merge 14.
         let expected = 10.0 + 0.9 * 1.0 + 0.1 * 1.0 + 14.0;
         assert!((total - expected).abs() < 1e-9, "total = {total}");
+        // The cached form agrees with the explicit three-analysis chain.
+        let dt = DomTree::compute(&g);
+        let lf = LoopForest::compute(&g, &dt);
+        let freqs = BlockFrequencies::compute(&g, &dt, &lf);
+        assert_eq!(total, m.graph_weighted_cycles(&g, &freqs));
     }
 
     #[test]

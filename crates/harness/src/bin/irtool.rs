@@ -123,7 +123,7 @@ fn main() -> ExitCode {
         }
         if opts.simulate {
             println!("// simulation of @{}", graph.name);
-            for r in simulate(&graph, &model) {
+            for r in simulate(&graph, &model, &mut dbds_analysis::AnalysisCache::new()) {
                 println!(
                     "//   duplicate {} into {}: CS {:.1}, cost {}, p {:.3}",
                     r.merge, r.pred, r.cycles_saved, r.size_cost, r.probability

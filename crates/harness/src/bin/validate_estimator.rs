@@ -14,7 +14,7 @@
 //! cargo run -p dbds-harness --bin validate_estimator --release
 //! ```
 
-use dbds_analysis::{BlockFrequencies, DomTree, LoopForest};
+use dbds_analysis::AnalysisCache;
 use dbds_core::{compile, simulate, DbdsConfig, OptLevel, SelectionMode, TradeoffConfig};
 use dbds_costmodel::CostModel;
 use dbds_harness::{pearson, spearman};
@@ -22,11 +22,8 @@ use dbds_ir::{execute, Graph};
 use dbds_workloads::{Suite, Workload};
 use std::collections::HashSet;
 
-fn weighted_estimate(g: &Graph, model: &CostModel) -> f64 {
-    let dt = DomTree::compute(g);
-    let lf = LoopForest::compute(g, &dt);
-    let fr = BlockFrequencies::compute(g, &dt, &lf);
-    model.graph_weighted_cycles(g, &fr)
+fn weighted_estimate(g: &Graph, model: &CostModel, cache: &mut AnalysisCache) -> f64 {
+    model.weighted_cycles(g, cache)
 }
 
 fn dynamic_cycles(g: &Graph, w: &Workload, model: &CostModel) -> f64 {
@@ -51,17 +48,21 @@ fn main() {
 
     for suite in Suite::ALL {
         for w in suite.workloads() {
+            // One cache per workload: the baseline graph does not change
+            // between the estimate and the simulation below, so the
+            // simulation's analyses are served from the cache.
+            let mut cache = AnalysisCache::new();
             // Baseline-compile once; everything else derives from it.
             let mut base = w.graph.clone();
             compile(&mut base, &model, OptLevel::Baseline, &cfg);
 
-            est_cycles.push(weighted_estimate(&base, &model));
+            est_cycles.push(weighted_estimate(&base, &model, &mut cache));
             real_cycles.push(dynamic_cycles(&base, &w, &model));
             est_size.push(model.graph_size(&base) as f64);
             real_size.push(dbds_backend::compile_to_machine_code(&base).size() as f64);
 
             // Predicted benefit of the candidates the trade-off accepts.
-            let results = simulate(&base, &model);
+            let results = simulate(&base, &model, &mut cache);
             let initial = model.graph_size(&base);
             let accepted = dbds_core::select(
                 &results,

@@ -63,6 +63,18 @@ pub fn format_figure(result: &SuiteResult) -> String {
             result.geomean(level, Metric::CodeSize),
         );
     }
+    let _ = writeln!(out, "\nAnalysis cache (hits / misses / invalidations)");
+    for level in [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot] {
+        let c = result.cache_totals(level);
+        let _ = writeln!(
+            out,
+            "{:<14} | {:>8} / {:>6} / {:>6}",
+            level.name(),
+            c.hits,
+            c.misses,
+            c.invalidations
+        );
+    }
     out
 }
 
@@ -188,6 +200,12 @@ mod tests {
         assert!(text.contains("Geometric Mean"));
         assert!(text.contains("dupalot"));
         assert!(text.contains("Figure 7"));
+        assert!(text.contains("Analysis cache"), "{text}");
+        // Every configuration computed dominators at least once per
+        // benchmark, and the DBDS loop re-used them at least once.
+        let cache = result.cache_totals(dbds_core::OptLevel::Dbds);
+        assert!(cache.misses as usize >= result.rows.len());
+        assert!(cache.hits > 0);
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub struct SuiteResult {
 }
 
 impl SuiteResult {
+    /// Aggregate analysis-cache counters for one configuration across the
+    /// whole suite (hits / misses / invalidations, summed over rows).
+    pub fn cache_totals(&self, level: OptLevel) -> dbds_analysis::CacheStats {
+        let mut total = dbds_analysis::CacheStats::default();
+        for row in &self.rows {
+            total.absorb(row.pick(level).stats.cache);
+        }
+        total
+    }
+
     /// Geometric-mean percentage for a metric/configuration pair.
     pub fn geomean(&self, level: OptLevel, metric: Metric) -> f64 {
         let pcts: Vec<f64> = self

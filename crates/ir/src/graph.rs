@@ -12,7 +12,21 @@ use crate::classes::ClassTable;
 use crate::ids::{BlockId, InstId};
 use crate::inst::{Inst, Terminator};
 use crate::types::Type;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Source of version stamps for [`Graph`] mutation epochs.
+///
+/// Process-global so a stamp is never reused, even across graphs or after a
+/// graph is rolled back to an earlier clone (`*g = backup`): a cache entry
+/// recorded under some stamp can only ever describe the one graph state that
+/// carried it. Clones share their original's stamps — which is exactly right,
+/// because a clone is bit-identical until its first own mutation.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An instruction together with its result type and owning block.
 #[derive(Clone, Debug)]
@@ -61,6 +75,14 @@ pub struct Graph {
     insts: Vec<InstData>,
     blocks: Vec<BlockData>,
     class_table: Arc<ClassTable>,
+    /// Epoch of the last CFG-structural mutation (blocks, edges, branch
+    /// probabilities). Keys CFG-level analyses: dominators, loops,
+    /// frequencies.
+    cfg_version: u64,
+    /// Epoch of the last mutation of any kind. A CFG mutation bumps both
+    /// levels; a pure value rewrite bumps only this one, so CFG-level
+    /// analyses survive it.
+    value_version: u64,
 }
 
 impl Graph {
@@ -80,7 +102,10 @@ impl Graph {
                 preds: Vec::new(),
             }],
             class_table,
+            cfg_version: fresh_version(),
+            value_version: 0,
         };
+        g.value_version = g.cfg_version;
         for (i, &ty) in params.iter().enumerate() {
             assert!(!ty.is_void(), "parameters cannot be void");
             let id = g.append_inst(g.entry, Inst::Param(i as u32), ty);
@@ -97,6 +122,36 @@ impl Graph {
     /// The entry block.
     pub fn entry(&self) -> BlockId {
         self.entry
+    }
+
+    /// The graph's current mutation epoch: changes after *every* mutation.
+    ///
+    /// Stamps are globally unique across all graphs and never reused, so two
+    /// equal stamps always describe the same graph contents. Cloning keeps
+    /// the stamp (the clone is identical); the first mutation of either copy
+    /// gives it a fresh one.
+    pub fn version(&self) -> u64 {
+        self.value_version
+    }
+
+    /// The epoch of the last CFG-structural mutation (block/edge/probability
+    /// changes). Unchanged by pure value rewrites, so analyses derived only
+    /// from the block structure (dominators, loops, frequencies) stay valid
+    /// while this stays equal.
+    pub fn cfg_version(&self) -> u64 {
+        self.cfg_version
+    }
+
+    /// Records a CFG-structural mutation (also a value-level one: CFG edits
+    /// can move or drop instructions, e.g. φ inputs).
+    fn bump_cfg(&mut self) {
+        self.cfg_version = fresh_version();
+        self.value_version = self.cfg_version;
+    }
+
+    /// Records a value-level mutation that leaves the block structure alone.
+    fn bump_value(&mut self) {
+        self.value_version = fresh_version();
     }
 
     /// Parameter types, in order.
@@ -158,6 +213,9 @@ impl Graph {
             term: Terminator::Deopt,
             preds: Vec::new(),
         });
+        // Even an unreachable block is a CFG change: analyses size their
+        // per-block tables by block_count.
+        self.bump_cfg();
         id
     }
 
@@ -171,6 +229,7 @@ impl Graph {
     /// Callers must not change the number of φ inputs through this (use the
     /// edge API), nor change the produced type.
     pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        self.bump_value();
         &mut self.insts[id.index()].inst
     }
 
@@ -283,6 +342,7 @@ impl Graph {
     }
 
     fn alloc_inst(&mut self, inst: Inst, ty: Type, b: BlockId) -> InstId {
+        self.bump_value();
         let id = InstId::from_index(self.insts.len());
         self.insts.push(InstData {
             inst,
@@ -296,6 +356,7 @@ impl Graph {
     /// longer be referenced by any remaining instruction or terminator
     /// (checked by the verifier, not here).
     pub fn remove_inst(&mut self, id: InstId) {
+        self.bump_value();
         if let Some(b) = self.insts[id.index()].block.take() {
             let insts = &mut self.blocks[b.index()].insts;
             let pos = insts
@@ -316,6 +377,7 @@ impl Graph {
     /// retarget instead), or if the new terminator lists the same successor
     /// twice.
     pub fn set_terminator(&mut self, b: BlockId, term: Terminator) {
+        self.bump_cfg();
         let new_succs = term.successors();
         if new_succs.len() == 2 {
             assert_ne!(
@@ -353,6 +415,7 @@ impl Graph {
         new_to: BlockId,
         phi_inputs: &[InstId],
     ) {
+        self.bump_cfg();
         assert!(
             self.succs(from).contains(&old_to),
             "no edge {from} -> {old_to}"
@@ -391,6 +454,7 @@ impl Graph {
         term: Terminator,
         phi_inputs: &[Vec<InstId>],
     ) {
+        self.bump_cfg();
         assert!(
             self.blocks[b.index()].term.successors().is_empty(),
             "{b} already has successors"
@@ -456,6 +520,7 @@ impl Graph {
     ///
     /// Panics if `b` is not terminated by a branch.
     pub fn fold_branch(&mut self, b: BlockId, take_then: bool) {
+        self.bump_cfg();
         let (then_bb, else_bb) = match self.blocks[b.index()].term {
             Terminator::Branch {
                 then_bb, else_bb, ..
@@ -475,6 +540,7 @@ impl Graph {
     /// successors untouched. Used by the parser to patch forward
     /// references and by optimizations to rewrite branch conditions.
     pub fn patch_terminator_inputs(&mut self, b: BlockId, f: impl FnMut(&mut InstId)) {
+        self.bump_value();
         self.blocks[b.index()].term.for_each_input_mut(f);
     }
 
@@ -484,6 +550,9 @@ impl Graph {
     ///
     /// Panics if `b` is not terminated by a branch.
     pub fn set_branch_probability(&mut self, b: BlockId, prob: f64) {
+        // Probabilities feed BlockFrequencies, a CFG-level analysis, so this
+        // counts as a CFG change even though no edge moves.
+        self.bump_cfg();
         match &mut self.blocks[b.index()].term {
             Terminator::Branch { prob_then, .. } => *prob_then = prob,
             _ => panic!("{b} is not terminated by a branch"),
@@ -494,6 +563,7 @@ impl Graph {
     /// blocks) to `new`.
     pub fn replace_all_uses(&mut self, old: InstId, new: InstId) {
         assert_ne!(old, new, "cannot replace a value with itself");
+        self.bump_value();
         for data in &mut self.insts {
             if data.block.is_some() {
                 data.inst.for_each_input_mut(|i| {
@@ -546,6 +616,7 @@ impl Graph {
     /// The caller must first have eliminated `from`'s φs and must ensure
     /// `to`'s unique successor is `from`.
     pub fn merge_block_into_pred(&mut self, from: BlockId, to: BlockId) {
+        self.bump_cfg();
         assert_eq!(
             self.succs(to),
             vec![from],
@@ -890,6 +961,34 @@ mod tests {
     fn install_terminator_rejects_terminated_blocks() {
         let (mut g, bt, _bf, bm, _) = figure1();
         g.install_terminator_with_phi_inputs(bt, Terminator::Jump { target: bm }, &[vec![]]);
+    }
+
+    #[test]
+    fn versions_track_mutation_levels() {
+        let (mut g, _bt, _bf, _bm, phi) = figure1();
+        let (cfg0, val0) = (g.cfg_version(), g.version());
+        // Pure value rewrites move the value epoch but not the CFG epoch.
+        let hundred = g.append_inst(g.entry(), Inst::Const(ConstValue::Int(100)), Type::Int);
+        assert_eq!(g.cfg_version(), cfg0);
+        assert_ne!(g.version(), val0);
+        g.replace_all_uses(phi, hundred);
+        assert_eq!(g.cfg_version(), cfg0);
+        // Structural mutations move both, to the same fresh stamp.
+        let v1 = g.version();
+        g.add_block();
+        assert_ne!(g.cfg_version(), cfg0);
+        assert_ne!(g.version(), v1);
+        assert_eq!(g.cfg_version(), g.version());
+    }
+
+    #[test]
+    fn clone_shares_stamp_until_it_diverges() {
+        let (g, ..) = figure1();
+        let mut c = g.clone();
+        assert_eq!(c.version(), g.version());
+        assert_eq!(c.cfg_version(), g.cfg_version());
+        c.add_block();
+        assert_ne!(c.cfg_version(), g.cfg_version());
     }
 
     #[test]

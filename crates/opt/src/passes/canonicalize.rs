@@ -16,7 +16,7 @@
 
 use crate::env::FactEnv;
 use crate::evaluate::{evaluate, record_effects, OptKind, Verdict};
-use dbds_analysis::DomTree;
+use dbds_analysis::{AnalysisCache, DomTree};
 use dbds_ir::{BlockId, ConstValue, Graph, Inst, InstId, Terminator, Type};
 use std::collections::HashMap;
 
@@ -76,9 +76,10 @@ impl ConstPool {
     }
 }
 
-/// Runs one canonicalization pass over `g`.
-pub fn canonicalize(g: &mut Graph) -> CanonStats {
-    let dt = DomTree::compute(g);
+/// Runs one canonicalization pass over `g`, pulling the dominator tree
+/// through `cache`.
+pub fn canonicalize(g: &mut Graph, cache: &mut AnalysisCache) -> CanonStats {
+    let dt = cache.domtree(g);
     let mut stats = CanonStats::default();
     let mut pool = ConstPool::new();
     walk(g, &dt, g.entry(), FactEnv::new(), &mut stats, &mut pool);
@@ -202,7 +203,7 @@ mod tests {
         let sq = b.mul(sum, sum); // 25
         b.ret(Some(sq));
         let mut g = b.finish();
-        let stats = canonicalize(&mut g);
+        let stats = canonicalize(&mut g, &mut AnalysisCache::new());
         assert!(stats.applied[&OptKind::ConstantFold] >= 2);
         verify(&g).unwrap();
         assert_eq!(execute(&g, &[]).outcome, Ok(Value::Int(25)));
@@ -240,7 +241,7 @@ mod tests {
         let three = b.iconst(3);
         b.ret(Some(three));
         let mut g = b.finish();
-        let stats = canonicalize(&mut g);
+        let stats = canonicalize(&mut g, &mut AnalysisCache::new());
         assert!(stats.applied.contains_key(&OptKind::ConditionalElim));
         assert_eq!(stats.branch_folds, 1);
         verify(&g).unwrap();
@@ -276,7 +277,7 @@ mod tests {
         let v = b.load(obj, fx);
         b.ret(Some(v));
         let mut g = b.finish();
-        let stats = canonicalize(&mut g);
+        let stats = canonicalize(&mut g, &mut AnalysisCache::new());
         assert!(stats.branch_folds >= 1);
         verify(&g).unwrap();
         assert!(matches!(g.terminator(bok), Terminator::Jump { target } if *target == bread));
@@ -294,7 +295,7 @@ mod tests {
         let s = b.add(r1, r2);
         b.ret(Some(s));
         let mut g = b.finish();
-        let stats = canonicalize(&mut g);
+        let stats = canonicalize(&mut g, &mut AnalysisCache::new());
         assert_eq!(stats.applied.get(&OptKind::ReadElim), Some(&1));
         verify(&g).unwrap();
         // Only one load remains.
@@ -314,7 +315,7 @@ mod tests {
         let m = b.mul(x, eight);
         b.ret(Some(m));
         let mut g = b.finish();
-        let stats = canonicalize(&mut g);
+        let stats = canonicalize(&mut g, &mut AnalysisCache::new());
         assert_eq!(stats.applied.get(&OptKind::StrengthReduce), Some(&1));
         verify(&g).unwrap();
         assert_eq!(execute(&g, &[Value::Int(5)]).outcome, Ok(Value::Int(40)));
@@ -350,7 +351,7 @@ mod tests {
         let r2 = b.load(obj, fx);
         b.ret(Some(r2));
         let mut g = b.finish();
-        canonicalize(&mut g);
+        canonicalize(&mut g, &mut AnalysisCache::new());
         verify(&g).unwrap();
         // r2 must survive.
         assert!(g
@@ -383,7 +384,7 @@ mod tests {
         let zero = b.iconst(0);
         b.ret(Some(zero));
         let mut g = b.finish();
-        let stats = canonicalize(&mut g);
+        let stats = canonicalize(&mut g, &mut AnalysisCache::new());
         assert!(stats.branch_folds >= 1);
         verify(&g).unwrap();
         assert!(matches!(g.terminator(byes), Terminator::Jump { target } if *target == byes2));

@@ -10,7 +10,7 @@
 //! dedup is read elimination's job — and no allocations, which have
 //! identity).
 
-use dbds_analysis::DomTree;
+use dbds_analysis::{AnalysisCache, DomTree};
 use dbds_ir::{BinOp, ClassId, CmpOp, ConstValue, FieldId, Graph, Inst, InstId};
 use std::collections::HashMap;
 
@@ -64,9 +64,10 @@ fn key_of(g: &Graph, i: InstId) -> Option<Key> {
     })
 }
 
-/// Runs GVN over `g`. Returns the number of instructions deduplicated.
-pub fn global_value_numbering(g: &mut Graph) -> usize {
-    let dt = DomTree::compute(g);
+/// Runs GVN over `g`, pulling the dominator tree through `cache`.
+/// Returns the number of instructions deduplicated.
+pub fn global_value_numbering(g: &mut Graph, cache: &mut AnalysisCache) -> usize {
+    let dt = cache.domtree(g);
     let mut removed = 0;
     walk(g, &dt, g.entry(), &HashMap::new(), &mut removed);
     removed
@@ -121,7 +122,7 @@ mod tests {
         let s = b.mul(a1, a2);
         b.ret(Some(s));
         let mut g = b.finish();
-        assert_eq!(global_value_numbering(&mut g), 1);
+        assert_eq!(global_value_numbering(&mut g, &mut AnalysisCache::new()), 1);
         verify(&g).unwrap();
         assert_eq!(
             execute(&g, &[Value::Int(3), Value::Int(4)]).outcome,
@@ -139,7 +140,7 @@ mod tests {
         let s = b.sub(a1, a2); // 0 after dedup + folding
         b.ret(Some(s));
         let mut g = b.finish();
-        assert_eq!(global_value_numbering(&mut g), 1);
+        assert_eq!(global_value_numbering(&mut g, &mut AnalysisCache::new()), 1);
         verify(&g).unwrap();
         assert_eq!(
             execute(&g, &[Value::Int(3), Value::Int(4)]).outcome,
@@ -157,7 +158,7 @@ mod tests {
         let s = b.add(s1, s2);
         b.ret(Some(s));
         let mut g = b.finish();
-        assert_eq!(global_value_numbering(&mut g), 0);
+        assert_eq!(global_value_numbering(&mut g, &mut AnalysisCache::new()), 0);
         verify(&g).unwrap();
     }
 
@@ -176,7 +177,7 @@ mod tests {
         let f1 = b.mul(x, x); // unique in its branch
         b.ret(Some(f1));
         let mut g = b.finish();
-        assert_eq!(global_value_numbering(&mut g), 1);
+        assert_eq!(global_value_numbering(&mut g, &mut AnalysisCache::new()), 1);
         verify(&g).unwrap();
         let _ = outer;
         assert_eq!(
@@ -205,7 +206,7 @@ mod tests {
         let f1 = b.add(x, x);
         b.ret(Some(f1));
         let mut g = b.finish();
-        assert_eq!(global_value_numbering(&mut g), 0);
+        assert_eq!(global_value_numbering(&mut g, &mut AnalysisCache::new()), 0);
         verify(&g).unwrap();
     }
 
@@ -227,7 +228,7 @@ mod tests {
         let s = b.add(s1, s2);
         b.ret(Some(s));
         let mut g = b.finish();
-        assert_eq!(global_value_numbering(&mut g), 0);
+        assert_eq!(global_value_numbering(&mut g, &mut AnalysisCache::new()), 0);
         verify(&g).unwrap();
     }
 
@@ -247,7 +248,7 @@ mod tests {
         let _ = (c1, c2, e);
         b.ret(None);
         let mut g = b.finish();
-        let removed = global_value_numbering(&mut g);
+        let removed = global_value_numbering(&mut g, &mut AnalysisCache::new());
         assert_eq!(removed, 1); // only the instanceof pair
         verify(&g).unwrap();
     }

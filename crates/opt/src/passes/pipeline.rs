@@ -11,6 +11,7 @@ use crate::passes::dce::remove_dead_code;
 use crate::passes::gvn::global_value_numbering;
 use crate::passes::scalar_replace::scalar_replace;
 use crate::passes::simplify::simplify_cfg;
+use dbds_analysis::AnalysisCache;
 use dbds_ir::Graph;
 
 /// Upper bound on fixpoint rounds (each round is itself monotone, so this
@@ -34,13 +35,13 @@ pub struct OptimizeStats {
 /// phase uses this as the cheap *partial* optimization step between
 /// duplication iterations (§4.3 applies action steps locally rather than
 /// re-optimizing the world).
-pub fn optimize_once(g: &mut Graph) -> OptimizeStats {
+pub fn optimize_once(g: &mut Graph, cache: &mut AnalysisCache) -> OptimizeStats {
     let mut stats = OptimizeStats {
         rounds: 1,
         ..OptimizeStats::default()
     };
-    let c = canonicalize(g);
-    let gvn = global_value_numbering(g);
+    let c = canonicalize(g, cache);
+    let gvn = global_value_numbering(g, cache);
     let sr = scalar_replace(g);
     let dce = remove_dead_code(g);
     let simp = simplify_cfg(g);
@@ -51,12 +52,12 @@ pub fn optimize_once(g: &mut Graph) -> OptimizeStats {
 }
 
 /// Optimizes `g` to a fixpoint with the §2 optimization set.
-pub fn optimize_full(g: &mut Graph) -> OptimizeStats {
+pub fn optimize_full(g: &mut Graph, cache: &mut AnalysisCache) -> OptimizeStats {
     let mut stats = OptimizeStats::default();
     for round in 0..MAX_ROUNDS {
         stats.rounds = round + 1;
-        let c = canonicalize(g);
-        let gvn = global_value_numbering(g);
+        let c = canonicalize(g, cache);
+        let gvn = global_value_numbering(g, cache);
         let sr = scalar_replace(g);
         let dce = remove_dead_code(g);
         let simp = simplify_cfg(g);
@@ -94,7 +95,7 @@ mod tests {
         let s2 = b.add(two, zero); // constant-folds to 2 (Figure 1c)
         b.ret(Some(s2));
         let mut g = b.finish();
-        let stats = optimize_full(&mut g);
+        let stats = optimize_full(&mut g, &mut AnalysisCache::new());
         assert!(stats.changed);
         verify(&g).unwrap();
         assert_eq!(execute(&g, &[Value::Int(5)]).outcome, Ok(Value::Int(7)));
@@ -123,7 +124,7 @@ mod tests {
         let s = b.add(l, three); // 8 after folding
         b.ret(Some(s));
         let mut g = b.finish();
-        let stats = optimize_full(&mut g);
+        let stats = optimize_full(&mut g, &mut AnalysisCache::new());
         assert_eq!(stats.scalar_replaced, 1);
         verify(&g).unwrap();
         assert_eq!(execute(&g, &[]).outcome, Ok(Value::Int(8)));
@@ -143,7 +144,7 @@ mod tests {
         let x = b.param(0);
         b.ret(Some(x));
         let mut g = b.finish();
-        let s1 = optimize_full(&mut g);
+        let s1 = optimize_full(&mut g, &mut AnalysisCache::new());
         assert!(!s1.changed);
         assert_eq!(s1.rounds, 1);
     }

@@ -18,6 +18,7 @@
 //! cargo run --example conditional_elimination
 //! ```
 
+use dbds::analysis::AnalysisCache;
 use dbds::core::{compile, simulate, DbdsConfig, OptLevel};
 use dbds::costmodel::CostModel;
 use dbds::ir::{execute, parse_module, print_graph, verify, Value};
@@ -55,7 +56,7 @@ fn main() {
     // The simulation finds the conditional-elimination opportunity on the
     // else predecessor only.
     let model = CostModel::new();
-    for r in simulate(&graph, &model) {
+    for r in simulate(&graph, &model, &mut AnalysisCache::new()) {
         let ce = r
             .opportunities
             .iter()

@@ -11,17 +11,14 @@
 //! cargo run --example cost_model
 //! ```
 
-use dbds::analysis::{BlockFrequencies, DomTree, LoopForest};
+use dbds::analysis::AnalysisCache;
 use dbds::core::{compile, DbdsConfig, OptLevel, TradeoffConfig};
 use dbds::costmodel::CostModel;
 use dbds::ir::{print_graph, verify, ClassTable, GraphBuilder, InstKind, Type};
 use std::sync::Arc;
 
 fn weighted(g: &dbds::ir::Graph, model: &CostModel) -> f64 {
-    let dt = DomTree::compute(g);
-    let lf = LoopForest::compute(g, &dt);
-    let fr = BlockFrequencies::compute(g, &dt, &lf);
-    model.graph_weighted_cycles(g, &fr)
+    model.weighted_cycles(g, &mut AnalysisCache::new())
 }
 
 fn main() {

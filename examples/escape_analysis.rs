@@ -19,6 +19,7 @@
 //! cargo run --example escape_analysis
 //! ```
 
+use dbds::analysis::AnalysisCache;
 use dbds::core::{compile, simulate, DbdsConfig, OptLevel};
 use dbds::costmodel::CostModel;
 use dbds::ir::{
@@ -55,7 +56,7 @@ fn main() {
     println!("=== Listing 3 ===\n{}", print_graph(&graph));
 
     let model = CostModel::new();
-    for r in simulate(&graph, &model) {
+    for r in simulate(&graph, &model, &mut AnalysisCache::new()) {
         let pea = r
             .opportunities
             .iter()

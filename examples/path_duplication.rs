@@ -12,6 +12,7 @@
 //! cargo run --example path_duplication
 //! ```
 
+use dbds::analysis::AnalysisCache;
 use dbds::core::{compile, simulate_paths, DbdsConfig, OptLevel, TradeoffConfig};
 use dbds::costmodel::CostModel;
 use dbds::ir::{execute, parse_module, print_graph, verify, Value};
@@ -52,7 +53,7 @@ fn main() {
 
     // Path-aware simulation: every prefix of a path is a candidate.
     println!("=== Simulation with max_path_length = 2 ===");
-    for r in simulate_paths(&module.graphs[0], &model, 2) {
+    for r in simulate_paths(&module.graphs[0], &model, &mut AnalysisCache::new(), 2) {
         println!(
             "pred {} → path {:?}: CS {:.1}, cost {}",
             r.pred, r.path, r.cycles_saved, r.size_cost

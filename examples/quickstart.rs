@@ -9,6 +9,7 @@
 //! cargo run --example quickstart
 //! ```
 
+use dbds::analysis::AnalysisCache;
 use dbds::core::{compile, simulate, DbdsConfig, OptLevel};
 use dbds::costmodel::CostModel;
 use dbds::ir::{execute, print_graph, verify, ClassTable, CmpOp, GraphBuilder, Type, Value};
@@ -43,7 +44,7 @@ fn main() {
     // copied or mutated.
     let model = CostModel::new();
     println!("=== Simulation tier ===");
-    for r in simulate(&graph, &model) {
+    for r in simulate(&graph, &model, &mut AnalysisCache::new()) {
         println!(
             "duplicate {} into {}: cycles saved {:.1}, size cost {}, p = {:.2}, {} opportunit{}",
             r.merge,

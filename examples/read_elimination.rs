@@ -18,6 +18,7 @@
 //! cargo run --example read_elimination
 //! ```
 
+use dbds::analysis::AnalysisCache;
 use dbds::core::{compile, simulate, DbdsConfig, OptLevel};
 use dbds::costmodel::CostModel;
 use dbds::ir::{
@@ -54,7 +55,7 @@ fn main() {
     println!("=== Listing 5 ===\n{}", print_graph(&graph));
 
     let model = CostModel::new();
-    for r in simulate(&graph, &model) {
+    for r in simulate(&graph, &model, &mut AnalysisCache::new()) {
         let re = r.opportunities.iter().any(|o| o.kind == OptKind::ReadElim);
         println!(
             "pred {} → merge {}: CS {:.1}{}",

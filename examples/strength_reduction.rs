@@ -15,6 +15,7 @@
 //! cargo run --example strength_reduction
 //! ```
 
+use dbds::analysis::AnalysisCache;
 use dbds::core::{compile, simulate, DbdsConfig, OptLevel};
 use dbds::costmodel::CostModel;
 use dbds::ir::{execute, parse_module, print_graph, verify, BinOp, Inst, Value};
@@ -51,7 +52,7 @@ fn main() {
 
     let model = CostModel::new();
     println!("=== Duplication simulation (Figure 3c/3d) ===");
-    for r in simulate(&graph, &model) {
+    for r in simulate(&graph, &model, &mut AnalysisCache::new()) {
         println!(
             "pred {} → merge {}: CS = {:.0}",
             r.pred, r.merge, r.cycles_saved
@@ -64,7 +65,7 @@ fn main() {
         }
     }
     // The constant path must report exactly CS = 31 (div 32 → shr 1).
-    let results = simulate(&graph, &model);
+    let results = simulate(&graph, &model, &mut AnalysisCache::new());
     let best = results
         .iter()
         .map(|r| r.cycles_saved)

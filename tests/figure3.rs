@@ -5,7 +5,7 @@
 //! cycle), the trade-off must accept, and the optimization tier must
 //! produce Figure 3e.
 
-use dbds::analysis::{DomTree, LoopForest};
+use dbds::analysis::{AnalysisCache, DomTree, LoopForest};
 use dbds::core::{compile, simulate, DbdsConfig, OptLevel};
 use dbds::costmodel::CostModel;
 use dbds::ir::{execute, parse_module, verify, BinOp, Graph, Inst, Value};
@@ -42,7 +42,7 @@ fn program_f() -> Graph {
 fn simulation_reports_cs_31_on_the_constant_path() {
     let g = program_f();
     let model = CostModel::new();
-    let results = simulate(&g, &model);
+    let results = simulate(&g, &model, &mut AnalysisCache::new());
     // Two predecessor→merge pairs, as in Figure 3c.
     assert_eq!(results.len(), 2);
     let best = results

@@ -5,6 +5,7 @@
 //! must discover the constant fold of the multiplication — the mechanics
 //! behind Figure 4's `14 → 12.2` cycle computation.
 
+use dbds::analysis::AnalysisCache;
 use dbds::core::simulate;
 use dbds::costmodel::{CostModel, NodeCost};
 use dbds::ir::{verify, ClassTable, GraphBuilder, InstKind, Type};
@@ -58,7 +59,7 @@ fn merge_block_costs_14_cycles() {
 fn hot_predecessor_folds_the_multiplication() {
     let (g, b1, b2, _) = figure4();
     let model = CostModel::new();
-    let results = simulate(&g, &model);
+    let results = simulate(&g, &model, &mut AnalysisCache::new());
     let hot = results.iter().find(|r| r.pred == b1).unwrap();
     // φ → 3, so 3 * 3 constant-folds: CS = cycles(Mul) = 2. The weighted
     // saving 0.9 × 2 = 1.8 is Figure 4's "14 → 12.2".
@@ -79,7 +80,7 @@ fn cost_table_is_overridable() {
     // Pretend multiplications are free: the opportunity disappears from
     // the benefit (CS = 0).
     model.set_cost(InstKind::Mul, NodeCost::new(0, 1));
-    let results = simulate(&g, &model);
+    let results = simulate(&g, &model, &mut AnalysisCache::new());
     let hot = results.iter().find(|r| r.pred == b1).unwrap();
     assert_eq!(hot.cycles_saved, 0.0);
 }

@@ -3,6 +3,7 @@
 //! pins down one behaviour of the §2 optimization set or its cleanup
 //! passes.
 
+use dbds::analysis::AnalysisCache;
 use dbds::ir::{execute, parse_module, print_graph, verify, Value};
 use dbds::opt::optimize_full;
 
@@ -11,7 +12,7 @@ fn optimized(src: &str) -> String {
     let mut module = parse_module(src).expect("golden source parses");
     let g = &mut module.graphs[0];
     verify(g).expect("golden source verifies");
-    optimize_full(g);
+    optimize_full(g, &mut AnalysisCache::new());
     verify(g).expect("optimized graph verifies");
     print_graph(g)
 }
@@ -178,7 +179,7 @@ fn optimization_preserves_golden_semantics() {
          ok:\n  two: int = const 2\n  q: int = div x, two\n  return q\n}";
     let reference = parse_module(src).unwrap().graphs.remove(0);
     let mut opt = reference.clone();
-    optimize_full(&mut opt);
+    optimize_full(&mut opt, &mut AnalysisCache::new());
     for x in [0i64, 1, 7, 100, 12345] {
         assert_eq!(
             execute(&opt, &[Value::Int(x)]).outcome,

@@ -4,6 +4,7 @@
 //! simulate along paths" — this reproduction implements both sides,
 //! gated by `DbdsConfig::max_path_length`.
 
+use dbds::analysis::AnalysisCache;
 use dbds::core::{compile, simulate_paths, DbdsConfig, OptLevel, TradeoffConfig};
 use dbds::costmodel::CostModel;
 use dbds::ir::{execute, parse_module, verify, Graph, Value};
@@ -60,7 +61,7 @@ fn path_simulation_finds_more_than_single_merge_simulation() {
 
     // With path length 1, the DSTs into m1 stop at its jump: m1's body is
     // just the φ, so no benefit is visible from bf1.
-    let single = simulate_paths(&g, &model, 1);
+    let single = simulate_paths(&g, &model, &mut AnalysisCache::new(), 1);
     let single_from_m1_preds = single
         .iter()
         .filter(|r| r.merge == m1)
@@ -73,7 +74,7 @@ fn path_simulation_finds_more_than_single_merge_simulation() {
 
     // With path length 2, the DST continues through m1 into m2, where
     // q ↦ p ↦ 13 lets the add and the mul fold.
-    let paths = simulate_paths(&g, &model, 2);
+    let paths = simulate_paths(&g, &model, &mut AnalysisCache::new(), 2);
     assert!(
         paths.iter().any(|r| r.path.len() == 2),
         "expected at least one two-merge path candidate"

@@ -5,6 +5,7 @@
 //! programs to throw at the optimizer, the duplication transform, the
 //! printer/parser and the back end.
 
+use dbds::analysis::AnalysisCache;
 use dbds::backend::compile_to_machine_code;
 use dbds::core::{compile, duplicate, DbdsConfig, OptLevel};
 use dbds::costmodel::CostModel;
@@ -62,7 +63,7 @@ proptest! {
     fn optimize_full_preserves_semantics(seed in 0u64..1_000_000, profile in arb_profile(), input in arb_inputs()) {
         let g = generate_graph("prop", &profile, seed);
         let mut opt = g.clone();
-        optimize_full(&mut opt);
+        optimize_full(&mut opt, &mut AnalysisCache::new());
         verify(&opt).unwrap();
         let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
         prop_assert_eq!(execute(&g, &args).outcome, execute(&opt, &args).outcome);
