@@ -1,4 +1,4 @@
-//! Ablation benches for the design constants DESIGN.md §6 calls out:
+//! Ablation benches for the design constants DESIGN.md §8 calls out:
 //! the benefit scale factor `BS = 256`, the code-size increase budget
 //! `IB = 1.5`, and the iteration bound 3 (§5.2/§5.4). Each sweep
 //! measures whole-suite DBDS compile time at the given setting; the

@@ -7,6 +7,7 @@
 //! compilation time by roughly an order of magnitude — the benchmark
 //! `backtracking_vs_simulation` reproduces that comparison.
 
+use crate::bailout::{isolate, BailoutRecord, Budget, Tier};
 use crate::phase::{DbdsConfig, PhaseStats};
 use crate::transform::duplicate;
 use dbds_analysis::AnalysisCache;
@@ -30,6 +31,8 @@ pub struct BacktrackStats {
     /// Instructions copied across all graph clones (the compile-time
     /// cost driver the paper calls out).
     pub instructions_copied: u64,
+    /// Bailout incidents (budget exhaustion, contained panics).
+    pub bailouts: Vec<BailoutRecord>,
 }
 
 impl From<BacktrackStats> for PhaseStats {
@@ -45,7 +48,9 @@ impl From<BacktrackStats> for PhaseStats {
             sim_ns: 0,
             transform_ns: 0,
             opt_ns: 0,
+            guard_ns: 0,
             cache: Default::default(),
+            bailouts: b.bailouts,
         }
     }
 }
@@ -70,6 +75,7 @@ pub fn run_backtracking(
     cache: &mut AnalysisCache,
 ) -> BacktrackStats {
     let mut stats = BacktrackStats::default();
+    let budget = Budget::new(&cfg.guard);
     optimize_full(g, cache);
     let initial_size = model.graph_size(g);
     stats.initial_size = initial_size;
@@ -86,13 +92,41 @@ pub fn run_backtracking(
                 }
                 stats.attempts += 1;
                 // The expensive part Algorithm 1 cannot avoid: copy the
-                // entire CFG as a backup.
-                let backup = g.clone();
-                stats.instructions_copied += g.live_inst_count() as u64;
+                // entire CFG as a backup. Each copied instruction burns
+                // fuel — this is exactly the cost the paper calls out.
+                if let Err(reason) = budget.consume(g.live_inst_count() as u64) {
+                    stats.bailouts.push(BailoutRecord {
+                        reason,
+                        tier: Tier::Optimization,
+                        candidate: Some((pred, merge)),
+                        recovered: false,
+                    });
+                    break 'outer;
+                }
+                let backup = g.snapshot();
+                stats.instructions_copied += backup.live_inst_count() as u64;
                 let before = model.weighted_cycles(g, cache);
 
-                duplicate(g, pred, merge);
-                optimize_full(g, cache);
+                if cfg.guard.checkpoints {
+                    if let Err(reason) = isolate(|| {
+                        duplicate(g, pred, merge);
+                        optimize_full(g, cache);
+                    }) {
+                        // Contained: Algorithm 1's backup doubles as our
+                        // recovery snapshot.
+                        backup.restore(g);
+                        stats.bailouts.push(BailoutRecord {
+                            reason,
+                            tier: Tier::Optimization,
+                            candidate: Some((pred, merge)),
+                            recovered: true,
+                        });
+                        continue;
+                    }
+                } else {
+                    duplicate(g, pred, merge);
+                    optimize_full(g, cache);
+                }
 
                 let after = model.weighted_cycles(g, cache);
                 let size = model.graph_size(g);
@@ -105,7 +139,7 @@ pub fn run_backtracking(
                     // 1's `continue outer`).
                     continue 'outer;
                 }
-                *g = backup;
+                backup.restore(g);
             }
         }
         // A full scan without an accepted duplication: done.
@@ -192,6 +226,28 @@ mod tests {
         assert_eq!(stats.accepted, 0);
         assert!(stats.attempts >= 2);
         verify(&g).unwrap();
+    }
+
+    #[test]
+    fn fuel_exhaustion_stops_backtracking_with_a_verified_graph() {
+        use crate::bailout::{BailoutReason, GuardConfig};
+        let mut g = figure1();
+        let model = CostModel::new();
+        let cfg = DbdsConfig {
+            guard: GuardConfig {
+                fuel: Some(1),
+                ..GuardConfig::default()
+            },
+            ..DbdsConfig::default()
+        };
+        let stats = run_backtracking(&mut g, &model, &cfg, &mut AnalysisCache::new());
+        assert_eq!(stats.accepted, 0);
+        assert!(stats
+            .bailouts
+            .iter()
+            .any(|b| b.reason == BailoutReason::FuelExhausted && !b.recovered));
+        verify(&g).unwrap();
+        assert_eq!(execute(&g, &[Value::Int(5)]).outcome, Ok(Value::Int(7)));
     }
 
     #[test]

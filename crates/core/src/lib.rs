@@ -49,15 +49,42 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod backtracking;
+mod bailout;
+#[cfg(feature = "fault-injection")]
+pub mod faultinject;
 mod phase;
 mod simulation;
 mod tradeoff;
 mod transform;
 
+/// No-op stand-ins for the fault-injection hooks when the
+/// `fault-injection` feature is compiled out: every injection point and
+/// budget poll folds to nothing.
+#[cfg(not(feature = "fault-injection"))]
+pub(crate) mod faultinject {
+    use crate::bailout::BailoutReason;
+    use dbds_ir::Graph;
+
+    #[inline(always)]
+    pub(crate) fn fault_point(_site: &str, _g: Option<&mut Graph>) {}
+
+    #[inline(always)]
+    pub(crate) fn take_pending_exhaustion() -> Option<BailoutReason> {
+        None
+    }
+}
+
 pub use backtracking::{run_backtracking, BacktrackStats};
+pub use bailout::{checkpoint, isolate, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier};
 pub use phase::{compile, run_dbds, DbdsConfig, OptLevel, PhaseStats};
-pub use simulation::{simulate, simulate_paths, Opportunity, SimulationResult};
-pub use tradeoff::{select, should_duplicate, SelectionMode, TradeoffConfig};
-pub use transform::{duplicate, Duplication};
+pub use simulation::{
+    simulate, simulate_paths, simulate_paths_budgeted, Opportunity, SimulationOutcome,
+    SimulationResult,
+};
+pub use tradeoff::{
+    select, select_with_rejections, should_duplicate, Selection, SelectionMode, TradeoffConfig,
+};
+pub use transform::{duplicate, try_duplicate, Duplication, TransformError};

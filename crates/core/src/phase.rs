@@ -8,12 +8,16 @@
 //! cumulative benefit clears a threshold, and later iterations prefer
 //! merges not yet duplicated.
 
-use crate::simulation::simulate_paths;
-use crate::tradeoff::{select, SelectionMode, TradeoffConfig};
-use crate::transform::duplicate;
+use crate::bailout::{
+    checkpoint, isolate, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier,
+};
+use crate::faultinject::fault_point;
+use crate::simulation::{simulate_paths_budgeted, SimulationResult};
+use crate::tradeoff::{select_with_rejections, SelectionMode, TradeoffConfig};
+use crate::transform::{duplicate, try_duplicate};
 use dbds_analysis::{AnalysisCache, CacheStats};
 use dbds_costmodel::CostModel;
-use dbds_ir::{BlockId, Graph};
+use dbds_ir::{BlockId, Graph, GraphSnapshot};
 use dbds_opt::{optimize_full, optimize_once, OptKind};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -63,6 +67,9 @@ pub struct DbdsConfig {
     /// simulates through jump-connected merges and the optimization tier
     /// duplicates each merge of the accepted path in turn.
     pub max_path_length: usize,
+    /// Bailout-and-recovery guardrails: fuel / deadline budgets, verified
+    /// checkpoints and panic isolation.
+    pub guard: GuardConfig,
 }
 
 impl Default for DbdsConfig {
@@ -75,6 +82,7 @@ impl Default for DbdsConfig {
             // of all compilation units".
             iteration_benefit_threshold: 48.0,
             max_path_length: 1,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -105,10 +113,17 @@ pub struct PhaseStats {
     /// Wall-clock nanoseconds spent in the optimization pipeline
     /// (pre-pass, per-iteration cleanup and final fixpoint).
     pub opt_ns: u128,
+    /// Wall-clock nanoseconds spent on guardrail bookkeeping (rollback
+    /// snapshots, checkpoint verification, restores) — kept out of
+    /// `sim_ns` / `opt_ns` / `transform_ns` so those stay comparable to
+    /// unguarded runs.
+    pub guard_ns: u128,
     /// Analysis-cache counters accumulated over the compilation
     /// (dominators, loops, frequencies served from / recomputed into the
     /// [`AnalysisCache`]).
     pub cache: CacheStats,
+    /// Every bailout incident of this compilation, in order.
+    pub bailouts: Vec<BailoutRecord>,
 }
 
 impl PhaseStats {
@@ -154,6 +169,11 @@ pub fn compile(g: &mut Graph, model: &CostModel, level: OptLevel, cfg: &DbdsConf
 
 /// Runs the full three-tier DBDS phase on `g`, pulling every CFG analysis
 /// through `cache`.
+///
+/// The phase is guarded (see [`GuardConfig`]): fuel / deadline exhaustion
+/// stops it early with a [`BailoutRecord`], a failing candidate rolls
+/// back to the last verified snapshot and the remaining candidates
+/// continue — the returned graph always verifies.
 pub fn run_dbds(
     g: &mut Graph,
     model: &CostModel,
@@ -163,87 +183,303 @@ pub fn run_dbds(
 ) -> PhaseStats {
     let mut stats = PhaseStats::default();
     let cache_base = cache.stats();
-    let t = Instant::now();
-    optimize_full(g, cache);
-    stats.opt_ns += t.elapsed().as_nanos();
+    let budget = Budget::new(&cfg.guard);
+    let checkpoints = cfg.guard.checkpoints;
+    run_opt_tier(g, cache, &mut stats, checkpoints, true);
     let initial_size = model.graph_size(g);
     stats.initial_size = initial_size;
     let mut visited: HashSet<BlockId> = HashSet::new();
+    // The last snapshot known to verify, the rollback target for a
+    // failing candidate.
+    let mut good: Option<GraphSnapshot> = None;
 
     for _ in 0..cfg.max_iterations {
         stats.iterations += 1;
         let t = Instant::now();
-        let results = simulate_paths(g, model, cache, cfg.max_path_length);
+        let sim = simulate_paths_budgeted(g, model, cache, cfg.max_path_length, &budget);
         stats.sim_ns += t.elapsed().as_nanos();
-        stats.candidates += results.len();
+        stats.candidates += sim.results.len();
         stats.work += g.live_inst_count() as u64 * 2; // simulation visit
+        for (pred, merge, msg) in sim.panicked {
+            stats.bailouts.push(BailoutRecord {
+                reason: BailoutReason::TransformPanicked(msg),
+                tier: Tier::Simulation,
+                candidate: Some((pred, merge)),
+                recovered: true,
+            });
+        }
+        if let Some(reason) = sim.stopped {
+            stats.bailouts.push(BailoutRecord {
+                reason,
+                tier: Tier::Simulation,
+                candidate: None,
+                recovered: false,
+            });
+            break;
+        }
         let current_size = model.graph_size(g);
-        let selected = select(
-            &results,
+        let selection = select_with_rejections(
+            &sim.results,
             &cfg.tradeoff,
             mode,
             initial_size,
             current_size,
             &visited,
         );
-        // The transform invalidates the borrow of `results`; take owned
-        // copies of what we need.
-        let plan: Vec<crate::simulation::SimulationResult> =
-            selected.into_iter().cloned().collect();
+        for candidate in selection.size_rejected {
+            stats.bailouts.push(BailoutRecord {
+                reason: BailoutReason::SizeBudgetExceeded,
+                tier: Tier::Tradeoff,
+                candidate: Some(candidate),
+                recovered: true,
+            });
+        }
+        // The transform invalidates the borrow of `sim.results`; take
+        // owned copies of what we need.
+        let plan: Vec<SimulationResult> = selection.accepted.into_iter().cloned().collect();
         if plan.is_empty() {
             break;
         }
         let mut cumulative = 0.0;
         let t = Instant::now();
+        let mut guard_here: u128 = 0;
+        if checkpoints {
+            let tg = Instant::now();
+            good = Some(g.snapshot());
+            guard_here += tg.elapsed().as_nanos();
+        }
+        let mut stopped = None;
         for s in &plan {
             // Re-validate: earlier duplications this round may have
             // restructured the pair.
             if !g.is_merge(s.merge) || !g.succs(s.pred).contains(&s.merge) {
                 continue;
             }
-            let mut dup = duplicate(g, s.pred, s.merge);
-            visited.insert(s.merge);
-            stats.duplications += 1;
-            stats.work += g.block_insts(s.merge).len() as u64;
-            // Path-based extension: duplicate the remaining merges of the
-            // accepted path into the freshly created copies.
-            for &m in &s.path[1..] {
-                if !g.is_merge(m) || !g.succs(dup.copy).contains(&m) {
-                    break;
-                }
-                dup = duplicate(g, dup.copy, m);
-                visited.insert(m);
-                stats.duplications += 1;
-                stats.work += g.block_insts(m).len() as u64;
+            if let Err(reason) = budget.check() {
+                stopped = Some(reason);
+                break;
             }
-            cumulative += s.weighted_benefit();
-            for o in &s.opportunities {
-                *stats.opportunities.entry(o.kind).or_insert(0) += 1;
+            match apply_chain(g, s, checkpoints, &mut guard_here) {
+                Ok(chain) => {
+                    stats.duplications += chain.duplications;
+                    stats.work += chain.work;
+                    visited.extend(chain.visited);
+                    cumulative += s.weighted_benefit();
+                    for o in &s.opportunities {
+                        *stats.opportunities.entry(o.kind).or_insert(0) += 1;
+                    }
+                    if checkpoints {
+                        let tg = Instant::now();
+                        good = Some(g.snapshot());
+                        guard_here += tg.elapsed().as_nanos();
+                    }
+                }
+                Err(reason) => {
+                    // Contained failure: roll the graph back to the last
+                    // verified snapshot and move on to the next candidate.
+                    let tg = Instant::now();
+                    if let Some(snap) = &good {
+                        snap.restore_cloned(g);
+                    }
+                    guard_here += tg.elapsed().as_nanos();
+                    stats.bailouts.push(BailoutRecord {
+                        reason,
+                        tier: Tier::Optimization,
+                        candidate: Some((s.pred, s.merge)),
+                        recovered: true,
+                    });
+                }
             }
         }
-        stats.transform_ns += t.elapsed().as_nanos();
+        stats.transform_ns += t.elapsed().as_nanos().saturating_sub(guard_here);
+        stats.guard_ns += guard_here;
+        if let Some(reason) = stopped {
+            stats.bailouts.push(BailoutRecord {
+                reason,
+                tier: Tier::Optimization,
+                candidate: None,
+                recovered: false,
+            });
+            break;
+        }
         // The optimization tier: apply the enabled optimizations. One
         // pipeline round suffices between iterations (the paper applies
         // the recorded action steps locally); the full fixpoint runs once
         // at the end.
-        let t = Instant::now();
-        optimize_once(g, cache);
-        stats.opt_ns += t.elapsed().as_nanos();
+        run_opt_tier(g, cache, &mut stats, checkpoints, false);
         if cumulative < cfg.iteration_benefit_threshold {
             break;
         }
     }
-    let t = Instant::now();
-    optimize_full(g, cache);
-    stats.opt_ns += t.elapsed().as_nanos();
+    run_opt_tier(g, cache, &mut stats, checkpoints, true);
+    // Final checkpoint: the per-step verifications already covered the
+    // happy path, so the extra whole-phase verify only runs when faults
+    // are compiled in or something already went wrong this compilation.
+    if checkpoints
+        && (cfg!(feature = "fault-injection")
+            || stats.bailouts.iter().any(|b| b.tier != Tier::Tradeoff))
+    {
+        let tg = Instant::now();
+        if let Err(reason) = checkpoint(g) {
+            let recovered = good.is_some();
+            if let Some(snap) = good.take() {
+                snap.restore(g);
+            }
+            stats.bailouts.push(BailoutRecord {
+                reason,
+                tier: Tier::Optimization,
+                candidate: None,
+                recovered,
+            });
+        }
+        stats.guard_ns += tg.elapsed().as_nanos();
+    }
     stats.final_size = model.graph_size(g);
     stats.record_cache(cache, cache_base);
     stats
 }
 
+/// What one applied candidate (a merge plus the rest of its accepted
+/// path) contributed.
+#[derive(Default)]
+struct ChainOutcome {
+    duplications: usize,
+    work: u64,
+    visited: Vec<BlockId>,
+}
+
+fn record_step(out: &mut ChainOutcome, g: &Graph, merge: BlockId) {
+    out.visited.push(merge);
+    out.duplications += 1;
+    out.work += g.block_insts(merge).len() as u64;
+}
+
+/// Applies one accepted candidate: the `(pred, merge)` duplication plus
+/// the path-based extension into the freshly created copies. With
+/// checkpoints on, each applied duplication is verified and both typed
+/// transform errors and panics become bailout reasons; with checkpoints
+/// off this is the pre-guardrail behavior (failures panic).
+fn apply_chain(
+    g: &mut Graph,
+    s: &SimulationResult,
+    checkpoints: bool,
+    guard_ns: &mut u128,
+) -> Result<ChainOutcome, BailoutReason> {
+    if !checkpoints {
+        let mut out = ChainOutcome::default();
+        let mut dup = duplicate(g, s.pred, s.merge);
+        record_step(&mut out, g, s.merge);
+        for &m in &s.path[1..] {
+            if !g.is_merge(m) || !g.succs(dup.copy).contains(&m) {
+                break;
+            }
+            dup = duplicate(g, dup.copy, m);
+            record_step(&mut out, g, m);
+        }
+        return Ok(out);
+    }
+    let mut guard: u128 = 0;
+    let result = isolate(|| {
+        let verified = |g: &Graph, guard: &mut u128| {
+            let tg = Instant::now();
+            let ck = checkpoint(g);
+            *guard += tg.elapsed().as_nanos();
+            ck
+        };
+        let reject =
+            |e: crate::transform::TransformError| BailoutReason::VerifierRejected(e.to_string());
+        let mut out = ChainOutcome::default();
+        let mut dup = try_duplicate(g, s.pred, s.merge).map_err(reject)?;
+        record_step(&mut out, g, s.merge);
+        verified(g, &mut guard)?;
+        // Path-based extension: duplicate the remaining merges of the
+        // accepted path into the freshly created copies.
+        for &m in &s.path[1..] {
+            if !g.is_merge(m) || !g.succs(dup.copy).contains(&m) {
+                break;
+            }
+            dup = try_duplicate(g, dup.copy, m).map_err(reject)?;
+            record_step(&mut out, g, m);
+            verified(g, &mut guard)?;
+        }
+        Ok(out)
+    });
+    *guard_ns += guard;
+    result.and_then(|inner| inner)
+}
+
+/// Runs the optimization pipeline (`optimize_once`, or the full fixpoint
+/// when `full`) behind the guardrails: a panicking pass is caught and the
+/// graph restored to its pre-pass state. With faults compiled in, the
+/// result is also verified (a corrupted graph restores the same way).
+fn run_opt_tier(
+    g: &mut Graph,
+    cache: &mut AnalysisCache,
+    stats: &mut PhaseStats,
+    checkpoints: bool,
+    full: bool,
+) {
+    if !checkpoints {
+        fault_point("phase/optimize", Some(g));
+        let t = Instant::now();
+        if full {
+            optimize_full(g, cache);
+        } else {
+            optimize_once(g, cache);
+        }
+        stats.opt_ns += t.elapsed().as_nanos();
+        return;
+    }
+    let tg = Instant::now();
+    let snap = g.snapshot();
+    stats.guard_ns += tg.elapsed().as_nanos();
+    let t = Instant::now();
+    let result = isolate(|| {
+        // Inside the guard so an injected panic here is contained.
+        fault_point("phase/optimize", Some(g));
+        if full {
+            optimize_full(g, cache);
+        } else {
+            optimize_once(g, cache);
+        }
+    });
+    stats.opt_ns += t.elapsed().as_nanos();
+    match result {
+        Err(reason) => {
+            let tg = Instant::now();
+            snap.restore(g);
+            stats.guard_ns += tg.elapsed().as_nanos();
+            stats.bailouts.push(BailoutRecord {
+                reason,
+                tier: Tier::Optimization,
+                candidate: None,
+                recovered: true,
+            });
+        }
+        Ok(()) if cfg!(feature = "fault-injection") => {
+            // Production builds skip this verify: optimizer bugs surface
+            // as panics (caught above), injected corruption only exists
+            // with the feature on.
+            let tg = Instant::now();
+            if let Err(reason) = checkpoint(g) {
+                snap.restore(g);
+                stats.bailouts.push(BailoutRecord {
+                    reason,
+                    tier: Tier::Optimization,
+                    candidate: None,
+                    recovered: true,
+                });
+            }
+            stats.guard_ns += tg.elapsed().as_nanos();
+        }
+        Ok(()) => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulation::simulate_paths;
     use dbds_ir::{
         execute, verify, ClassTable, CmpOp, ConstValue, GraphBuilder, Inst, Terminator, Type, Value,
     };
@@ -362,7 +598,9 @@ mod tests {
         ] {
             let mut g = build();
             compile(&mut g, &model, level, &cfg);
-            verify(&g).unwrap_or_else(|e| panic!("level {level:?} broke the graph: {e}"));
+            // Route through the phase's own checkpoint API so this test
+            // exercises the same verification path the guardrails use.
+            checkpoint(&g).unwrap_or_else(|e| panic!("level {level:?} broke the graph: {e}"));
             for v in [-7i64, 0, 1, 12, 13, 100] {
                 assert_eq!(
                     execute(&g, &[Value::Int(v)]).outcome,
@@ -433,6 +671,128 @@ mod tests {
         assert!(stats.cache.misses > 0, "stats: {stats:?}");
         assert!(stats.cache.hits > 0, "stats: {stats:?}");
         assert!(stats.cache.invalidations <= stats.cache.misses);
+    }
+
+    #[test]
+    fn happy_path_records_no_bailouts() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &DbdsConfig::default());
+        assert!(stats.duplications >= 1);
+        assert!(stats.bailouts.is_empty(), "bailouts: {:?}", stats.bailouts);
+    }
+
+    #[test]
+    fn fuel_exhaustion_bails_out_with_a_verified_graph() {
+        let mut g = figure1();
+        let reference = figure1();
+        let model = CostModel::new();
+        let cfg = DbdsConfig {
+            guard: GuardConfig {
+                fuel: Some(1),
+                ..GuardConfig::default()
+            },
+            ..DbdsConfig::default()
+        };
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+        assert!(
+            stats
+                .bailouts
+                .iter()
+                .any(|b| b.reason == BailoutReason::FuelExhausted && !b.recovered),
+            "bailouts: {:?}",
+            stats.bailouts
+        );
+        checkpoint(&g).unwrap();
+        for v in [-3i64, 0, 5] {
+            assert_eq!(
+                execute(&g, &[Value::Int(v)]).outcome,
+                execute(&reference, &[Value::Int(v)]).outcome,
+            );
+        }
+    }
+
+    #[test]
+    fn zero_deadline_bails_out_with_a_verified_graph() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let cfg = DbdsConfig {
+            guard: GuardConfig {
+                deadline: Some(std::time::Duration::ZERO),
+                ..GuardConfig::default()
+            },
+            ..DbdsConfig::default()
+        };
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+        assert!(
+            stats
+                .bailouts
+                .iter()
+                .any(|b| b.reason == BailoutReason::DeadlineExceeded),
+            "bailouts: {:?}",
+            stats.bailouts
+        );
+        checkpoint(&g).unwrap();
+    }
+
+    #[test]
+    fn size_budget_rejections_are_recorded() {
+        let mut g = figure1();
+        let model = CostModel::new();
+        let cfg = DbdsConfig {
+            tradeoff: TradeoffConfig {
+                size_increase_budget: 1.0, // no growth allowed
+                ..TradeoffConfig::default()
+            },
+            ..DbdsConfig::default()
+        };
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+        // The false-path candidate's benefit clears the cost heuristic
+        // but the zero growth budget blocks it — that exact incident
+        // must be visible in the stats.
+        assert!(
+            stats.bailouts.iter().any(|b| {
+                b.reason == BailoutReason::SizeBudgetExceeded
+                    && b.tier == Tier::Tradeoff
+                    && b.recovered
+            }),
+            "bailouts: {:?}",
+            stats.bailouts
+        );
+        assert_eq!(stats.duplications, 0);
+        checkpoint(&g).unwrap();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_transform_panic_is_contained() {
+        use crate::faultinject::{arm, disarm, FaultKind, FaultPlan};
+        let reference = figure1();
+        let mut g = figure1();
+        let model = CostModel::new();
+        arm(FaultPlan {
+            site: "transform/copy-body",
+            kind: FaultKind::Panic,
+            nth: 0,
+            seed: 0,
+        });
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &DbdsConfig::default());
+        let (_, fired) = disarm();
+        assert!(fired, "the fault must have been reached");
+        assert!(
+            stats.bailouts.iter().any(|b| {
+                matches!(b.reason, BailoutReason::TransformPanicked(_)) && b.recovered
+            }),
+            "bailouts: {:?}",
+            stats.bailouts
+        );
+        checkpoint(&g).unwrap();
+        for v in [-3i64, 0, 5] {
+            assert_eq!(
+                execute(&g, &[Value::Int(v)]).outcome,
+                execute(&reference, &[Value::Int(v)]).outcome,
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! No IR is copied or mutated at any point — that is the entire argument
 //! for simulation over backtracking (§3).
 
+use crate::bailout::{isolate, BailoutReason, Budget};
+use crate::faultinject::fault_point;
 use dbds_analysis::{AnalysisCache, BlockFrequencies, DomTree};
 use dbds_costmodel::CostModel;
 use dbds_ir::{BlockId, ConstValue, Graph, Inst, InstId, InstKind, Terminator};
@@ -63,6 +65,22 @@ impl SimulationResult {
     }
 }
 
+/// What the simulation tier produced, including any guardrail events.
+///
+/// Produced by [`simulate_paths_budgeted`]; `results` holds whatever was
+/// discovered before a budget stop, so a partial simulation still feeds
+/// the trade-off tier.
+#[derive(Clone, Debug)]
+pub struct SimulationOutcome {
+    /// The per-pair simulation results discovered so far, unsorted.
+    pub results: Vec<SimulationResult>,
+    /// `Some` when the walk stopped early on budget exhaustion.
+    pub stopped: Option<BailoutReason>,
+    /// DSTs whose evaluation panicked, as `(pred, merge, message)`; the
+    /// pair is simply skipped (no candidate, no result).
+    pub panicked: Vec<(BlockId, BlockId, String)>,
+}
+
 /// Simulates every predecessor→merge duplication in `g` and returns the
 /// per-pair results, unsorted. Dominators and frequencies are pulled
 /// through `cache`, so repeated simulations of an unchanged graph cost no
@@ -82,37 +100,62 @@ pub fn simulate_paths(
     cache: &mut AnalysisCache,
     max_path_len: usize,
 ) -> Vec<SimulationResult> {
+    simulate_paths_budgeted(g, model, cache, max_path_len, &Budget::unlimited()).results
+}
+
+/// Like [`simulate_paths`], but cooperatively polls `budget` (one fuel
+/// unit per instruction visited plus one per block) and isolates each
+/// DST behind a panic guard. Budget exhaustion stops the walk and
+/// reports what was found so far; a panicking DST only loses that one
+/// predecessor→merge pair.
+pub fn simulate_paths_budgeted(
+    g: &Graph,
+    model: &CostModel,
+    cache: &mut AnalysisCache,
+    max_path_len: usize,
+    budget: &Budget,
+) -> SimulationOutcome {
     let max_path_len = max_path_len.max(1);
     let dt = cache.domtree(g);
     let freqs = cache.frequencies(g);
-    let mut out = Vec::new();
-    walk(
+    let mut ctx = WalkCtx {
         g,
         model,
-        &dt,
-        &freqs,
-        g.entry(),
-        FactEnv::new(),
+        dt: &dt,
+        freqs: &freqs,
         max_path_len,
-        &mut out,
-    );
-    out
+        budget,
+        out: Vec::new(),
+        panicked: Vec::new(),
+    };
+    let stopped = walk(&mut ctx, g.entry(), FactEnv::new()).err();
+    SimulationOutcome {
+        results: ctx.out,
+        stopped,
+        panicked: ctx.panicked,
+    }
+}
+
+/// Everything the dominator-tree DFS threads along, so the recursion
+/// signature stays readable.
+struct WalkCtx<'a> {
+    g: &'a Graph,
+    model: &'a CostModel,
+    dt: &'a DomTree,
+    freqs: &'a BlockFrequencies,
+    max_path_len: usize,
+    budget: &'a Budget,
+    out: Vec<SimulationResult>,
+    panicked: Vec<(BlockId, BlockId, String)>,
 }
 
 /// The main dominator-tree DFS. Mirrors the canonicalization pass's fact
 /// propagation but never mutates the graph; at every merge successor it
 /// launches a DST.
-#[allow(clippy::too_many_arguments)]
-fn walk(
-    g: &Graph,
-    model: &CostModel,
-    dt: &DomTree,
-    freqs: &BlockFrequencies,
-    b: BlockId,
-    mut env: FactEnv,
-    max_path_len: usize,
-    out: &mut Vec<SimulationResult>,
-) {
+fn walk(ctx: &mut WalkCtx<'_>, b: BlockId, mut env: FactEnv) -> Result<(), BailoutReason> {
+    let g = ctx.g;
+    ctx.budget.consume(g.block_insts(b).len() as u64 + 1)?;
+
     // Evaluate this block's instructions to accumulate facts. Fresh
     // allocations become virtual objects so PEA-style reasoning can see
     // through them; `record_effects` materializes them on any escape.
@@ -130,28 +173,27 @@ fn walk(
         if s != b && g.is_merge(s) {
             let mut dst_env = env.clone();
             assume_edge(g, &mut dst_env, b, s);
-            out.extend(run_dst(g, model, freqs, dst_env, b, s, max_path_len));
+            let (model, freqs, max_path_len, budget) =
+                (ctx.model, ctx.freqs, ctx.max_path_len, ctx.budget);
+            match isolate(|| run_dst(g, model, freqs, budget, dst_env, b, s, max_path_len)) {
+                Ok(Ok(rs)) => ctx.out.extend(rs),
+                Ok(Err(stop)) => return Err(stop),
+                Err(BailoutReason::TransformPanicked(msg)) => ctx.panicked.push((b, s, msg)),
+                Err(other) => return Err(other),
+            }
         }
     }
 
-    for &child in dt.children(b) {
+    for &child in ctx.dt.children(b) {
         if g.preds(child) == [b] {
             let mut child_env = env.clone();
             assume_edge(g, &mut child_env, b, child);
-            walk(g, model, dt, freqs, child, child_env, max_path_len, out);
+            walk(ctx, child, child_env)?;
         } else {
-            walk(
-                g,
-                model,
-                dt,
-                freqs,
-                child,
-                env.clone_pure(),
-                max_path_len,
-                out,
-            );
+            walk(ctx, child, env.clone_pure())?;
         }
     }
+    Ok(())
 }
 
 /// Refines `env` with the branch condition implied by the edge `b → s`.
@@ -173,15 +215,18 @@ fn assume_edge(g: &Graph, env: &mut FactEnv, b: BlockId, s: BlockId) {
 
 /// Runs one duplication simulation traversal for `(pred, merge)` under
 /// `env` (the facts valid at the end of `pred` plus the edge condition).
+#[allow(clippy::too_many_arguments)]
 fn run_dst(
     g: &Graph,
     model: &CostModel,
     freqs: &BlockFrequencies,
+    budget: &Budget,
     mut env: FactEnv,
     pred: BlockId,
     merge: BlockId,
     max_path_len: usize,
-) -> Vec<SimulationResult> {
+) -> Result<Vec<SimulationResult>, BailoutReason> {
+    fault_point("simulation/dst", None);
     let probability = if freqs.max_freq() > 0.0 {
         freqs.freq(pred) * dbds_analysis::edge_probability(g, pred, merge) / freqs.max_freq()
     } else {
@@ -199,6 +244,7 @@ fn run_dst(
     let mut cur_merge = merge;
     loop {
         path.push(cur_merge);
+        budget.consume(g.block_insts(cur_merge).len() as u64 + 1)?;
         let continuation = simulate_segment(g, model, &mut env, cur_pred, cur_merge, &mut acc);
         results.push(SimulationResult {
             pred,
@@ -225,7 +271,7 @@ fn run_dst(
             _ => break,
         }
     }
-    results
+    Ok(results)
 }
 
 /// Running totals while a DST walks one or more merge segments.
@@ -658,6 +704,42 @@ mod tests {
         b.ret(Some(x));
         let g = b.finish();
         assert!(simulate(&g, &model(), &mut AnalysisCache::new()).is_empty());
+    }
+
+    #[test]
+    fn budgeted_simulation_matches_unbudgeted_when_unlimited() {
+        use crate::bailout::Budget;
+        let (g, _, _, _) = figure3();
+        let plain = simulate(&g, &model(), &mut AnalysisCache::new());
+        let outcome = simulate_paths_budgeted(
+            &g,
+            &model(),
+            &mut AnalysisCache::new(),
+            1,
+            &Budget::unlimited(),
+        );
+        assert!(outcome.stopped.is_none());
+        assert!(outcome.panicked.is_empty());
+        assert_eq!(outcome.results.len(), plain.len());
+        for (a, b) in plain.iter().zip(&outcome.results) {
+            assert_eq!((a.pred, a.merge), (b.pred, b.merge));
+            assert_eq!(a.cycles_saved, b.cycles_saved);
+        }
+    }
+
+    #[test]
+    fn tiny_fuel_stops_the_walk_with_fuel_exhausted() {
+        use crate::bailout::{BailoutReason, Budget, GuardConfig};
+        let (g, _, _, _) = figure3();
+        let guard = GuardConfig {
+            fuel: Some(1),
+            ..GuardConfig::default()
+        };
+        let budget = Budget::new(&guard);
+        let outcome = simulate_paths_budgeted(&g, &model(), &mut AnalysisCache::new(), 1, &budget);
+        assert_eq!(outcome.stopped, Some(BailoutReason::FuelExhausted));
+        // Partial results are still usable (possibly empty).
+        assert!(outcome.results.len() <= 4);
     }
 
     #[test]

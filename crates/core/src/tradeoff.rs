@@ -55,6 +55,25 @@ pub enum SelectionMode {
     Dupalot,
 }
 
+/// Whether the benefit side of `shouldDuplicate` clears the cost side,
+/// ignoring the size budgets: `b × p × BS > c`.
+fn benefit_clears_cost(cfg: &TradeoffConfig, benefit: f64, probability: f64, cost: i64) -> bool {
+    benefit * probability * cfg.benefit_scale > cost.max(0) as f64
+}
+
+/// The size-budget side of `shouldDuplicate`:
+/// `cs < MS ∧ cs + c < is × IB`.
+fn size_budget_allows(
+    cfg: &TradeoffConfig,
+    cost: i64,
+    current_size: u64,
+    initial_size: u64,
+) -> bool {
+    let cost_pos = cost.max(0) as f64;
+    current_size < cfg.max_unit_size
+        && (current_size as f64 + cost_pos) < initial_size as f64 * cfg.size_increase_budget
+}
+
 /// The paper's `shouldDuplicate(b_pi, b_m, benefit, cost)` predicate.
 pub fn should_duplicate(
     cfg: &TradeoffConfig,
@@ -64,10 +83,20 @@ pub fn should_duplicate(
     current_size: u64,
     initial_size: u64,
 ) -> bool {
-    let cost_pos = cost.max(0) as f64;
-    benefit * probability * cfg.benefit_scale > cost_pos
-        && current_size < cfg.max_unit_size
-        && (current_size as f64 + cost_pos) < initial_size as f64 * cfg.size_increase_budget
+    benefit_clears_cost(cfg, benefit, probability, cost)
+        && size_budget_allows(cfg, cost, current_size, initial_size)
+}
+
+/// The trade-off tier's decision for one round of candidates.
+#[derive(Debug, Default)]
+pub struct Selection<'a> {
+    /// Candidates worth duplicating, in application order.
+    pub accepted: Vec<&'a SimulationResult>,
+    /// `(pred, merge)` pairs whose benefit cleared the cost heuristic but
+    /// that a code-size budget blocked — surfaced as
+    /// [`BailoutReason::SizeBudgetExceeded`](crate::BailoutReason)
+    /// records for observability; selection behavior is unchanged.
+    pub size_rejected: Vec<(BlockId, BlockId)>,
 }
 
 /// Ranks the simulation results and selects those worth duplicating,
@@ -81,6 +110,19 @@ pub fn select<'a>(
     current_size: u64,
     visited: &HashSet<BlockId>,
 ) -> Vec<&'a SimulationResult> {
+    select_with_rejections(results, cfg, mode, initial_size, current_size, visited).accepted
+}
+
+/// Like [`select`], but also reports the candidates a size budget turned
+/// away even though their benefit justified the cost.
+pub fn select_with_rejections<'a>(
+    results: &'a [SimulationResult],
+    cfg: &TradeoffConfig,
+    mode: SelectionMode,
+    initial_size: u64,
+    current_size: u64,
+    visited: &HashSet<BlockId>,
+) -> Selection<'a> {
     let mut ranked: Vec<&SimulationResult> = results.iter().collect();
     // New merges first, then descending probability-weighted benefit;
     // break ties deterministically by block ids.
@@ -97,26 +139,24 @@ pub fn select<'a>(
             .then_with(|| (a.merge, a.pred).cmp(&(b.merge, b.pred)))
     });
 
-    let mut accepted = Vec::new();
+    let mut selection = Selection::default();
     let mut size = current_size;
     for r in ranked {
-        let take = match mode {
-            SelectionMode::CostBenefit => should_duplicate(
-                cfg,
-                r.cycles_saved,
-                r.probability,
-                r.size_cost,
-                size,
-                initial_size,
+        let (worth_it, fits) = match mode {
+            SelectionMode::CostBenefit => (
+                benefit_clears_cost(cfg, r.cycles_saved, r.probability, r.size_cost),
+                size_budget_allows(cfg, r.size_cost, size, initial_size),
             ),
-            SelectionMode::Dupalot => r.cycles_saved > 0.0 && size < cfg.max_unit_size,
+            SelectionMode::Dupalot => (r.cycles_saved > 0.0, size < cfg.max_unit_size),
         };
-        if take {
-            accepted.push(r);
+        if worth_it && fits {
+            selection.accepted.push(r);
             size = size.saturating_add(r.size_cost.max(0) as u64);
+        } else if worth_it {
+            selection.size_rejected.push((r.pred, r.merge));
         }
     }
-    accepted
+    selection
 }
 
 #[cfg(test)]
@@ -261,5 +301,37 @@ mod tests {
     fn negative_cost_counts_as_free() {
         let cfg = TradeoffConfig::default();
         assert!(should_duplicate(&cfg, 0.1, 0.5, -10, 100, 100));
+    }
+
+    #[test]
+    fn size_rejections_are_reported_without_changing_acceptance() {
+        let cfg = TradeoffConfig::default();
+        // Same shape as `budget_is_consumed_in_rank_order`: pred 2's
+        // candidate clears the cost heuristic but the growth budget
+        // blocks it.
+        let results = vec![
+            result(1, 10, 100.0, 1.0, 30),
+            result(2, 11, 90.0, 1.0, 30),
+            result(3, 12, 80.0, 1.0, 10),
+        ];
+        let visited = HashSet::new();
+        let sel = select_with_rejections(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            100,
+            100,
+            &visited,
+        );
+        let order: Vec<u32> = sel.accepted.iter().map(|r| r.pred.0).collect();
+        assert_eq!(order, vec![1, 3]);
+        assert_eq!(sel.size_rejected, vec![(BlockId(2), BlockId(11))]);
+        // A candidate that fails the cost heuristic is NOT a size
+        // rejection.
+        let weak = vec![result(4, 13, 0.0, 1.0, 50)];
+        let sel =
+            select_with_rejections(&weak, &cfg, SelectionMode::CostBenefit, 100, 100, &visited);
+        assert!(sel.accepted.is_empty());
+        assert!(sel.size_rejected.is_empty());
     }
 }

@@ -10,9 +10,61 @@
 //! φ instructions for usages in dominated blocks" that §3.1 says the
 //! transformation requires.
 
+use crate::faultinject::fault_point;
 use dbds_ir::{BlockId, Graph, Inst, InstId};
-use dbds_opt::SsaBuilder;
+use dbds_opt::{SsaBuilder, SsaRepairError};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a requested duplication cannot be performed.
+///
+/// All variants are graph-invariant violations the phase driver maps to
+/// [`BailoutReason::VerifierRejected`](crate::BailoutReason) — a typed
+/// refusal rather than a process abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// `pred == merge`: a self-loop header cannot be duplicated into
+    /// itself.
+    SelfDuplication(BlockId),
+    /// The target block has fewer than two predecessors.
+    NotAMerge(BlockId),
+    /// `pred` is not a predecessor of `merge`.
+    NotAPredecessor {
+        /// The block claimed to be a predecessor.
+        pred: BlockId,
+        /// The merge it is not a predecessor of.
+        merge: BlockId,
+    },
+    /// An instruction in a φ slot is not a φ.
+    MalformedPhi(InstId),
+    /// On-demand SSA reconstruction failed while repairing uses.
+    SsaRepair(SsaRepairError),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::SelfDuplication(b) => {
+                write!(f, "cannot duplicate {b} into itself")
+            }
+            TransformError::NotAMerge(b) => write!(f, "{b} is not a control-flow merge"),
+            TransformError::NotAPredecessor { pred, merge } => {
+                write!(f, "{pred} is not a predecessor of {merge}")
+            }
+            TransformError::MalformedPhi(i) => write!(f, "{i} sits in a phi slot but is not one"),
+            TransformError::SsaRepair(e) => write!(f, "SSA repair failed: {e}"),
+        }
+    }
+}
+
+impl Error for TransformError {}
+
+impl From<SsaRepairError> for TransformError {
+    fn from(e: SsaRepairError) -> Self {
+        TransformError::SsaRepair(e)
+    }
+}
 
 /// The result of one duplication.
 #[derive(Clone, Debug)]
@@ -42,13 +94,37 @@ pub struct Duplication {
 ///
 /// Panics if `pred` is not a predecessor of `merge`, if `merge` has fewer
 /// than two predecessors, or if `pred == merge` (self-loop headers cannot
-/// be duplicated into themselves).
+/// be duplicated into themselves). [`try_duplicate`] is the non-panicking
+/// form.
 pub fn duplicate(g: &mut Graph, pred: BlockId, merge: BlockId) -> Duplication {
-    assert_ne!(pred, merge, "cannot duplicate a block into itself");
-    assert!(
-        g.preds(merge).len() >= 2,
-        "{merge} is not a control-flow merge"
-    );
+    try_duplicate(g, pred, merge).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`duplicate`]: refuses invalid requests with a typed
+/// [`TransformError`] instead of panicking, so the phase driver can bail
+/// out and keep compiling.
+///
+/// # Errors
+///
+/// Returns a [`TransformError`] when the `(pred, merge)` pair does not
+/// describe a duplicable edge or the graph violates a φ/SSA invariant
+/// mid-transform. The graph may be left partially transformed on error —
+/// callers roll back to a snapshot (the phase driver's checkpoint path).
+pub fn try_duplicate(
+    g: &mut Graph,
+    pred: BlockId,
+    merge: BlockId,
+) -> Result<Duplication, TransformError> {
+    if pred == merge {
+        return Err(TransformError::SelfDuplication(pred));
+    }
+    if g.preds(merge).len() < 2 {
+        return Err(TransformError::NotAMerge(merge));
+    }
+    if !g.preds(merge).contains(&pred) {
+        return Err(TransformError::NotAPredecessor { pred, merge });
+    }
+    fault_point("transform/entry", Some(g));
     let k = g.pred_index(merge, pred);
 
     // Substitution: φs become their input on the pred edge.
@@ -59,11 +135,12 @@ pub fn duplicate(g: &mut Graph, pred: BlockId, merge: BlockId) -> Duplication {
             Inst::Phi { inputs } => {
                 subst.insert(phi, inputs[k]);
             }
-            _ => unreachable!(),
+            _ => return Err(TransformError::MalformedPhi(phi)),
         }
     }
 
     // Copy the non-φ body into a fresh block.
+    fault_point("transform/copy-body", Some(g));
     let copy = g.add_block();
     let body: Vec<InstId> = g.block_insts(merge)[phis.len()..].to_vec();
     for &i in &body {
@@ -91,42 +168,43 @@ pub fn duplicate(g: &mut Graph, pred: BlockId, merge: BlockId) -> Duplication {
     let mut phi_inputs: Vec<Vec<InstId>> = Vec::with_capacity(succs.len());
     for &s in &succs {
         let from_merge = g.pred_index(s, merge);
-        let inputs: Vec<InstId> = g
-            .phis(s)
-            .iter()
-            .map(|&phi| match g.inst(phi) {
-                Inst::Phi { inputs } => {
-                    let orig = inputs[from_merge];
-                    subst.get(&orig).copied().unwrap_or(orig)
+        let mut inputs: Vec<InstId> = Vec::with_capacity(g.phis(s).len());
+        for &phi in g.phis(s) {
+            match g.inst(phi) {
+                Inst::Phi { inputs: orig } => {
+                    let orig = orig[from_merge];
+                    inputs.push(subst.get(&orig).copied().unwrap_or(orig));
                 }
-                _ => unreachable!(),
-            })
-            .collect();
+                _ => return Err(TransformError::MalformedPhi(phi)),
+            }
+        }
         phi_inputs.push(inputs);
     }
     g.install_terminator_with_phi_inputs(copy, term, &phi_inputs);
 
     // Retarget pred → merge to pred → copy (drops the φ inputs at k).
     g.retarget_edge(pred, merge, copy, &[]);
+    fault_point("transform/retarget", Some(g));
 
     // SSA repair: values defined in `merge` that are used outside of it
     // now have two definitions (original and copy). Rewrite such uses to
     // the reaching definition, inserting φs on demand. A single scan
     // collects the use sites of every repaired value at once.
+    fault_point("transform/ssa-repair", Some(g));
     let defined: Vec<InstId> = phis.iter().chain(body.iter()).copied().collect();
     let sites = collect_use_sites(g, merge, copy, &defined);
     for &v in &defined {
         if let Some(v_sites) = sites.get(&v) {
-            repair_value(g, merge, copy, v, subst[&v], v_sites);
+            repair_value(g, merge, copy, v, subst[&v], v_sites)?;
         }
     }
 
-    Duplication {
+    Ok(Duplication {
         pred,
         merge,
         copy,
         substitution: subst,
-    }
+    })
 }
 
 /// One out-of-copy use of a repaired value.
@@ -221,9 +299,9 @@ fn repair_value(
     v: InstId,
     v2: InstId,
     sites: &[UseSite],
-) {
+) -> Result<(), TransformError> {
     if sites.is_empty() {
-        return;
+        return Ok(());
     }
     let ty = g.ty(v);
     let mut defs = HashMap::new();
@@ -233,7 +311,7 @@ fn repair_value(
     for site in sites {
         match site {
             UseSite::Operand { user, block } => {
-                let reaching = ssa.value_at_start(g, *block);
+                let reaching = ssa.try_value_at_start(g, *block)?;
                 if reaching != v {
                     g.inst_mut(*user).for_each_input_mut(|op| {
                         if *op == v {
@@ -243,11 +321,14 @@ fn repair_value(
                 }
             }
             UseSite::PhiInput { user, pred } => {
-                let reaching = ssa.value_at_end(g, *pred);
+                let reaching = ssa.try_value_at_end(g, *pred)?;
                 if reaching != v {
                     // Rewrite only the slots whose pred matches.
+                    let user_block = g
+                        .block_of(*user)
+                        .ok_or(TransformError::MalformedPhi(*user))?;
                     let pred_positions: Vec<usize> = g
-                        .preds(g.block_of(*user).expect("live phi"))
+                        .preds(user_block)
                         .iter()
                         .enumerate()
                         .filter_map(|(ix, &p)| (p == *pred).then_some(ix))
@@ -262,7 +343,7 @@ fn repair_value(
                 }
             }
             UseSite::TermInput { block } => {
-                let reaching = ssa.value_at_start(g, *block);
+                let reaching = ssa.try_value_at_start(g, *block)?;
                 if reaching != v {
                     g.patch_terminator_inputs(*block, |op| {
                         if *op == v {
@@ -273,6 +354,7 @@ fn repair_value(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,116 @@
+//! Deterministic fault-injection sweep over the workload suites.
+//!
+//! For every seeded [`FaultPlan`] (each injection site × fault kind,
+//! firing both at the first hit and at a later seed-derived one), every
+//! workload is compiled under the *DBDS* configuration with the plan
+//! armed, then checked against the three robustness guarantees:
+//!
+//! 1. the process never panics (injected panics are caught inside the
+//!    phase),
+//! 2. the final graph verifies, and
+//! 3. the interpreter outcomes match the no-duplication baseline.
+//!
+//! Exit status is non-zero if any check fails.
+//!
+//! ```text
+//! cargo run --release -p dbds-harness --features fault-injection --bin faultsim [-- <seed>]
+//! ```
+
+use dbds_core::faultinject::{arm, disarm, FaultPlan};
+use dbds_core::{compile, DbdsConfig, OptLevel};
+use dbds_costmodel::CostModel;
+use dbds_ir::{execute, verify, Outcome};
+use dbds_workloads::all_workloads;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(0xDBD5);
+    let model = CostModel::new();
+    let cfg = DbdsConfig::default();
+    let workloads = all_workloads();
+
+    // The ground truth each faulted compilation must still match: the
+    // baseline (no duplication, no faults) interpreter outcomes.
+    let baselines: Vec<Vec<Outcome>> = workloads
+        .iter()
+        .map(|w| {
+            let mut g = w.graph.clone();
+            compile(&mut g, &model, OptLevel::Baseline, &cfg);
+            w.inputs.iter().map(|i| execute(&g, i).outcome).collect()
+        })
+        .collect();
+
+    let plans = FaultPlan::sweep(seed);
+    println!(
+        "faultsim: seed {seed:#x}, {} plans x {} workloads",
+        plans.len(),
+        workloads.len()
+    );
+
+    let mut failures = 0usize;
+    let mut fired_total = 0usize;
+    let mut bailouts_total = 0usize;
+    for plan in &plans {
+        let mut fired_here = 0usize;
+        for (w, baseline) in workloads.iter().zip(&baselines) {
+            arm(plan.clone());
+            let mut g = w.graph.clone();
+            let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+            let (_hits, fired) = disarm();
+            fired_here += usize::from(fired);
+            bailouts_total += stats.bailouts.len();
+
+            if let Err(e) = verify(&g) {
+                failures += 1;
+                eprintln!(
+                    "FAIL {}/{} nth={} on {}: final graph does not verify: {}",
+                    plan.site,
+                    plan.kind.name(),
+                    plan.nth,
+                    w.name,
+                    e.summary()
+                );
+                continue;
+            }
+            for (input, expected) in w.inputs.iter().zip(baseline) {
+                let got = execute(&g, input).outcome;
+                if &got != expected {
+                    failures += 1;
+                    eprintln!(
+                        "FAIL {}/{} nth={} on {}: outcome diverged from baseline \
+                         ({got:?} vs {expected:?})",
+                        plan.site,
+                        plan.kind.name(),
+                        plan.nth,
+                        w.name,
+                    );
+                    break;
+                }
+            }
+        }
+        fired_total += fired_here;
+        println!(
+            "  {:<22} {:<16} nth={}  fired in {:>3}/{} workloads",
+            plan.site,
+            plan.kind.name(),
+            plan.nth,
+            fired_here,
+            workloads.len()
+        );
+    }
+
+    println!(
+        "faultsim: {} plans swept, {fired_total} armed faults fired, \
+         {bailouts_total} bailout records, {failures} failures",
+        plans.len()
+    );
+    assert!(
+        fired_total > 0,
+        "no fault ever fired: the sweep is not exercising the injection points"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -75,6 +75,25 @@ pub fn format_figure(result: &SuiteResult) -> String {
             c.invalidations
         );
     }
+    let _ = writeln!(
+        out,
+        "\nBailouts (total/recovered; fuel, deadline, verifier, panic, size)"
+    );
+    for level in [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot] {
+        let b = result.bailout_totals(level);
+        let _ = writeln!(
+            out,
+            "{:<14} | {:>5} / {:<5} ({}, {}, {}, {}, {})",
+            level.name(),
+            b.total(),
+            b.recovered,
+            b.fuel_exhausted,
+            b.deadline_exceeded,
+            b.verifier_rejected,
+            b.transform_panicked,
+            b.size_budget_exceeded,
+        );
+    }
     out
 }
 
@@ -201,6 +220,12 @@ mod tests {
         assert!(text.contains("dupalot"));
         assert!(text.contains("Figure 7"));
         assert!(text.contains("Analysis cache"), "{text}");
+        assert!(text.contains("Bailouts"), "{text}");
+        // No budgets and no faults: the only records allowed are
+        // recovered size-budget rejections from the trade-off tier.
+        let bailouts = result.bailout_totals(dbds_core::OptLevel::Dbds);
+        assert_eq!(bailouts.total(), bailouts.size_budget_exceeded, "{text}");
+        assert_eq!(bailouts.total(), bailouts.recovered, "{text}");
         // Every configuration computed dominators at least once per
         // benchmark, and the DBDS loop re-used them at least once.
         let cache = result.cache_totals(dbds_core::OptLevel::Dbds);

@@ -2,7 +2,7 @@
 //! exactly like the paper's three configurations (§6.1).
 
 use crate::metrics::{measure, pct_increase, pct_speedup, IcacheModel, Metrics};
-use dbds_core::{DbdsConfig, OptLevel};
+use dbds_core::{BailoutReason, DbdsConfig, OptLevel};
 use dbds_costmodel::CostModel;
 use dbds_workloads::{Suite, Workload};
 
@@ -79,6 +79,27 @@ impl SuiteResult {
         total
     }
 
+    /// Aggregate bailout counters for one configuration across the whole
+    /// suite, by reason.
+    pub fn bailout_totals(&self, level: OptLevel) -> BailoutTotals {
+        let mut t = BailoutTotals::default();
+        for row in &self.rows {
+            for b in &row.pick(level).stats.bailouts {
+                match b.reason {
+                    BailoutReason::FuelExhausted => t.fuel_exhausted += 1,
+                    BailoutReason::DeadlineExceeded => t.deadline_exceeded += 1,
+                    BailoutReason::VerifierRejected(_) => t.verifier_rejected += 1,
+                    BailoutReason::TransformPanicked(_) => t.transform_panicked += 1,
+                    BailoutReason::SizeBudgetExceeded => t.size_budget_exceeded += 1,
+                }
+                if b.recovered {
+                    t.recovered += 1;
+                }
+            }
+        }
+        t
+    }
+
     /// Geometric-mean percentage for a metric/configuration pair.
     pub fn geomean(&self, level: OptLevel, metric: Metric) -> f64 {
         let pcts: Vec<f64> = self
@@ -91,6 +112,36 @@ impl SuiteResult {
             })
             .collect();
         crate::metrics::geomean_pct(&pcts)
+    }
+}
+
+/// Suite-wide bailout counts of one configuration, by
+/// [`BailoutReason`] variant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BailoutTotals {
+    /// Fuel-budget exhaustions.
+    pub fuel_exhausted: usize,
+    /// Missed wall-clock deadlines.
+    pub deadline_exceeded: usize,
+    /// Checkpoint / transform-invariant rejections.
+    pub verifier_rejected: usize,
+    /// Caught transformation panics.
+    pub transform_panicked: usize,
+    /// Size-budget rejections of otherwise-profitable candidates.
+    pub size_budget_exceeded: usize,
+    /// How many of the incidents were contained (rolled back or skipped)
+    /// rather than stopping the phase.
+    pub recovered: usize,
+}
+
+impl BailoutTotals {
+    /// Total incidents, all reasons.
+    pub fn total(&self) -> usize {
+        self.fuel_exhausted
+            + self.deadline_exceeded
+            + self.verifier_rejected
+            + self.transform_panicked
+            + self.size_budget_exceeded
     }
 }
 

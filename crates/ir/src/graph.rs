@@ -645,6 +645,49 @@ impl Graph {
         self.remove_pred(from, to);
         self.blocks[to.index()].term = term;
     }
+
+    /// Takes a checkpoint of the whole graph.
+    ///
+    /// The snapshot keeps the current version stamps (see
+    /// [`Graph::version`]): because stamps are globally unique and never
+    /// reused, restoring the snapshot later makes any analysis-cache entry
+    /// keyed on the snapshot's stamp valid again, and entries computed for
+    /// states diverged in between can never be mistaken for it.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot {
+            graph: self.clone(),
+        }
+    }
+}
+
+/// An owned checkpoint of a [`Graph`], taken with [`Graph::snapshot`].
+///
+/// Used by the phase driver's bailout-and-recovery path (and the
+/// backtracking baseline) to roll a graph back to the last verified state
+/// after a failed or rejected transformation.
+#[derive(Clone, Debug)]
+pub struct GraphSnapshot {
+    graph: Graph,
+}
+
+impl GraphSnapshot {
+    /// Number of attached instructions held by the snapshot — the cost
+    /// driver of checkpointing (§3.1 prices backtracking by exactly this
+    /// copy volume).
+    pub fn live_inst_count(&self) -> usize {
+        self.graph.live_inst_count()
+    }
+
+    /// Restores the snapshot into `g`, consuming it.
+    pub fn restore(self, g: &mut Graph) {
+        *g = self.graph;
+    }
+
+    /// Restores the snapshot into `g`, keeping it available for further
+    /// rollbacks to the same state.
+    pub fn restore_cloned(&self, g: &mut Graph) {
+        *g = self.graph.clone();
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,19 @@ impl fmt::Display for VerifyErrors {
     }
 }
 
+impl VerifyErrors {
+    /// A one-line digest: the first problem plus the total count. Suits
+    /// log lines and bailout records where the multi-line [`fmt::Display`]
+    /// form is too bulky.
+    pub fn summary(&self) -> String {
+        match self.problems.as_slice() {
+            [] => "graph verification failed".to_string(),
+            [only] => only.clone(),
+            [first, ..] => format!("{first} (+{} more)", self.problems.len() - 1),
+        }
+    }
+}
+
 impl Error for VerifyErrors {}
 
 /// Verifies `g`, returning all problems found.

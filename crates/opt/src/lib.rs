@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod env;
 mod evaluate;
@@ -68,4 +69,4 @@ pub use passes::gvn::global_value_numbering;
 pub use passes::pipeline::{optimize_full, optimize_once, OptimizeStats};
 pub use passes::scalar_replace::scalar_replace;
 pub use passes::simplify::{merge_straightline_blocks, remove_single_input_phis, simplify_cfg};
-pub use ssa_repair::SsaBuilder;
+pub use ssa_repair::{SsaBuilder, SsaRepairError};

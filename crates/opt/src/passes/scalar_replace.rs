@@ -175,12 +175,20 @@ fn replace_allocation(g: &mut Graph, alloc: InstId, class: ClassId, uses: Vec<Al
             .push((alloc_pos + 1, Event::Def(default)));
         for &(store, value) in &stores {
             let b = g.block_of(store).expect("live store");
-            let pos = g.block_insts(b).iter().position(|&i| i == store).unwrap();
+            let pos = g
+                .block_insts(b)
+                .iter()
+                .position(|&i| i == store)
+                .expect("store in its block");
             events.entry(b).or_default().push((pos, Event::Def(value)));
         }
         for &load in &loads {
             let b = g.block_of(load).expect("live load");
-            let pos = g.block_insts(b).iter().position(|&i| i == load).unwrap();
+            let pos = g
+                .block_insts(b)
+                .iter()
+                .position(|&i| i == load)
+                .expect("load in its block");
             events.entry(b).or_default().push((pos, Event::Use(load)));
         }
         for evs in events.values_mut() {
@@ -260,7 +268,11 @@ fn replace_allocation(g: &mut Graph, alloc: InstId, class: ClassId, uses: Vec<Al
             other => unreachable!("unexpected test instruction {other:?}"),
         };
         let b = g.block_of(test).expect("live test");
-        let pos = g.block_insts(b).iter().position(|&i| i == test).unwrap();
+        let pos = g
+            .block_insts(b)
+            .iter()
+            .position(|&i| i == test)
+            .expect("test in its block");
         let c = g.insert_inst(b, pos, Inst::Const(ConstValue::Bool(result)), Type::Bool);
         g.replace_all_uses(test, c);
         g.remove_inst(test);

@@ -14,6 +14,35 @@
 
 use dbds_ir::{BlockId, Graph, Inst, InstId, Type};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A failure of the on-demand SSA reconstruction.
+///
+/// These are graph-invariant violations (a query from a point no
+/// definition reaches, or a tracked φ slot that no longer holds a φ); the
+/// phase driver converts them into bailouts instead of aborting the
+/// compilation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SsaRepairError {
+    /// No definition of the variable reaches the queried block.
+    NoReachingDefinition(BlockId),
+    /// An instruction the builder created as a φ is no longer one.
+    NotAPhi(InstId),
+}
+
+impl fmt::Display for SsaRepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsaRepairError::NoReachingDefinition(b) => {
+                write!(f, "no definition of the variable reaches {b}")
+            }
+            SsaRepairError::NotAPhi(i) => write!(f, "{i} is tracked as a phi but is not one"),
+        }
+    }
+}
+
+impl Error for SsaRepairError {}
 
 /// Incremental SSA reconstruction for a single variable.
 #[derive(Debug)]
@@ -70,10 +99,8 @@ impl SsaBuilder {
     ///
     /// Panics if no definition reaches `b`.
     pub fn value_at_end(&mut self, g: &mut Graph, b: BlockId) -> InstId {
-        if let Some(&v) = self.def_at_end.get(&b) {
-            return v;
-        }
-        self.value_at_start(g, b)
+        self.try_value_at_end(g, b)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The value of the variable at the start of `b`, inserting φs at
@@ -83,16 +110,49 @@ impl SsaBuilder {
     ///
     /// Panics if no definition reaches `b` (e.g. asking at the entry).
     pub fn value_at_start(&mut self, g: &mut Graph, b: BlockId) -> InstId {
+        self.try_value_at_start(g, b)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SsaBuilder::value_at_end`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaRepairError`] when no definition reaches `b` or a
+    /// tracked φ was replaced behind the builder's back.
+    pub fn try_value_at_end(
+        &mut self,
+        g: &mut Graph,
+        b: BlockId,
+    ) -> Result<InstId, SsaRepairError> {
+        if let Some(&v) = self.def_at_end.get(&b) {
+            return Ok(v);
+        }
+        self.try_value_at_start(g, b)
+    }
+
+    /// Fallible form of [`SsaBuilder::value_at_start`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaRepairError`] when no definition reaches `b` (e.g.
+    /// asking at the entry) or a tracked φ was replaced behind the
+    /// builder's back.
+    pub fn try_value_at_start(
+        &mut self,
+        g: &mut Graph,
+        b: BlockId,
+    ) -> Result<InstId, SsaRepairError> {
         if let Some(&v) = self.start_cache.get(&b) {
-            return v;
+            return Ok(v);
         }
         let preds: Vec<BlockId> = g.preds(b).to_vec();
         match preds.len() {
-            0 => panic!("no definition of the variable reaches {b}"),
+            0 => Err(SsaRepairError::NoReachingDefinition(b)),
             1 => {
-                let v = self.value_at_end(g, preds[0]);
+                let v = self.try_value_at_end(g, preds[0])?;
                 self.start_cache.insert(b, v);
-                v
+                Ok(v)
             }
             _ => {
                 // Install a placeholder φ first so that cyclic queries
@@ -100,12 +160,15 @@ impl SsaBuilder {
                 let phi = g.append_phi(b, vec![self.dummy; preds.len()], self.ty);
                 self.start_cache.insert(b, phi);
                 self.new_phis.push(phi);
-                let inputs: Vec<InstId> = preds.iter().map(|&p| self.value_at_end(g, p)).collect();
+                let mut inputs: Vec<InstId> = Vec::with_capacity(preds.len());
+                for &p in &preds {
+                    inputs.push(self.try_value_at_end(g, p)?);
+                }
                 match g.inst_mut(phi) {
                     Inst::Phi { inputs: slots } => slots.clone_from(&inputs),
-                    _ => unreachable!(),
+                    _ => return Err(SsaRepairError::NotAPhi(phi)),
                 }
-                self.try_remove_trivial(g, phi)
+                Ok(self.try_remove_trivial(g, phi))
             }
         }
     }
