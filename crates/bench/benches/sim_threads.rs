@@ -1,0 +1,89 @@
+//! Ablation for the parallel simulation tier: the same candidate list
+//! priced at 1/2/4/8 DST worker threads. Results are bit-identical for
+//! every thread count (see `core/tests/par_props.rs`), so this sweep
+//! isolates pure wall-clock scaling — the target is ≥2× speedup of the
+//! DST pool region at 4 threads on a simulation-bound unit.
+//!
+//! Scaling is hardware-bound: the sweep only shows speedup when the
+//! machine actually has that many cores (`std::thread::available_parallelism`).
+//! On a single-core container every thread count degenerates to
+//! timeslicing and the interesting number is the *overhead* of the
+//! 4-thread configuration over the inline 1-thread path, which this
+//! sweep bounds instead.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbds_analysis::AnalysisCache;
+use dbds_core::{simulate_paths_parallel, Budget, DbdsConfig, OptLevel};
+use dbds_costmodel::CostModel;
+use dbds_opt::optimize_full;
+use dbds_workloads::{generate_graph, Profile, Suite};
+use std::hint::black_box;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A compilation unit several times larger than any suite benchmark, so
+/// the candidate list is long enough for the pool to amortize fan-out.
+fn large_unit() -> dbds_ir::Graph {
+    let base = Suite::Octane.profile();
+    let profile = Profile {
+        fragments: (base.fragments.1 * 6, base.fragments.1 * 6 + 1),
+        ..base
+    };
+    let mut g = generate_graph("sim-threads-large", &profile, 0xD8D5);
+    optimize_full(&mut g, &mut AnalysisCache::new());
+    g
+}
+
+fn bench_simulation_tier(c: &mut Criterion) {
+    let model = CostModel::new();
+    let g = large_unit();
+    // Warm the analyses once: the sweep measures the DST pool, not
+    // dominator/frequency computation (the phase driver reuses a warm
+    // cache the same way).
+    let mut cache = AnalysisCache::new();
+    let mut group = c.benchmark_group("sim_threads_tier");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.live_inst_count() as u64));
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("simulate", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let out = simulate_paths_parallel(
+                        &g,
+                        &model,
+                        &mut cache,
+                        1,
+                        &Budget::unlimited(),
+                        threads,
+                    );
+                    black_box(out.results.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_whole_suite(c: &mut Criterion) {
+    let workloads = Suite::Micro.workloads();
+    let model = CostModel::new();
+    let mut group = c.benchmark_group("sim_threads_suite");
+    group.sample_size(10);
+    for threads in THREADS {
+        let cfg = DbdsConfig {
+            sim_threads: threads,
+            ..DbdsConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("compile", threads), &cfg, |b, cfg| {
+            b.iter(|| common::compile_suite(&workloads, &model, cfg, OptLevel::Dbds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_tier, bench_whole_suite);
+criterion_main!(benches);

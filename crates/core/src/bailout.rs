@@ -23,6 +23,7 @@ use std::any::Any;
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Once;
 use std::time::{Duration, Instant};
 
@@ -90,7 +91,7 @@ impl Tier {
 }
 
 /// One bailout incident of a compilation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BailoutRecord {
     /// What went wrong (or ran out).
     pub reason: BailoutReason,
@@ -131,16 +132,24 @@ impl Default for GuardConfig {
     }
 }
 
+/// Sentinel for an unbounded fuel tank (a `fuel` budget of `u64::MAX`
+/// is treated as unbounded).
+const UNBOUNDED: u64 = u64::MAX;
+
 /// Cooperative fuel / deadline accounting shared by the three tiers.
 ///
-/// Uses interior mutability so a `&Budget` can thread through the
-/// recursive simulation walk alongside other borrows.
+/// Internally atomic, so a `&Budget` can thread through the recursive
+/// simulation walk alongside other borrows *and* cross into the
+/// simulation tier's worker threads (the type is `Sync`). Deterministic
+/// accounting still happens on a single thread — the parallel tier's
+/// in-order commit — while workers only read the budget through
+/// [`Budget::stopped_hint`].
 #[derive(Debug)]
 pub struct Budget {
-    /// Remaining fuel, `None` = unbounded.
-    fuel: Cell<Option<u64>>,
+    /// Remaining fuel; [`UNBOUNDED`] = no limit.
+    fuel: AtomicU64,
     deadline: Option<Instant>,
-    used: Cell<u64>,
+    used: AtomicU64,
 }
 
 impl Budget {
@@ -148,18 +157,18 @@ impl Budget {
     /// starting now.
     pub fn new(guard: &GuardConfig) -> Self {
         Budget {
-            fuel: Cell::new(guard.fuel),
+            fuel: AtomicU64::new(guard.fuel.unwrap_or(UNBOUNDED)),
             deadline: guard.deadline.map(|d| Instant::now() + d),
-            used: Cell::new(0),
+            used: AtomicU64::new(0),
         }
     }
 
     /// A budget that never exhausts (fuel is still counted).
     pub fn unlimited() -> Self {
         Budget {
-            fuel: Cell::new(None),
+            fuel: AtomicU64::new(UNBOUNDED),
             deadline: None,
-            used: Cell::new(0),
+            used: AtomicU64::new(0),
         }
     }
 
@@ -174,15 +183,24 @@ impl Budget {
         if let Some(reason) = crate::faultinject::take_pending_exhaustion() {
             return Err(reason);
         }
-        self.used.set(self.used.get() + units);
-        if let Some(left) = self.fuel.get() {
+        self.used.fetch_add(units, Ordering::Relaxed);
+        let mut left = self.fuel.load(Ordering::Relaxed);
+        while left != UNBOUNDED {
             // `left == 0` keeps exhaustion sticky: once the tank is
             // empty, even zero-cost polls fail.
             if left == 0 || left < units {
-                self.fuel.set(Some(0));
+                self.fuel.store(0, Ordering::Relaxed);
                 return Err(BailoutReason::FuelExhausted);
             }
-            self.fuel.set(Some(left - units));
+            match self.fuel.compare_exchange_weak(
+                left,
+                left - units,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => left = now,
+            }
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -203,7 +221,16 @@ impl Budget {
 
     /// Total fuel units consumed so far (also counted when unbounded).
     pub fn fuel_used(&self) -> u64 {
-        self.used.get()
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// `true` once this budget can no longer succeed: the fuel tank is
+    /// empty (sticky) or the deadline has passed. A pure read — nothing
+    /// is consumed or recorded — used by simulation workers as a
+    /// cancellation hint. Both conditions are monotone, so a `true` here
+    /// guarantees every subsequent [`Budget::consume`] fails.
+    pub fn stopped_hint(&self) -> bool {
+        self.fuel.load(Ordering::Relaxed) == 0 || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 

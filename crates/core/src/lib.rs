@@ -55,6 +55,7 @@ mod backtracking;
 mod bailout;
 #[cfg(feature = "fault-injection")]
 pub mod faultinject;
+pub mod par;
 mod phase;
 mod simulation;
 mod tradeoff;
@@ -75,14 +76,35 @@ pub(crate) mod faultinject {
     pub(crate) fn take_pending_exhaustion() -> Option<BailoutReason> {
         None
     }
+
+    /// Mirror of the real module's ahead-of-execution fault decision.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    #[allow(dead_code)]
+    pub(crate) enum PlannedFault {
+        Panic,
+        ExhaustFuel,
+        ExhaustDeadline,
+    }
+
+    #[inline(always)]
+    pub(crate) fn take_site_plan(_site: &'static str) -> Option<PlannedFault> {
+        None
+    }
+
+    /// Unreachable without the feature: no plan ever fires.
+    #[inline(always)]
+    pub(crate) fn injected_panic(_site: &str) -> ! {
+        unreachable!("fault-injection is compiled out")
+    }
 }
 
 pub use backtracking::{run_backtracking, BacktrackStats};
 pub use bailout::{checkpoint, isolate, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier};
+pub use par::WorkerLoad;
 pub use phase::{compile, run_dbds, DbdsConfig, OptLevel, PhaseStats};
 pub use simulation::{
-    simulate, simulate_paths, simulate_paths_budgeted, Opportunity, SimulationOutcome,
-    SimulationResult,
+    simulate, simulate_paths, simulate_paths_budgeted, simulate_paths_parallel, Opportunity,
+    SimulationOutcome, SimulationResult,
 };
 pub use tradeoff::{
     select, select_with_rejections, should_duplicate, Selection, SelectionMode, TradeoffConfig,

@@ -1,0 +1,193 @@
+//! A minimal scoped worker pool for the parallel simulation tier.
+//!
+//! The build environment has no external dependencies (no rayon), so this
+//! module provides the one primitive the simulation tier needs: run a
+//! closure over every index of a slice, sharded across a bounded set of
+//! [`std::thread::scope`] workers that claim *chunks* of the index space
+//! from a shared [`AtomicUsize`] cursor. Chunk claiming is the
+//! work-stealing: a worker that finishes its chunk early immediately
+//! grabs the next one, so uneven task costs balance without a deque.
+//!
+//! Determinism is the caller's job and the pool is designed to make it
+//! easy: the closure receives the *item index*, so results can be
+//! deposited into index-addressed slots and later merged in index order —
+//! execution order never leaks into the output. The pool itself only
+//! reports per-worker load statistics ([`WorkerLoad`]), merged in
+//! worker-index order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// What one worker of a [`run_indexed`] pool did — observability only;
+/// the counts depend on scheduling and must not feed back into results.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerLoad {
+    /// Worker index within the pool (0-based; worker 0 is the calling
+    /// thread when the pool runs inline).
+    pub worker: usize,
+    /// Items this worker claimed and ran.
+    pub tasks: usize,
+    /// Wall-clock nanoseconds the worker spent inside the closure.
+    pub busy_ns: u128,
+}
+
+/// Resolves a requested thread count: `0` means "ask the OS"
+/// ([`std::thread::available_parallelism`]), anything else is used as
+/// given; the result is never 0.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    }
+}
+
+/// The chunk size for `items` spread over `threads` workers: small
+/// enough that the cursor rebalances uneven tasks, large enough that
+/// claiming stays cheap. Deterministic (results never depend on it).
+fn chunk_size(items: usize, threads: usize) -> usize {
+    (items / (threads * 8)).max(1)
+}
+
+/// Runs `each(index, &items[index])` for every index of `items`, sharded
+/// over up to `threads` workers. With `threads <= 1` (or a single item)
+/// everything runs inline on the calling thread, in index order — the
+/// parallel and sequential paths share this one loop so their behavior
+/// can only differ by scheduling, never by code path.
+///
+/// `each` must be safe to call concurrently for distinct indices; every
+/// index is visited exactly once. Returns the per-worker loads in
+/// worker-index order.
+pub fn run_indexed<T: Sync>(
+    threads: usize,
+    items: &[T],
+    each: impl Fn(usize, &T) + Sync,
+) -> Vec<WorkerLoad> {
+    run_indexed_driving(threads, items, each, || {})
+}
+
+/// Like [`run_indexed`], but dedicates the calling thread to `on_main`
+/// instead of claiming items: while up to `threads` spawned workers
+/// drain `items`, the calling thread repeatedly runs `on_main` (yielding
+/// between calls) until every worker has finished. With `threads <= 1`
+/// (or a single item) everything runs inline in index order — `each`,
+/// then `on_main`, per item.
+///
+/// The split exists for collect/speculate/commit schemes whose commit
+/// step must stay on the calling thread (e.g. because it reads
+/// thread-local state, like the fault-injection pending-exhaustion
+/// cell): workers only speculate, `on_main` commits. `on_main` must be
+/// cheap when there is nothing new to commit — it runs in a poll loop,
+/// not on a notification.
+pub fn run_indexed_driving<T: Sync>(
+    threads: usize,
+    items: &[T],
+    each: impl Fn(usize, &T) + Sync,
+    mut on_main: impl FnMut(),
+) -> Vec<WorkerLoad> {
+    let threads = resolve_threads(threads).min(items.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let chunk = chunk_size(items.len(), threads);
+    let drain = |worker: usize| {
+        let mut load = WorkerLoad {
+            worker,
+            ..WorkerLoad::default()
+        };
+        let t = Instant::now();
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= items.len() {
+                break;
+            }
+            for (idx, item) in items.iter().enumerate().skip(start).take(chunk) {
+                each(idx, item);
+                load.tasks += 1;
+            }
+        }
+        load.busy_ns = t.elapsed().as_nanos();
+        load
+    };
+    if threads == 1 {
+        let mut load = WorkerLoad::default();
+        let t = Instant::now();
+        for (idx, item) in items.iter().enumerate() {
+            each(idx, item);
+            load.tasks += 1;
+            on_main();
+        }
+        load.busy_ns = t.elapsed().as_nanos();
+        return vec![load];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || drain(w)))
+            .collect();
+        while !handles.iter().all(|h| h.is_finished()) {
+            on_main();
+            std::thread::yield_now();
+        }
+        // Joined (and therefore merged) in worker-index order.
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(load) => load,
+                // A worker can only die on a panic that escaped `each`;
+                // re-raise it on the caller thread instead of hiding it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 3, 8] {
+            let seen: Vec<AtomicU64> = (0..items.len()).map(|_| AtomicU64::new(0)).collect();
+            let loads = run_indexed(threads, &items, |i, &v| {
+                assert_eq!(v, i as u64);
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, s) in seen.iter().enumerate() {
+                assert_eq!(
+                    s.load(Ordering::Relaxed),
+                    1,
+                    "index {i} at {threads} threads"
+                );
+            }
+            assert_eq!(loads.iter().map(|l| l.tasks).sum::<usize>(), items.len());
+            assert!(loads.len() <= threads);
+            // Worker-index order.
+            for (w, load) in loads.iter().enumerate() {
+                assert_eq!(load.worker, w);
+            }
+        }
+    }
+
+    #[test]
+    fn inline_pool_runs_in_index_order() {
+        let items: Vec<usize> = (0..40).collect();
+        let order = Mutex::new(Vec::new());
+        run_indexed(1, &items, |i, _| order.lock().unwrap().push(i));
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let loads = run_indexed(4, &[] as &[u64], |_, _| panic!("never called"));
+        assert_eq!(loads.iter().map(|l| l.tasks).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn resolve_threads_never_zero() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -12,7 +12,7 @@ use crate::bailout::{
     checkpoint, isolate, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier,
 };
 use crate::faultinject::fault_point;
-use crate::simulation::{simulate_paths_budgeted, SimulationResult};
+use crate::simulation::{simulate_paths_parallel, SimulationResult};
 use crate::tradeoff::{select_with_rejections, SelectionMode, TradeoffConfig};
 use crate::transform::{duplicate, try_duplicate};
 use dbds_analysis::{AnalysisCache, CacheStats};
@@ -70,6 +70,20 @@ pub struct DbdsConfig {
     /// Bailout-and-recovery guardrails: fuel / deadline budgets, verified
     /// checkpoints and panic isolation.
     pub guard: GuardConfig,
+    /// Worker threads for the simulation tier's DST pool (`0` = one per
+    /// hardware thread). Results are bit-identical for every value; only
+    /// wall-clock changes. The default honors the `DBDS_SIM_THREADS`
+    /// environment variable and falls back to 1.
+    pub sim_threads: usize,
+}
+
+/// The `sim_threads` default: `DBDS_SIM_THREADS` when set to a number,
+/// else 1 (sequential).
+fn sim_threads_from_env() -> usize {
+    std::env::var("DBDS_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
 }
 
 impl Default for DbdsConfig {
@@ -83,6 +97,7 @@ impl Default for DbdsConfig {
             iteration_benefit_threshold: 48.0,
             max_path_length: 1,
             guard: GuardConfig::default(),
+            sim_threads: sim_threads_from_env(),
         }
     }
 }
@@ -108,6 +123,12 @@ pub struct PhaseStats {
     pub work: u64,
     /// Wall-clock nanoseconds spent in the simulation tier.
     pub sim_ns: u128,
+    /// Wall-clock nanoseconds of `sim_ns` spent inside the sharded DST
+    /// fan-out (speculation plus in-order commit). Timing only.
+    pub par_ns: u128,
+    /// The resolved simulation thread count the phase ran with. Purely
+    /// observational — every other field is identical for every value.
+    pub sim_threads: usize,
     /// Wall-clock nanoseconds spent performing duplications.
     pub transform_ns: u128,
     /// Wall-clock nanoseconds spent in the optimization pipeline
@@ -196,8 +217,17 @@ pub fn run_dbds(
     for _ in 0..cfg.max_iterations {
         stats.iterations += 1;
         let t = Instant::now();
-        let sim = simulate_paths_budgeted(g, model, cache, cfg.max_path_length, &budget);
+        let sim = simulate_paths_parallel(
+            g,
+            model,
+            cache,
+            cfg.max_path_length,
+            &budget,
+            cfg.sim_threads,
+        );
         stats.sim_ns += t.elapsed().as_nanos();
+        stats.par_ns += sim.par_ns;
+        stats.sim_threads = sim.threads;
         stats.candidates += sim.results.len();
         stats.work += g.live_inst_count() as u64 * 2; // simulation visit
         for (pred, merge, msg) in sim.panicked {

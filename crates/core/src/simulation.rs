@@ -11,16 +11,47 @@
 //! cost model) prices each one in *cycles saved* and *code size delta*.
 //! No IR is copied or mutated at any point — that is the entire argument
 //! for simulation over backtracking (§3).
+//!
+//! # Parallel execution
+//!
+//! Because DSTs are side-effect-free (§4.1), they can run concurrently:
+//! [`simulate_paths_parallel`] shards the candidate list over a
+//! [`crate::par`] worker pool. Determinism is preserved by splitting the
+//! tier into three steps:
+//!
+//! 1. **Collect** (coordinating thread): the dominator-tree DFS runs
+//!    once *without* consuming budget, snapshotting one [`FactEnv`] per
+//!    `(pred, merge)` candidate and a fuel **schedule** — the exact
+//!    sequence of budget events the sequential tier would issue.
+//!    Fault-injection decisions for `simulation/dst` are taken here, in
+//!    candidate order, so `nth`-hit counting never races.
+//! 2. **Speculate** (workers): each DST runs against a *trace-recording*
+//!    budget that never touches the shared one; it only polls
+//!    [`Budget::stopped_hint`] to abandon doomed work early.
+//! 3. **Commit** (coordinating thread, in candidate order): recorded
+//!    traces are replayed against the real [`Budget`] following the
+//!    schedule, overlapping the workers' speculation. The first failing
+//!    event is the stop point — the same one the sequential tier would
+//!    have hit — and any speculative work past it is discarded. Results
+//!    live in candidate-index slots, so scheduling cannot leak into the
+//!    output: every thread count yields bit-identical results, stop
+//!    reasons, and panic records. Keeping every real-budget charge on
+//!    the coordinating thread also preserves the thread-local
+//!    fault-injection contract of [`Budget::consume`].
 
 use crate::bailout::{isolate, BailoutReason, Budget};
-use crate::faultinject::fault_point;
+use crate::faultinject::{self, PlannedFault};
+use crate::par::{self, WorkerLoad};
 use dbds_analysis::{AnalysisCache, BlockFrequencies, DomTree};
 use dbds_costmodel::CostModel;
 use dbds_ir::{BlockId, ConstValue, Graph, Inst, InstId, InstKind, Terminator};
 use dbds_opt::{evaluate, record_effects, FactEnv, OptKind, Synonym, Verdict};
+use std::cell::{Cell, RefCell};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// One optimization opportunity discovered during a DST.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Opportunity {
     /// The merge-block instruction that becomes optimizable (or the
     /// allocation, for a predicted scalar replacement).
@@ -34,7 +65,7 @@ pub struct Opportunity {
 }
 
 /// The simulation result for one predecessor→merge pair.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimulationResult {
     /// The predecessor block `b_pi`.
     pub pred: BlockId,
@@ -79,6 +110,16 @@ pub struct SimulationOutcome {
     /// DSTs whose evaluation panicked, as `(pred, merge, message)`; the
     /// pair is simply skipped (no candidate, no result).
     pub panicked: Vec<(BlockId, BlockId, String)>,
+    /// The resolved thread-count knob the DST pool ran with. Purely
+    /// observational: `results`/`stopped`/`panicked` are identical for
+    /// every value.
+    pub threads: usize,
+    /// Wall-clock nanoseconds spent in the fan-out region (sharded DSTs
+    /// plus the in-order commit). Timing only — never compare it.
+    pub par_ns: u128,
+    /// Per-worker load statistics, merged in worker-index order. The
+    /// counts depend on scheduling and must not feed back into results.
+    pub workers: Vec<WorkerLoad>,
 }
 
 /// Simulates every predecessor→merge duplication in `g` and returns the
@@ -107,7 +148,7 @@ pub fn simulate_paths(
 /// unit per instruction visited plus one per block) and isolates each
 /// DST behind a panic guard. Budget exhaustion stops the walk and
 /// reports what was found so far; a panicking DST only loses that one
-/// predecessor→merge pair.
+/// predecessor→merge pair. Runs the DST pool inline on one thread.
 pub fn simulate_paths_budgeted(
     g: &Graph,
     model: &CostModel,
@@ -115,46 +156,134 @@ pub fn simulate_paths_budgeted(
     max_path_len: usize,
     budget: &Budget,
 ) -> SimulationOutcome {
+    simulate_paths_parallel(g, model, cache, max_path_len, budget, 1)
+}
+
+/// Like [`simulate_paths_budgeted`], but shards the DSTs over up to
+/// `threads` workers (`0` = one per hardware thread). See the module
+/// docs for the collect/speculate/commit determinism scheme: the
+/// `results`, `stopped`, and `panicked` fields are bit-identical for
+/// every thread count; only `threads`/`par_ns`/`workers` differ.
+pub fn simulate_paths_parallel(
+    g: &Graph,
+    model: &CostModel,
+    cache: &mut AnalysisCache,
+    max_path_len: usize,
+    budget: &Budget,
+    threads: usize,
+) -> SimulationOutcome {
     let max_path_len = max_path_len.max(1);
+    let threads = par::resolve_threads(threads);
+    // Pre-warm every CFG analysis once, before fan-out: workers get
+    // `&`-shared snapshots and never touch the cache (which needs
+    // `&mut` to fill a slot).
     let dt = cache.domtree(g);
+    let _loops_warm = cache.loops(g);
     let freqs = cache.frequencies(g);
-    let mut ctx = WalkCtx {
+
+    let mut ctx = CollectCtx {
         g,
-        model,
         dt: &dt,
-        freqs: &freqs,
-        max_path_len,
-        budget,
-        out: Vec::new(),
-        panicked: Vec::new(),
+        schedule: Vec::new(),
+        tasks: Vec::new(),
     };
-    let stopped = walk(&mut ctx, g.entry(), FactEnv::new()).err();
+    collect_candidates(&mut ctx, g.entry(), FactEnv::new());
+    let CollectCtx {
+        schedule, tasks, ..
+    } = ctx;
+
+    let outcomes: Vec<Mutex<Option<TaskOutcome>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    let mut committer = Committer {
+        budget,
+        schedule,
+        tasks: &tasks,
+        next: 0,
+        results: Vec::new(),
+        panicked: Vec::new(),
+        stopped: None,
+        done: false,
+    };
+
+    // Workers only speculate; every real-budget charge happens on this
+    // (the coordinating) thread, via the `on_main` commit loop below.
+    // That keeps commit order trivially deterministic, lets commit
+    // overlap speculation instead of contending with it, and preserves
+    // the thread-local semantics of `Budget::consume` — an injected
+    // pending exhaustion armed on this thread must be taken here, at
+    // the same schedule position as in a sequential run.
+    let fan_out = Instant::now();
+    let workers = par::run_indexed_driving(
+        threads,
+        &tasks,
+        |i, task| {
+            // Cancellation: once the shared budget is dead the committer
+            // is guaranteed to stop at or before this candidate, so its
+            // DST is wasted work. Fault-planned tasks still run — their
+            // injected event must reach the committer so the stop reason
+            // matches the sequential tier.
+            if task.fault.is_none() && budget.stopped_hint() {
+                return;
+            }
+            let outcome = run_task(g, model, &freqs, budget, task, max_path_len);
+            *outcomes[i].lock().expect("outcome slot poisoned") = Some(outcome);
+        },
+        // Advance the commit frontier as deposits land, so fuel burns
+        // and exhaustion becomes visible (via `stopped_hint`) while the
+        // pool is still draining candidates. O(1) when nothing new has
+        // been deposited.
+        || committer.drain(&outcomes),
+    );
+    committer.finish(&outcomes);
+    let par_ns = fan_out.elapsed().as_nanos();
+
     SimulationOutcome {
-        results: ctx.out,
-        stopped,
-        panicked: ctx.panicked,
+        results: committer.results,
+        stopped: committer.stopped,
+        panicked: committer.panicked,
+        threads,
+        par_ns,
+        workers,
     }
 }
 
-/// Everything the dominator-tree DFS threads along, so the recursion
-/// signature stays readable.
-struct WalkCtx<'a> {
-    g: &'a Graph,
-    model: &'a CostModel,
-    dt: &'a DomTree,
-    freqs: &'a BlockFrequencies,
-    max_path_len: usize,
-    budget: &'a Budget,
-    out: Vec<SimulationResult>,
-    panicked: Vec<(BlockId, BlockId, String)>,
+/// One `(pred, merge)` DST, snapshotted at collection time.
+struct DstTask {
+    pred: BlockId,
+    merge: BlockId,
+    /// The facts valid at the end of `pred` plus the edge condition; the
+    /// worker that runs the task takes ownership.
+    env: Mutex<Option<FactEnv>>,
+    /// Fault-injection decision for this candidate, taken on the
+    /// coordinating thread in candidate order.
+    fault: Option<PlannedFault>,
 }
 
-/// The main dominator-tree DFS. Mirrors the canonicalization pass's fact
-/// propagation but never mutates the graph; at every merge successor it
-/// launches a DST.
-fn walk(ctx: &mut WalkCtx<'_>, b: BlockId, mut env: FactEnv) -> Result<(), BailoutReason> {
+/// One budget event of the sequential tier, in sequential order.
+enum FuelEvent {
+    /// The dominator-tree walk charges a block (`insts + 1` units).
+    Walk(u64),
+    /// The DST at this task index charges whatever its trace recorded.
+    Dst(usize),
+}
+
+/// State of the candidate-collection DFS.
+struct CollectCtx<'a> {
+    g: &'a Graph,
+    dt: &'a DomTree,
+    schedule: Vec<FuelEvent>,
+    tasks: Vec<DstTask>,
+}
+
+/// The dominator-tree DFS of the sequential tier, minus the DSTs: it
+/// accumulates facts exactly like the old inline walk, but instead of
+/// consuming budget and running DSTs on the spot it records the budget
+/// *schedule* and snapshots one task per candidate. Mirrors the
+/// canonicalization pass's fact propagation; never mutates the graph.
+fn collect_candidates(ctx: &mut CollectCtx<'_>, b: BlockId, mut env: FactEnv) {
     let g = ctx.g;
-    ctx.budget.consume(g.block_insts(b).len() as u64 + 1)?;
+    ctx.schedule
+        .push(FuelEvent::Walk(g.block_insts(b).len() as u64 + 1));
 
     // Evaluate this block's instructions to accumulate facts. Fresh
     // allocations become virtual objects so PEA-style reasoning can see
@@ -167,33 +296,269 @@ fn walk(ctx: &mut WalkCtx<'_>, b: BlockId, mut env: FactEnv) -> Result<(), Bailo
         record_effects(g, &mut env, i, &eval);
     }
 
-    // Pause and run a DST for every merge successor (the gray blocks of
+    // Snapshot a DST task for every merge successor (the gray blocks of
     // Figure 2 in the paper).
     for s in g.succs(b) {
         if s != b && g.is_merge(s) {
             let mut dst_env = env.clone();
             assume_edge(g, &mut dst_env, b, s);
-            let (model, freqs, max_path_len, budget) =
-                (ctx.model, ctx.freqs, ctx.max_path_len, ctx.budget);
-            match isolate(|| run_dst(g, model, freqs, budget, dst_env, b, s, max_path_len)) {
-                Ok(Ok(rs)) => ctx.out.extend(rs),
-                Ok(Err(stop)) => return Err(stop),
-                Err(BailoutReason::TransformPanicked(msg)) => ctx.panicked.push((b, s, msg)),
-                Err(other) => return Err(other),
-            }
+            let fault = faultinject::take_site_plan("simulation/dst");
+            let idx = ctx.tasks.len();
+            ctx.tasks.push(DstTask {
+                pred: b,
+                merge: s,
+                env: Mutex::new(Some(dst_env)),
+                fault,
+            });
+            ctx.schedule.push(FuelEvent::Dst(idx));
         }
     }
 
-    for &child in ctx.dt.children(b) {
+    let dt = ctx.dt;
+    for &child in dt.children(b) {
         if g.preds(child) == [b] {
             let mut child_env = env.clone();
             assume_edge(g, &mut child_env, b, child);
-            walk(ctx, child, child_env)?;
+            collect_candidates(ctx, child, child_env);
         } else {
-            walk(ctx, child, env.clone_pure())?;
+            collect_candidates(ctx, child, env.clone_pure());
         }
     }
-    Ok(())
+}
+
+/// A budget stand-in for speculative DSTs: accumulates what the DST
+/// *would* consume instead of charging the shared [`Budget`], and aborts
+/// the DST early when the shared budget is already dead (the recorded
+/// consumption is then guaranteed to fail on replay).
+///
+/// A trace needs no event list: a DST either commits whole (all its
+/// consumes succeed) or contributes nothing (the first failure discards
+/// it), so the committer only needs the consume *sum* plus the terminal
+/// injected-exhaustion reason, if any (an injected exhaustion fails the
+/// consume that observes it without charging fuel, so it is always the
+/// final event of a trace).
+struct TraceBudget<'a> {
+    real: &'a Budget,
+    pending: RefCell<Option<BailoutReason>>,
+    fuel: Cell<u64>,
+    injected: RefCell<Option<BailoutReason>>,
+}
+
+impl TraceBudget<'_> {
+    fn consume(&self, units: u64) -> Result<(), BailoutReason> {
+        if let Some(reason) = self.pending.borrow_mut().take() {
+            *self.injected.borrow_mut() = Some(reason.clone());
+            return Err(reason);
+        }
+        self.fuel.set(self.fuel.get() + units);
+        if self.real.stopped_hint() {
+            // Placeholder reason — the committer derives the real one
+            // when it replays this trace.
+            return Err(BailoutReason::FuelExhausted);
+        }
+        Ok(())
+    }
+}
+
+/// What one speculative DST produced; only valid once the committer has
+/// successfully replayed its consumption against the real budget.
+struct TaskOutcome {
+    /// Sum of the fuel the DST's consumes would have charged.
+    fuel: u64,
+    /// Terminal injected exhaustion (fault plan), failing the replay
+    /// after `fuel` commits.
+    injected: Option<BailoutReason>,
+    results: Vec<SimulationResult>,
+    panic: Option<String>,
+    /// The DST was abandoned on a real budget stop; its replay must
+    /// fail, never commit cleanly.
+    aborted: bool,
+}
+
+/// Runs one DST speculatively on whatever worker claimed it.
+fn run_task(
+    g: &Graph,
+    model: &CostModel,
+    freqs: &BlockFrequencies,
+    budget: &Budget,
+    task: &DstTask,
+    max_path_len: usize,
+) -> TaskOutcome {
+    let pending = match task.fault {
+        Some(PlannedFault::ExhaustFuel) => Some(BailoutReason::FuelExhausted),
+        Some(PlannedFault::ExhaustDeadline) => Some(BailoutReason::DeadlineExceeded),
+        _ => None,
+    };
+    let trace = TraceBudget {
+        real: budget,
+        pending: RefCell::new(pending),
+        fuel: Cell::new(0),
+        injected: RefCell::new(None),
+    };
+    let env = task
+        .env
+        .lock()
+        .expect("task env lock poisoned")
+        .take()
+        .expect("each task runs at most once");
+    let panic_planned = task.fault == Some(PlannedFault::Panic);
+    let outcome = isolate(|| {
+        if panic_planned {
+            faultinject::injected_panic("simulation/dst");
+        }
+        run_dst(
+            g,
+            model,
+            freqs,
+            &trace,
+            env,
+            task.pred,
+            task.merge,
+            max_path_len,
+        )
+    });
+    let fuel = trace.fuel.get();
+    let injected = trace.injected.into_inner();
+    match outcome {
+        Ok(Ok(results)) => TaskOutcome {
+            fuel,
+            injected,
+            results,
+            panic: None,
+            aborted: false,
+        },
+        Ok(Err(_)) => TaskOutcome {
+            fuel,
+            injected,
+            results: Vec::new(),
+            panic: None,
+            aborted: true,
+        },
+        Err(BailoutReason::TransformPanicked(msg)) => TaskOutcome {
+            fuel,
+            injected,
+            results: Vec::new(),
+            panic: Some(msg),
+            aborted: false,
+        },
+        // `isolate` only errs with `TransformPanicked`; keep the message
+        // rather than losing it if that contract ever changes.
+        Err(other) => TaskOutcome {
+            fuel,
+            injected,
+            results: Vec::new(),
+            panic: Some(format!("{other:?}")),
+            aborted: false,
+        },
+    }
+}
+
+/// Replays speculative traces against the real budget, in candidate
+/// order. The first failing event is the deterministic stop point.
+struct Committer<'a> {
+    budget: &'a Budget,
+    schedule: Vec<FuelEvent>,
+    tasks: &'a [DstTask],
+    /// Next schedule index to replay.
+    next: usize,
+    results: Vec<SimulationResult>,
+    panicked: Vec<(BlockId, BlockId, String)>,
+    stopped: Option<BailoutReason>,
+    done: bool,
+}
+
+impl Committer<'_> {
+    /// Advances the commit frontier as far as deposited outcomes allow;
+    /// returns early when the next DST's outcome is not in yet.
+    fn drain(&mut self, outcomes: &[Mutex<Option<TaskOutcome>>]) {
+        while !self.done {
+            let Some(event) = self.schedule.get(self.next) else {
+                self.done = true;
+                return;
+            };
+            match *event {
+                FuelEvent::Walk(units) => {
+                    if let Err(reason) = self.budget.consume(units) {
+                        self.stop(reason);
+                        return;
+                    }
+                }
+                FuelEvent::Dst(i) => {
+                    // Poll before charging: if the budget is already
+                    // dead, this candidate stops the walk *without*
+                    // consuming — exactly what the 1-thread path does
+                    // when it skips the task and the final drain's
+                    // `check` reports the stop. Charging the deposited
+                    // trace instead would make `fuel_used` depend on
+                    // how much trace the worker recorded before
+                    // noticing the stop, which is scheduling.
+                    if let Err(reason) = self.budget.check() {
+                        self.stop(reason);
+                        return;
+                    }
+                    let Some(outcome) = outcomes[i].lock().expect("outcome slot poisoned").take()
+                    else {
+                        return;
+                    };
+                    // A live budget implies the worker never saw
+                    // `stopped_hint` (it is monotone), so the deposited
+                    // trace is complete — unless the DST was cut short
+                    // by its own injected exhaustion, which needs no
+                    // dead budget.
+                    debug_assert!(
+                        !outcome.aborted || outcome.injected.is_some(),
+                        "an abandoned DST reached a live-budget commit: the \
+                         stopped_hint it acted on was not monotone"
+                    );
+                    // Replay the DST's consumption in one charge: a DST
+                    // either commits whole or contributes nothing, and
+                    // every `run_dst` consume is ≥ 1 unit, so `fuel == 0`
+                    // means it issued no budget calls at all.
+                    if outcome.fuel > 0 {
+                        if let Err(reason) = self.budget.consume(outcome.fuel) {
+                            self.stop(reason);
+                            return;
+                        }
+                    }
+                    if let Some(reason) = outcome.injected {
+                        self.stop(reason);
+                        return;
+                    }
+                    match outcome.panic {
+                        Some(msg) => {
+                            self.panicked
+                                .push((self.tasks[i].pred, self.tasks[i].merge, msg));
+                        }
+                        None => self.results.extend(outcome.results),
+                    }
+                }
+            }
+            self.next += 1;
+        }
+    }
+
+    fn stop(&mut self, reason: BailoutReason) {
+        self.stopped = Some(reason);
+        self.done = true;
+    }
+
+    /// Final drain after the pool has joined. A still-missing outcome
+    /// belongs to a task a worker skipped, which only happens once the
+    /// shared budget is dead — so the budget check is guaranteed to fail
+    /// with the same reason the sequential tier would have reported at
+    /// that candidate.
+    fn finish(&mut self, outcomes: &[Mutex<Option<TaskOutcome>>]) {
+        loop {
+            self.drain(outcomes);
+            if self.done {
+                return;
+            }
+            match self.budget.check() {
+                Err(reason) => self.stop(reason),
+                Ok(()) => unreachable!("a DST was skipped while the budget was alive"),
+            }
+        }
+    }
 }
 
 /// Refines `env` with the branch condition implied by the edge `b → s`.
@@ -220,13 +585,12 @@ fn run_dst(
     g: &Graph,
     model: &CostModel,
     freqs: &BlockFrequencies,
-    budget: &Budget,
+    budget: &TraceBudget<'_>,
     mut env: FactEnv,
     pred: BlockId,
     merge: BlockId,
     max_path_len: usize,
 ) -> Result<Vec<SimulationResult>, BailoutReason> {
-    fault_point("simulation/dst", None);
     let probability = if freqs.max_freq() > 0.0 {
         freqs.freq(pred) * dbds_analysis::edge_probability(g, pred, merge) / freqs.max_freq()
     } else {
@@ -246,6 +610,15 @@ fn run_dst(
         path.push(cur_merge);
         budget.consume(g.block_insts(cur_merge).len() as u64 + 1)?;
         let continuation = simulate_segment(g, model, &mut env, cur_pred, cur_merge, &mut acc);
+        // The trade-off tier ranks by `probability * cycles_saved`;
+        // non-finite estimates would poison that total order (the NaN
+        // comparator bug), so reject them at construction.
+        debug_assert!(
+            probability.is_finite() && acc.cycles_saved.is_finite(),
+            "non-finite simulation estimate for ({pred} -> {merge}): \
+             p={probability}, cycles_saved={}",
+            acc.cycles_saved
+        );
         results.push(SimulationResult {
             pred,
             merge,
@@ -740,6 +1113,90 @@ mod tests {
         assert_eq!(outcome.stopped, Some(BailoutReason::FuelExhausted));
         // Partial results are still usable (possibly empty).
         assert!(outcome.results.len() <= 4);
+    }
+
+    /// Runs the parallel tier at `threads` and asserts the outcome is
+    /// bit-identical to the 1-thread baseline (modulo the timing and
+    /// load fields, which are scheduling-dependent by design).
+    fn assert_parallel_matches(
+        g: &Graph,
+        fuel: Option<u64>,
+        threads: usize,
+        baseline: &SimulationOutcome,
+    ) {
+        let guard = crate::bailout::GuardConfig {
+            fuel,
+            ..crate::bailout::GuardConfig::default()
+        };
+        let budget = Budget::new(&guard);
+        let outcome = simulate_paths_parallel(
+            &g.clone(),
+            &model(),
+            &mut AnalysisCache::new(),
+            1,
+            &budget,
+            threads,
+        );
+        assert_eq!(
+            outcome.results, baseline.results,
+            "results diverged at {threads} threads (fuel {fuel:?})"
+        );
+        assert_eq!(
+            outcome.stopped, baseline.stopped,
+            "stop reason diverged at {threads} threads (fuel {fuel:?})"
+        );
+        assert_eq!(
+            outcome.panicked, baseline.panicked,
+            "panic records diverged at {threads} threads (fuel {fuel:?})"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_thread_counts() {
+        let (g, _, _, _) = figure3();
+        let baseline = simulate_paths_budgeted(
+            &g,
+            &model(),
+            &mut AnalysisCache::new(),
+            1,
+            &Budget::unlimited(),
+        );
+        assert!(!baseline.results.is_empty());
+        for threads in [2, 3, 8] {
+            assert_parallel_matches(&g, None, threads, &baseline);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_fuel_pressure() {
+        let (g, _, _, _) = figure3();
+        for fuel in [1, 2, 3, 5, 8, 13, 21, 34, 55, 89] {
+            let guard = crate::bailout::GuardConfig {
+                fuel: Some(fuel),
+                ..crate::bailout::GuardConfig::default()
+            };
+            let budget = Budget::new(&guard);
+            let baseline =
+                simulate_paths_budgeted(&g, &model(), &mut AnalysisCache::new(), 1, &budget);
+            let baseline_used = budget.fuel_used();
+            for threads in [2, 3, 8] {
+                let budget = Budget::new(&guard);
+                let outcome = simulate_paths_parallel(
+                    &g,
+                    &model(),
+                    &mut AnalysisCache::new(),
+                    1,
+                    &budget,
+                    threads,
+                );
+                assert_eq!(outcome.results, baseline.results, "fuel {fuel}");
+                assert_eq!(outcome.stopped, baseline.stopped, "fuel {fuel}");
+                assert_eq!(outcome.panicked, baseline.panicked, "fuel {fuel}");
+                // The committed fuel accounting must match too: the
+                // trade-off and optimization tiers inherit this budget.
+                assert_eq!(budget.fuel_used(), baseline_used, "fuel {fuel}");
+            }
+        }
     }
 
     #[test]

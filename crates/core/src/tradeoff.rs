@@ -125,17 +125,17 @@ pub fn select_with_rejections<'a>(
 ) -> Selection<'a> {
     let mut ranked: Vec<&SimulationResult> = results.iter().collect();
     // New merges first, then descending probability-weighted benefit;
-    // break ties deterministically by block ids.
+    // break ties deterministically by block ids. `total_cmp` keeps the
+    // comparator a total order even for NaN benefits (0-frequency
+    // predecessors, estimator bugs) — an inconsistent comparator can
+    // panic inside `sort_by` and silently scrambles acceptance order
+    // otherwise.
     ranked.sort_by(|a, b| {
         let fresh_a = !visited.contains(&a.merge);
         let fresh_b = !visited.contains(&b.merge);
         fresh_b
             .cmp(&fresh_a)
-            .then_with(|| {
-                b.weighted_benefit()
-                    .partial_cmp(&a.weighted_benefit())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .then_with(|| b.weighted_benefit().total_cmp(&a.weighted_benefit()))
             .then_with(|| (a.merge, a.pred).cmp(&(b.merge, b.pred)))
     });
 
@@ -151,7 +151,9 @@ pub fn select_with_rejections<'a>(
         };
         if worth_it && fits {
             selection.accepted.push(r);
-            size = size.saturating_add(r.size_cost.max(0) as u64);
+            // Accrue the *signed* cost: a duplication that shrinks code
+            // (dissolved allocations) reclaims budget for later candidates.
+            size = size.saturating_add_signed(r.size_cost);
         } else if worth_it {
             selection.size_rejected.push((r.pred, r.merge));
         }
@@ -301,6 +303,67 @@ mod tests {
     fn negative_cost_counts_as_free() {
         let cfg = TradeoffConfig::default();
         assert!(should_duplicate(&cfg, 0.1, 0.5, -10, 100, 100));
+    }
+
+    #[test]
+    fn nan_benefit_candidate_does_not_scramble_ranking() {
+        // A 0-frequency predecessor can yield `probability = 0.0` while an
+        // estimator bug yields `cycles_saved = NaN`; the ranking comparator
+        // must stay a total order so the finite candidates keep their
+        // descending-weighted-benefit acceptance order. With the old
+        // `partial_cmp(..).unwrap_or(Equal)` comparator the NaN candidate
+        // compares Equal to everything, falls through to the id tie-break,
+        // and creates a comparison cycle (B < X < A but A < B) that
+        // scrambles the sort.
+        let cfg = TradeoffConfig::default();
+        let mut nan = result(2, 5, f64::NAN, 1.0, 1);
+        nan.cycles_saved = f64::NAN;
+        let results = vec![
+            result(1, 1, 2.0, 1.0, 1),  // B: weighted 2.0
+            nan,                        // X: weighted NaN
+            result(3, 20, 3.0, 1.0, 1), // A: weighted 3.0
+        ];
+        let visited = HashSet::new();
+        let sel = select(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            100,
+            100,
+            &visited,
+        );
+        // The NaN candidate never clears the cost heuristic (NaN > c is
+        // false), so only the finite two are accepted — higher weighted
+        // benefit first.
+        let order: Vec<u32> = sel.iter().map(|r| r.pred.0).collect();
+        assert_eq!(order, vec![3, 1]);
+    }
+
+    #[test]
+    fn shrinking_candidate_reclaims_size_budget() {
+        // Initial size 100 → the growth budget allows < 150. The middle
+        // candidate *shrinks* code by 20 (e.g. a dissolved allocation), so
+        // after applying it the running size must drop back to 125 and the
+        // final candidate fit again. Clamping the accrual at 0 kept the
+        // running size at 145 and wrongly size-rejected the last one.
+        let cfg = TradeoffConfig::default();
+        let results = vec![
+            result(1, 10, 100.0, 1.0, 45), // accepted: 100+45 = 145 < 150
+            result(2, 11, 90.0, 1.0, -20), // accepted: shrinks to 125
+            result(3, 12, 80.0, 1.0, 20),  // accepted: 125+20 = 145 < 150
+        ];
+        let visited = HashSet::new();
+        let sel = select_with_rejections(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            100,
+            100,
+            &visited,
+        );
+        let order: Vec<u32> = sel.accepted.iter().map(|r| r.pred.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(sel.size_rejected.is_empty(), "{:?}", sel.size_rejected);
     }
 
     #[test]

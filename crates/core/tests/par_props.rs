@@ -1,0 +1,108 @@
+//! Property tests for the parallel simulation tier's determinism
+//! contract: for *any* generated workload and *any* budget, running the
+//! DST pool at 2, 3, or 8 threads must produce results, stop reasons,
+//! panic records, and fuel accounting bit-identical to 1 thread — and a
+//! whole compilation at 4 threads must produce the same graph as at 1.
+
+use dbds_core::{
+    compile, simulate_paths_parallel, Budget, DbdsConfig, GuardConfig, OptLevel, SimulationOutcome,
+};
+use dbds_costmodel::CostModel;
+use dbds_ir::Graph;
+use dbds_workloads::{generate_graph, Suite};
+use proptest::prelude::*;
+
+/// A deterministic generated compilation unit: suites differ in shape
+/// mix (branchy, loopy, allocation-heavy), so sweeping `suite_idx`
+/// exercises structurally different candidate lists.
+fn workload_graph(suite_idx: usize, seed: u64) -> Graph {
+    let suite = Suite::ALL[suite_idx % Suite::ALL.len()];
+    generate_graph("par-props", &suite.profile(), seed)
+}
+
+fn run_sim(g: &Graph, fuel: Option<u64>, threads: usize) -> (SimulationOutcome, u64) {
+    let guard = GuardConfig {
+        fuel,
+        ..GuardConfig::default()
+    };
+    let budget = Budget::new(&guard);
+    let outcome = simulate_paths_parallel(
+        g,
+        &CostModel::new(),
+        &mut dbds_analysis::AnalysisCache::new(),
+        2,
+        &budget,
+        threads,
+    );
+    let used = budget.fuel_used();
+    (outcome, used)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Thread count never changes what the simulation tier reports, with
+    /// and without fuel-exhaustion pressure.
+    #[test]
+    fn parallel_simulation_is_thread_count_invariant(
+        suite_idx in 0usize..4,
+        seed in 0u64..10_000,
+        // 0 = unlimited; small values stop the walk mid-flight.
+        fuel in 0u64..600,
+    ) {
+        let g = workload_graph(suite_idx, seed);
+        let fuel = (fuel > 0).then_some(fuel);
+        let (baseline, base_used) = run_sim(&g, fuel, 1);
+        for threads in [2usize, 3, 8] {
+            let (outcome, used) = run_sim(&g, fuel, threads);
+            prop_assert_eq!(
+                &outcome.results, &baseline.results,
+                "results diverged at {} threads (fuel {:?})", threads, fuel
+            );
+            prop_assert_eq!(
+                &outcome.stopped, &baseline.stopped,
+                "stop reason diverged at {} threads (fuel {:?})", threads, fuel
+            );
+            prop_assert_eq!(
+                &outcome.panicked, &baseline.panicked,
+                "panic records diverged at {} threads (fuel {:?})", threads, fuel
+            );
+            // The downstream tiers inherit this budget, so the committed
+            // fuel accounting must match exactly as well.
+            prop_assert_eq!(used, base_used, "fuel accounting diverged at {} threads", threads);
+        }
+    }
+
+    /// End-to-end: a whole DBDS compilation is indistinguishable across
+    /// thread counts — same graph, same decisions, same bailout records.
+    #[test]
+    fn whole_compilation_is_thread_count_invariant(
+        suite_idx in 0usize..4,
+        seed in 0u64..10_000,
+        fuel in 0u64..2_000,
+    ) {
+        let g0 = workload_graph(suite_idx, seed);
+        let model = CostModel::new();
+        let fuel = (fuel > 0).then_some(fuel);
+        let compiled = |threads: usize| {
+            let cfg = DbdsConfig {
+                guard: GuardConfig { fuel, ..GuardConfig::default() },
+                sim_threads: threads,
+                ..DbdsConfig::default()
+            };
+            let mut g = g0.clone();
+            let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+            (g.to_string(), stats)
+        };
+        let (base_graph, base_stats) = compiled(1);
+        for threads in [4usize, 8] {
+            let (graph, stats) = compiled(threads);
+            prop_assert_eq!(&graph, &base_graph, "graphs diverged at {} threads", threads);
+            prop_assert_eq!(stats.duplications, base_stats.duplications);
+            prop_assert_eq!(stats.candidates, base_stats.candidates);
+            prop_assert_eq!(stats.iterations, base_stats.iterations);
+            prop_assert_eq!(&stats.bailouts, &base_stats.bailouts);
+            prop_assert_eq!(stats.final_size, base_stats.final_size);
+        }
+    }
+}

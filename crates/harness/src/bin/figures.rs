@@ -5,21 +5,44 @@
 //! figures --summary             cross-suite headline numbers
 //! figures --table backtracking  the §3.1 compile-time comparison
 //! figures --all                 everything, in paper order
+//! figures --json <path|->       deterministic machine-readable report
 //! ```
+//!
+//! `--sim-threads N` (combinable with every mode) sets the simulation
+//! tier's DST worker count; `0` means one per hardware thread. The
+//! default honors `DBDS_SIM_THREADS`. All measured results are
+//! bit-identical for every value — only wall-clock changes.
 
 use dbds_core::{compile, DbdsConfig, OptLevel};
 use dbds_costmodel::CostModel;
 use dbds_harness::{
-    format_backtracking, format_figure, format_summary, run_suite, BacktrackRow, IcacheModel,
+    format_backtracking, format_figure, format_json, format_summary, run_suite, BacktrackRow,
+    IcacheModel,
 };
 use dbds_workloads::Suite;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let model = CostModel::new();
-    let cfg = DbdsConfig::default();
+    let mut cfg = DbdsConfig::default();
     let icache = IcacheModel::default();
+
+    // `--sim-threads N` composes with every mode; strip it before the
+    // mode match.
+    if let Some(pos) = args.iter().position(|a| a == "--sim-threads") {
+        let parsed = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok());
+        match parsed {
+            Some(n) => {
+                cfg.sim_threads = n;
+                args.drain(pos..=pos + 1);
+            }
+            None => {
+                eprintln!("--sim-threads expects a thread count (0 = auto)");
+                std::process::exit(2);
+            }
+        }
+    }
 
     match args
         .iter()
@@ -54,6 +77,19 @@ fn main() {
         ["--table", "phases"] => {
             print!("{}", phases_table(&model, &cfg));
         }
+        ["--json", path] => {
+            let results: Vec<_> = Suite::ALL
+                .iter()
+                .map(|&s| run_suite(s, &model, &cfg, &icache))
+                .collect();
+            let json = format_json(&results, cfg.sim_threads);
+            if *path == "-" {
+                print!("{json}");
+            } else if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
         ["--all"] => {
             let mut results = Vec::new();
             for &suite in &Suite::ALL {
@@ -68,7 +104,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: figures --figure <5|6|7|8> | --summary | --table backtracking | --table phases | --all"
+                "usage: figures [--sim-threads N] --figure <5|6|7|8> | --summary | \
+                 --table backtracking | --table phases | --all | --json <path|->"
             );
             std::process::exit(2);
         }
@@ -85,31 +122,36 @@ fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "DBDS phase breakdown (per suite, sums over all benchmarks)\n"
+        "DBDS phase breakdown (per suite, sums over all benchmarks; \
+         sim_threads = {})\n",
+        cfg.sim_threads
     );
     let _ = writeln!(
         out,
-        "{:<14} | {:>11} | {:>11} | {:>11} | {:>9}",
-        "suite", "simulate", "duplicate", "optimize", "sim share"
+        "{:<14} | {:>11} | {:>11} | {:>11} | {:>11} | {:>9}",
+        "suite", "simulate", "dst pool", "duplicate", "optimize", "sim share"
     );
-    let _ = writeln!(out, "{}", "-".repeat(68));
+    let _ = writeln!(out, "{}", "-".repeat(82));
     for suite in Suite::ALL {
         let mut sim = 0u128;
+        let mut par = 0u128;
         let mut tr = 0u128;
         let mut opt = 0u128;
         for w in suite.workloads() {
             let mut g = w.graph.clone();
             let stats = compile(&mut g, model, OptLevel::Dbds, cfg);
             sim += stats.sim_ns;
+            par += stats.par_ns;
             tr += stats.transform_ns;
             opt += stats.opt_ns;
         }
         let total = (sim + tr + opt).max(1);
         let _ = writeln!(
             out,
-            "{:<14} | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.1}%",
+            "{:<14} | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.1}%",
             suite.id(),
             sim as f64 / 1e6,
+            par as f64 / 1e6,
             tr as f64 / 1e6,
             opt as f64 / 1e6,
             sim as f64 / total as f64 * 100.0

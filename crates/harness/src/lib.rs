@@ -43,6 +43,6 @@ mod runner;
 mod stats;
 
 pub use metrics::{geomean_pct, measure, pct_increase, pct_speedup, IcacheModel, Metrics};
-pub use report::{format_backtracking, format_figure, format_summary, BacktrackRow};
+pub use report::{format_backtracking, format_figure, format_json, format_summary, BacktrackRow};
 pub use runner::{run_benchmark, run_suite, BenchmarkRow, Metric, SuiteResult};
 pub use stats::{pearson, spearman};

@@ -145,6 +145,103 @@ pub fn format_summary(results: &[SuiteResult]) -> String {
     out
 }
 
+/// Renders the machine-readable suite report: every *deterministic*
+/// measurement of every benchmark/configuration, as stable-ordered JSON
+/// (hand-rolled — the build has no serde).
+///
+/// Two invariants CI's determinism gate relies on:
+///
+/// - **No timing fields.** `compile_ns`/`sim_ns`/`par_ns` are excluded,
+///   so two runs over identical inputs produce byte-identical output.
+/// - **`sim_threads` sits alone on its own line** (the only
+///   thread-count-dependent value), so reports taken at different
+///   thread counts can be diffed with that one line filtered out.
+pub fn format_json(results: &[SuiteResult], sim_threads: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"sim_threads\": {sim_threads},");
+    let _ = writeln!(out, "  \"suites\": [");
+    for (si, r) in results.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"suite\": {},", json_str(r.suite.id()));
+        let _ = writeln!(out, "      \"benchmarks\": [");
+        for (bi, row) in r.rows.iter().enumerate() {
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"name\": {},", json_str(&row.name));
+            let _ = writeln!(out, "          \"configs\": [");
+            let levels = [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot];
+            for (li, &level) in levels.iter().enumerate() {
+                let m = match level {
+                    OptLevel::Baseline => &row.baseline,
+                    OptLevel::Dbds => &row.dbds,
+                    _ => &row.dupalot,
+                };
+                let s = &m.stats;
+                let recovered = s.bailouts.iter().filter(|b| b.recovered).count();
+                let _ = writeln!(out, "            {{");
+                let _ = writeln!(out, "              \"level\": {},", json_str(level.name()));
+                let _ = writeln!(out, "              \"raw_cycles\": {},", m.raw_cycles);
+                let _ = writeln!(out, "              \"peak_cycles\": {:?},", m.peak_cycles);
+                let _ = writeln!(out, "              \"code_size\": {},", m.code_size);
+                let _ = writeln!(out, "              \"work\": {},", m.work);
+                let _ = writeln!(out, "              \"iterations\": {},", s.iterations);
+                let _ = writeln!(out, "              \"candidates\": {},", s.candidates);
+                let _ = writeln!(out, "              \"duplications\": {},", s.duplications);
+                let _ = writeln!(out, "              \"final_size\": {},", s.final_size);
+                let _ = writeln!(out, "              \"cache_hits\": {},", s.cache.hits);
+                let _ = writeln!(out, "              \"cache_misses\": {},", s.cache.misses);
+                let _ = writeln!(
+                    out,
+                    "              \"cache_invalidations\": {},",
+                    s.cache.invalidations
+                );
+                let _ = writeln!(out, "              \"bailouts\": {},", s.bailouts.len());
+                let _ = writeln!(out, "              \"bailouts_recovered\": {recovered}");
+                let _ = writeln!(
+                    out,
+                    "            }}{}",
+                    if li + 1 < levels.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(out, "          ]");
+            let _ = writeln!(
+                out,
+                "        }}{}",
+                if bi + 1 < r.rows.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if si + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Minimal JSON string escaping (names and ids are plain ASCII, but stay
+/// safe on quotes and backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// One row of the backtracking-vs-simulation comparison (§3.1).
 #[derive(Clone, Debug)]
 pub struct BacktrackRow {
@@ -243,6 +340,39 @@ mod tests {
         );
         let text = format_summary(&[result]);
         assert!(text.contains("Maximum DBDS peak performance increase"));
+    }
+
+    #[test]
+    fn json_report_identical_across_thread_counts() {
+        let model = CostModel::new();
+        let ic = IcacheModel::default();
+        let run = |threads: usize| {
+            let cfg = DbdsConfig {
+                sim_threads: threads,
+                ..DbdsConfig::default()
+            };
+            let results = vec![run_suite(Suite::Micro, &model, &cfg, &ic)];
+            format_json(&results, threads)
+        };
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("\"sim_threads\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = run(1);
+        let four = run(4);
+        // Only the sim_threads line may differ between thread counts...
+        assert_ne!(one, four);
+        assert_eq!(strip(&one), strip(&four));
+        // ...and a rerun at the same count is byte-identical (no timing
+        // leaks into the report).
+        assert_eq!(four, run(4));
+        // Shape sanity: well-formed-ish JSON with all three configs.
+        assert!(one.trim_start().starts_with('{') && one.trim_end().ends_with('}'));
+        for level in ["baseline", "dbds", "dupalot"] {
+            assert!(one.contains(&format!("\"level\": \"{level}\"")), "{one}");
+        }
     }
 
     #[test]
