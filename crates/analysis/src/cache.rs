@@ -38,6 +38,7 @@
 //! ```
 
 use crate::{BlockFrequencies, DomTree, LoopForest};
+use dbds_ir::lint::{Diagnostic, LintId};
 use dbds_ir::Graph;
 use std::sync::Arc;
 
@@ -170,6 +171,104 @@ impl AnalysisCache {
         self.loops = None;
         self.frequencies = None;
     }
+
+    /// Audits every entry that claims to describe the current graph state
+    /// against a from-scratch recomputation, returning one
+    /// [`LintId::StaleAnalysis`] diagnostic per divergent block.
+    ///
+    /// Validity in this cache is purely stamp-based, so a divergence means
+    /// the stamping discipline itself broke (a mutation that should have
+    /// bumped `cfg_version` but did not, or a reused stamp) — exactly the
+    /// class of bug no unit test of an individual analysis can see. Stale
+    /// entries (stamp ≠ current version) are skipped: they are invalid by
+    /// contract and the next lookup replaces them anyway.
+    ///
+    /// Read-only: the audit never touches the slots or the counters.
+    pub fn audit(&self, g: &Graph) -> Vec<Diagnostic> {
+        let version = g.cfg_version();
+        let mut out = Vec::new();
+        let current = |v: u64| v == version;
+
+        let any_current = self.domtree.as_ref().is_some_and(|s| current(s.version))
+            || self.loops.as_ref().is_some_and(|s| current(s.version))
+            || self
+                .frequencies
+                .as_ref()
+                .is_some_and(|s| current(s.version));
+        if !any_current {
+            return out; // empty / all-stale cache audits for free
+        }
+        // One fresh recomputation shared across the three diffs.
+        let fresh_dt = DomTree::compute(g);
+
+        if let Some(slot) = self.domtree.as_ref().filter(|s| current(s.version)) {
+            let fresh = &fresh_dt;
+            for b in g.blocks() {
+                if slot.value.idom(b) != fresh.idom(b) {
+                    out.push(Diagnostic::new(
+                        LintId::StaleAnalysis,
+                        Some(b),
+                        None,
+                        format!(
+                            "cached domtree stamped current disagrees at {b}: idom {:?} vs recomputed {:?}",
+                            slot.value.idom(b),
+                            fresh.idom(b)
+                        ),
+                    ));
+                }
+            }
+            if slot.value.reverse_postorder() != fresh.reverse_postorder() {
+                out.push(Diagnostic::new(
+                    LintId::StaleAnalysis,
+                    None,
+                    None,
+                    "cached domtree stamped current has a divergent reverse postorder".to_string(),
+                ));
+            }
+        }
+        if let Some(slot) = self.loops.as_ref().filter(|s| current(s.version)) {
+            let fresh = LoopForest::compute(g, &fresh_dt);
+            for b in g.blocks() {
+                if slot.value.depth(b) != fresh.depth(b)
+                    || slot.value.is_header(b) != fresh.is_header(b)
+                {
+                    out.push(Diagnostic::new(
+                        LintId::StaleAnalysis,
+                        Some(b),
+                        None,
+                        format!(
+                            "cached loop forest stamped current disagrees at {b}: depth {} header {} vs recomputed depth {} header {}",
+                            slot.value.depth(b),
+                            slot.value.is_header(b),
+                            fresh.depth(b),
+                            fresh.is_header(b)
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(slot) = self.frequencies.as_ref().filter(|s| current(s.version)) {
+            let fresh_loops = LoopForest::compute(g, &fresh_dt);
+            let fresh = BlockFrequencies::compute(g, &fresh_dt, &fresh_loops);
+            // Exact comparison is deliberate: recomputing the same input
+            // is deterministic, so any difference is a staleness bug.
+            for b in g.blocks() {
+                if slot.value.freq(b).to_bits() != fresh.freq(b).to_bits() {
+                    out.push(Diagnostic::new(
+                        LintId::StaleAnalysis,
+                        Some(b),
+                        None,
+                        format!(
+                            "cached frequencies stamped current disagree at {b}: {} vs recomputed {}",
+                            slot.value.freq(b),
+                            fresh.freq(b)
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +349,58 @@ mod tests {
             d_before.idom(g.merge_blocks()[0]),
             d_after.idom(g.merge_blocks()[0])
         );
+    }
+
+    #[test]
+    fn audit_accepts_consistent_cache() {
+        let g = diamond();
+        let mut cache = AnalysisCache::new();
+        cache.frequencies(&g);
+        assert!(cache.audit(&g).is_empty());
+        // An empty cache is trivially consistent too.
+        assert!(AnalysisCache::new().audit(&g).is_empty());
+    }
+
+    #[test]
+    fn audit_skips_entries_with_stale_stamps() {
+        // A stale stamp is not a finding: it is invalid by contract and
+        // the next lookup replaces it.
+        let mut g = diamond();
+        let mut cache = AnalysisCache::new();
+        cache.domtree(&g);
+        g.add_block();
+        assert!(cache.audit(&g).is_empty());
+    }
+
+    #[test]
+    fn audit_detects_stamp_forgery() {
+        // Fail-first corpus entry for LintId::StaleAnalysis: simulate a
+        // stamping-discipline bug by computing the domtree, mutating the
+        // CFG in a way that changes dominators, then forging the cached
+        // entry's stamp to the new epoch. The audit must notice the
+        // cached tree no longer matches a fresh recomputation.
+        let mut g = diamond();
+        let mut cache = AnalysisCache::new();
+        cache.domtree(&g);
+        // bm (the merge) is currently dominated by entry. Retarget bf's
+        // jump so bm's only pred is bt, changing bm's idom to bt.
+        use dbds_ir::Terminator;
+        let bf = g.blocks().nth(2).unwrap();
+        let ret = g.blocks().nth(3).unwrap();
+        assert_eq!(g.succs(bf), vec![ret]);
+        let bt = g.blocks().nth(1).unwrap();
+        g.set_terminator(bf, Terminator::Jump { target: bt });
+        let forged_version = g.cfg_version();
+        let slot = cache.domtree.as_mut().unwrap();
+        slot.version = forged_version; // the bug under test
+        let findings = cache.audit(&g);
+        assert!(
+            !findings.is_empty(),
+            "forged stamp must surface as StaleAnalysis"
+        );
+        assert!(findings
+            .iter()
+            .all(|d| d.lint == dbds_ir::LintId::StaleAnalysis));
     }
 
     #[test]

@@ -52,6 +52,8 @@ impl From<BacktrackStats> for PhaseStats {
             opt_ns: 0,
             guard_ns: 0,
             cache: Default::default(),
+            mispredictions: 0,
+            stale_skips: 0,
             bailouts: b.bailouts,
         }
     }

@@ -49,12 +49,13 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod backtracking;
 mod bailout;
 #[cfg(feature = "fault-injection")]
 pub mod faultinject;
+pub mod lint;
 pub mod par;
 mod phase;
 mod simulation;
@@ -100,11 +101,12 @@ pub(crate) mod faultinject {
 
 pub use backtracking::{run_backtracking, BacktrackStats};
 pub use bailout::{checkpoint, isolate, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier};
+pub use lint::lint_simulation;
 pub use par::WorkerLoad;
 pub use phase::{compile, run_dbds, DbdsConfig, OptLevel, PhaseStats};
 pub use simulation::{
-    simulate, simulate_paths, simulate_paths_budgeted, simulate_paths_parallel, Opportunity,
-    SimulationOutcome, SimulationResult,
+    audit_opportunities, count_mispredictions, simulate, simulate_paths, simulate_paths_budgeted,
+    simulate_paths_parallel, Opportunity, SimulationOutcome, SimulationResult,
 };
 pub use tradeoff::{
     select, select_with_rejections, should_duplicate, Selection, SelectionMode, TradeoffConfig,

@@ -1,0 +1,142 @@
+//! Cost/trade-off sanity lints over simulation results.
+//!
+//! The trade-off tier's total order (`probability × cycles_saved` under
+//! `total_cmp`) and its saturating size accounting assume the simulation
+//! tier hands it finite estimates and that accepting candidates never
+//! drives the accrued code size negative. These lints turn those
+//! assumptions into checked invariants: [`lint_simulation`] audits a
+//! batch of [`SimulationResult`]s the way `dbds_ir::lint` audits a
+//! graph, emitting [`LintId::NonFiniteBenefit`] and
+//! [`LintId::NegativeAccruedSize`] diagnostics for the harness's
+//! `figures --lint` sweep and the CI gate.
+
+use crate::simulation::SimulationResult;
+use dbds_ir::lint::{Diagnostic, LintId};
+
+/// Audits a batch of simulation results for cost-model sanity.
+///
+/// Emits:
+///
+/// - [`LintId::NonFiniteBenefit`] for any result whose `probability` is
+///   non-finite or negative, or whose `cycles_saved` (total or
+///   per-opportunity) is non-finite — either would poison the trade-off
+///   tier's ranking order.
+/// - [`LintId::NegativeAccruedSize`] when accepting the results in
+///   order would drive the accrued code size (starting from
+///   `current_size`) below zero — the saturating arithmetic in the
+///   trade-off tier would silently clamp exactly here.
+pub fn lint_simulation(results: &[SimulationResult], current_size: u64) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for r in results {
+        if !r.probability.is_finite() || r.probability < 0.0 {
+            out.push(Diagnostic::new(
+                LintId::NonFiniteBenefit,
+                Some(r.merge),
+                None,
+                format!(
+                    "candidate ({} -> {}) has unusable probability {}",
+                    r.pred, r.merge, r.probability
+                ),
+            ));
+        }
+        if !r.cycles_saved.is_finite() {
+            out.push(Diagnostic::new(
+                LintId::NonFiniteBenefit,
+                Some(r.merge),
+                None,
+                format!(
+                    "candidate ({} -> {}) has non-finite cycles_saved {}",
+                    r.pred, r.merge, r.cycles_saved
+                ),
+            ));
+        }
+        for o in &r.opportunities {
+            if !o.cycles_saved.is_finite() {
+                out.push(Diagnostic::new(
+                    LintId::NonFiniteBenefit,
+                    Some(r.merge),
+                    Some(o.inst),
+                    format!(
+                        "opportunity {:?} at {} has non-finite cycles_saved {}",
+                        o.kind, o.inst, o.cycles_saved
+                    ),
+                ));
+            }
+        }
+    }
+    // Accrued-size replay: apply every candidate's size delta in order
+    // on an i128 (no saturation) and flag the first dip below zero.
+    let mut accrued = i128::from(current_size);
+    for r in results {
+        accrued += i128::from(r.size_cost);
+        if accrued < 0 {
+            out.push(Diagnostic::new(
+                LintId::NegativeAccruedSize,
+                Some(r.merge),
+                None,
+                format!(
+                    "accepting ({} -> {}) drives accrued size to {accrued}",
+                    r.pred, r.merge
+                ),
+            ));
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimulationResult;
+    use dbds_ir::BlockId;
+
+    fn result(probability: f64, cycles_saved: f64, size_cost: i64) -> SimulationResult {
+        SimulationResult {
+            pred: BlockId(1),
+            merge: BlockId(2),
+            path: vec![BlockId(2)],
+            probability,
+            cycles_saved,
+            size_cost,
+            opportunities: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_results_produce_no_diagnostics() {
+        let results = vec![result(0.5, 31.0, 4), result(0.5, 0.0, 2)];
+        assert!(lint_simulation(&results, 100).is_empty());
+    }
+
+    #[test]
+    fn non_finite_probability_is_flagged() {
+        // Fail-first for LintId::NonFiniteBenefit.
+        for bad in [f64::NAN, f64::INFINITY, -0.25] {
+            let results = vec![result(bad, 1.0, 0)];
+            let out = lint_simulation(&results, 100);
+            assert!(
+                out.iter().any(|d| d.lint == LintId::NonFiniteBenefit),
+                "probability {bad} must be flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_cycles_saved_is_flagged() {
+        let results = vec![result(0.5, f64::NAN, 0)];
+        let out = lint_simulation(&results, 100);
+        assert!(out.iter().any(|d| d.lint == LintId::NonFiniteBenefit));
+    }
+
+    #[test]
+    fn negative_accrued_size_is_flagged() {
+        // Fail-first for LintId::NegativeAccruedSize: a bogus size delta
+        // larger than the whole unit drives the running total negative.
+        let results = vec![result(0.5, 1.0, -500)];
+        let out = lint_simulation(&results, 100);
+        assert!(out.iter().any(|d| d.lint == LintId::NegativeAccruedSize));
+        // With enough headroom the same delta is fine.
+        assert!(lint_simulation(&results, 1000).is_empty());
+    }
+}

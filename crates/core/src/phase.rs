@@ -12,9 +12,12 @@ use crate::bailout::{
     checkpoint, isolate, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier,
 };
 use crate::faultinject::fault_point;
-use crate::simulation::{simulate_paths_parallel, SimulationResult};
+use crate::simulation::{
+    audit_opportunities, count_mispredictions, dominator_chain, simulate_paths_parallel,
+    SimulationResult,
+};
 use crate::tradeoff::{select_with_rejections, SelectionMode, TradeoffConfig};
-use crate::transform::{duplicate, try_duplicate};
+use crate::transform::{duplicate, try_duplicate, Duplication};
 use dbds_analysis::{AnalysisCache, CacheStats};
 use dbds_costmodel::CostModel;
 use dbds_ir::{BlockId, Graph, GraphSnapshot};
@@ -143,6 +146,19 @@ pub struct PhaseStats {
     /// (dominators, loops, frequencies served from / recomputed into the
     /// [`AnalysisCache`]).
     pub cache: CacheStats,
+    /// Accepted opportunities whose applicability check no longer fired
+    /// when re-run against the graph immediately before application (the
+    /// prediction audit) even though *nothing the candidate depends on*
+    /// — its dominator chain, merge or path — was mutated earlier in the
+    /// round. Each such candidate was downgraded to a skip instead of
+    /// being applied on a stale promise. A nonzero count is an alarm: the
+    /// simulation tier broke its §4.1→§5 prediction contract.
+    pub mispredictions: usize,
+    /// Accepted candidates skipped because earlier duplications in the
+    /// same round touched a block they depend on, invalidating their
+    /// recorded facts. Ordinary intra-round staleness, not a contract
+    /// violation: the next iteration re-simulates them with fresh facts.
+    pub stale_skips: usize,
     /// Every bailout incident of this compilation, in order.
     pub bailouts: Vec<BailoutRecord>,
 }
@@ -270,6 +286,16 @@ pub fn run_dbds(
         if plan.is_empty() {
             break;
         }
+        // Sim-time dominator chains of the accepted candidates, taken
+        // before any duplication this round (the graph is still exactly
+        // the one the simulation tier analyzed). The prediction audit
+        // compares them against the post-mutation chains to tell
+        // ordinary intra-round staleness from a broken simulation
+        // contract.
+        let plan_chains: Vec<Option<Vec<BlockId>>> = plan
+            .iter()
+            .map(|s| dominator_chain(g, cache, s.pred))
+            .collect();
         let mut cumulative = 0.0;
         let t = Instant::now();
         let mut guard_here: u128 = 0;
@@ -279,7 +305,11 @@ pub fn run_dbds(
             guard_here += tg.elapsed().as_nanos();
         }
         let mut stopped = None;
-        for s in &plan {
+        // Blocks mutated by duplications applied earlier this round: the
+        // interference footprint the prediction audit classifies failed
+        // re-checks against.
+        let mut mutated: HashSet<BlockId> = HashSet::new();
+        for (s, sim_chain) in plan.iter().zip(&plan_chains) {
             // Re-validate: earlier duplications this round may have
             // restructured the pair.
             if !g.is_merge(s.merge) || !g.succs(s.pred).contains(&s.merge) {
@@ -289,10 +319,59 @@ pub fn run_dbds(
                 stopped = Some(reason);
                 break;
             }
+            // Prediction audit: re-run the applicability analysis against
+            // the graph as it stands *now* (earlier candidates this round
+            // already mutated it). A recorded opportunity that no longer
+            // fires means the candidate is skipped rather than applied on
+            // a stale promise — classified as an ordinary stale skip when
+            // an earlier duplication this round touched a block the
+            // candidate depends on, and as a misprediction (a simulation-
+            // tier contract violation) otherwise. Runs on the
+            // coordinating thread against a local budget, so results and
+            // fuel accounting stay identical across `sim_threads`
+            // settings.
+            if checkpoints && !s.opportunities.is_empty() {
+                let tg = Instant::now();
+                let rerun = audit_opportunities(g, model, cache, s);
+                let missed = match &rerun {
+                    Some(ops) => count_mispredictions(&s.opportunities, ops),
+                    None => s.opportunities.len(),
+                };
+                if missed > 0 {
+                    // Stale when a duplication this round touched a
+                    // block the candidate's facts flow through (its
+                    // sim-time dominator chain, merge or path), or when
+                    // the chain itself drifted — either way the recorded
+                    // facts describe a graph that no longer exists. A
+                    // failed re-check on an *undisturbed* candidate is a
+                    // genuine misprediction.
+                    let stale = !mutated.is_empty()
+                        && match (sim_chain, dominator_chain(g, cache, s.pred)) {
+                            (Some(old), Some(now)) => {
+                                *old != now
+                                    || old
+                                        .iter()
+                                        .chain(std::iter::once(&s.merge))
+                                        .chain(&s.path)
+                                        .any(|b| mutated.contains(b))
+                            }
+                            _ => true,
+                        };
+                    if stale {
+                        stats.stale_skips += 1;
+                    } else {
+                        stats.mispredictions += missed;
+                    }
+                    guard_here += tg.elapsed().as_nanos();
+                    continue;
+                }
+                guard_here += tg.elapsed().as_nanos();
+            }
             match apply_chain(g, s, checkpoints, &mut guard_here) {
                 Ok(chain) => {
                     stats.duplications += chain.duplications;
                     stats.work += chain.work;
+                    mutated.extend(chain.touched.iter().copied());
                     visited.extend(chain.visited);
                     cumulative += s.weighted_benefit();
                     for o in &s.opportunities {
@@ -362,6 +441,25 @@ pub fn run_dbds(
                 recovered,
             });
         }
+        // Cached-analysis audit: any cache entry stamped with the current
+        // CFG epoch must match a from-scratch recomputation. A divergence
+        // is a stamping-discipline bug; recovery drops the cache so the
+        // next lookup recomputes honestly.
+        let stale = cache.audit(g);
+        if let Some(first) = stale.first() {
+            let reason = if stale.len() == 1 {
+                first.message.clone()
+            } else {
+                format!("{} (+{} more)", first.message, stale.len() - 1)
+            };
+            cache.clear();
+            stats.bailouts.push(BailoutRecord {
+                reason: BailoutReason::VerifierRejected(reason),
+                tier: Tier::Optimization,
+                candidate: None,
+                recovered: true,
+            });
+        }
         stats.guard_ns += tg.elapsed().as_nanos();
     }
     stats.final_size = model.graph_size(g);
@@ -376,12 +474,22 @@ struct ChainOutcome {
     duplications: usize,
     work: u64,
     visited: Vec<BlockId>,
+    /// Every block the chain mutated: the predecessor (retargeted
+    /// terminator), the merge (φs and predecessor list shrank), the
+    /// fresh copy, and the successors of both (their φs gained the
+    /// copy's edge). Feeds the round's interference footprint.
+    touched: Vec<BlockId>,
 }
 
-fn record_step(out: &mut ChainOutcome, g: &Graph, merge: BlockId) {
-    out.visited.push(merge);
+fn record_step(out: &mut ChainOutcome, g: &Graph, dup: &Duplication) {
+    out.visited.push(dup.merge);
     out.duplications += 1;
-    out.work += g.block_insts(merge).len() as u64;
+    out.work += g.block_insts(dup.merge).len() as u64;
+    out.touched.push(dup.pred);
+    out.touched.push(dup.merge);
+    out.touched.push(dup.copy);
+    out.touched.extend(g.succs(dup.copy));
+    out.touched.extend(g.succs(dup.merge));
 }
 
 /// Applies one accepted candidate: the `(pred, merge)` duplication plus
@@ -398,13 +506,13 @@ fn apply_chain(
     if !checkpoints {
         let mut out = ChainOutcome::default();
         let mut dup = duplicate(g, s.pred, s.merge);
-        record_step(&mut out, g, s.merge);
+        record_step(&mut out, g, &dup);
         for &m in &s.path[1..] {
             if !g.is_merge(m) || !g.succs(dup.copy).contains(&m) {
                 break;
             }
             dup = duplicate(g, dup.copy, m);
-            record_step(&mut out, g, m);
+            record_step(&mut out, g, &dup);
         }
         return Ok(out);
     }
@@ -420,7 +528,7 @@ fn apply_chain(
             |e: crate::transform::TransformError| BailoutReason::VerifierRejected(e.to_string());
         let mut out = ChainOutcome::default();
         let mut dup = try_duplicate(g, s.pred, s.merge).map_err(reject)?;
-        record_step(&mut out, g, s.merge);
+        record_step(&mut out, g, &dup);
         verified(g, &mut guard)?;
         // Path-based extension: duplicate the remaining merges of the
         // accepted path into the freshly created copies.
@@ -429,7 +537,7 @@ fn apply_chain(
                 break;
             }
             dup = try_duplicate(g, dup.copy, m).map_err(reject)?;
-            record_step(&mut out, g, m);
+            record_step(&mut out, g, &dup);
             verified(g, &mut guard)?;
         }
         Ok(out)
@@ -710,6 +818,19 @@ mod tests {
         let stats = compile(&mut g, &model, OptLevel::Dbds, &DbdsConfig::default());
         assert!(stats.duplications >= 1);
         assert!(stats.bailouts.is_empty(), "bailouts: {:?}", stats.bailouts);
+    }
+
+    #[test]
+    fn happy_path_prediction_audit_confirms_every_candidate() {
+        // The audit runs before every applied candidate (checkpoints are
+        // on by default); on the happy path it must confirm each one —
+        // a nonzero count here would mean the simulation tier's promises
+        // don't survive to application even without interference.
+        let mut g = figure1();
+        let model = CostModel::new();
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &DbdsConfig::default());
+        assert!(stats.duplications >= 1);
+        assert_eq!(stats.mispredictions, 0, "stats: {stats:?}");
     }
 
     #[test]

@@ -561,6 +561,123 @@ impl Committer<'_> {
     }
 }
 
+/// The immediate-dominator chain entry → … → `b` on the current cached
+/// dominator tree, in walk order. `None` when `b` is unreachable. The
+/// chain is exactly the set of blocks whose contents determine the fact
+/// environment the simulation tier saw at `b`, which makes it the
+/// interference footprint the optimization tier checks candidates
+/// against.
+pub(crate) fn dominator_chain(
+    g: &Graph,
+    cache: &mut AnalysisCache,
+    b: BlockId,
+) -> Option<Vec<BlockId>> {
+    let dt = cache.domtree(g);
+    if !dt.is_reachable(b) {
+        return None;
+    }
+    let mut chain = vec![b];
+    let mut cur = b;
+    while cur != g.entry() {
+        cur = dt.idom(cur)?;
+        chain.push(cur);
+    }
+    chain.reverse();
+    Some(chain)
+}
+
+/// Re-runs the applicability analysis of one recorded candidate against
+/// the *current* graph — the optimization tier's prediction audit.
+///
+/// The simulation tier promises that every recorded [`Opportunity`] will
+/// still fire when the optimization tier finally duplicates (§4.1's
+/// simulation → §5's application contract). Between recording and
+/// application, though, earlier accepted candidates have already mutated
+/// the graph. This function replays the dominator-path fact accumulation
+/// for `s.pred` on the graph as it stands *now* and runs the DST again,
+/// returning the opportunities the analysis would record today.
+///
+/// The replay is exact, not approximate: during collection, the fact
+/// environment at a block depends only on its dominator-tree path from
+/// entry (each DFS child either extends the parent's facts through its
+/// sole incoming edge or starts from [`FactEnv::clone_pure`]), so walking
+/// the immediate-dominator chain linearly reproduces the collect-time
+/// snapshot. On an unmutated graph the result always equals the recorded
+/// opportunities; any mismatch after mutation is a genuine misprediction.
+///
+/// Returns `None` when the candidate no longer exists at all (`s.pred`
+/// became unreachable). Runs against a local unlimited budget: auditing
+/// never charges the phase's fuel and is deterministic across thread
+/// counts (it always runs on the coordinating thread).
+pub fn audit_opportunities(
+    g: &Graph,
+    model: &CostModel,
+    cache: &mut AnalysisCache,
+    s: &SimulationResult,
+) -> Option<Vec<Opportunity>> {
+    let chain = dominator_chain(g, cache, s.pred)?;
+    let freqs = cache.frequencies(g);
+    // Accumulate facts along the chain exactly like `collect_candidates`:
+    // a child with its parent as sole predecessor extends the parent's
+    // facts through the edge condition; any other child starts pure.
+    let mut env = FactEnv::new();
+    for (k, &b) in chain.iter().enumerate() {
+        if k > 0 {
+            let parent = chain[k - 1];
+            if g.preds(b) == [parent] {
+                assume_edge(g, &mut env, parent, b);
+            } else {
+                env = env.clone_pure();
+            }
+        }
+        for &i in g.block_insts(b) {
+            let eval = evaluate(g, &env, i);
+            if let Inst::New { class } = g.inst(i) {
+                env.add_virtual(i, *class);
+            }
+            record_effects(g, &mut env, i, &eval);
+        }
+    }
+    assume_edge(g, &mut env, s.pred, s.merge);
+
+    let local = Budget::unlimited();
+    let trace = TraceBudget {
+        real: &local,
+        pending: RefCell::new(None),
+        fuel: Cell::new(0),
+        injected: RefCell::new(None),
+    };
+    let results = run_dst(
+        g,
+        model,
+        &freqs,
+        &trace,
+        env,
+        s.pred,
+        s.merge,
+        s.path.len().max(1),
+    )
+    .ok()?;
+    // The DST emits one result per path prefix; pick the longest prefix
+    // of the recorded path that is still walkable.
+    results
+        .into_iter()
+        .filter(|r| s.path.starts_with(&r.path))
+        .max_by_key(|r| r.path.len())
+        .map(|r| r.opportunities)
+}
+
+/// Counts the recorded opportunities the re-run analysis no longer
+/// predicts, matching on `(inst, kind)`. The cost estimates are allowed
+/// to drift (frequencies change as the graph grows); the *applicability*
+/// is what the simulation tier promised.
+pub fn count_mispredictions(recorded: &[Opportunity], rerun: &[Opportunity]) -> usize {
+    recorded
+        .iter()
+        .filter(|o| !rerun.iter().any(|r| r.inst == o.inst && r.kind == o.kind))
+        .count()
+}
+
 /// Refines `env` with the branch condition implied by the edge `b → s`.
 fn assume_edge(g: &Graph, env: &mut FactEnv, b: BlockId, s: BlockId) {
     if let Terminator::Branch {
@@ -1197,6 +1314,70 @@ mod tests {
                 assert_eq!(budget.fuel_used(), baseline_used, "fuel {fuel}");
             }
         }
+    }
+
+    #[test]
+    fn audit_reproduces_recorded_opportunities_on_unchanged_graph() {
+        // The contract the prediction audit relies on: replaying the
+        // dominator chain gives back exactly the collect-time facts, so
+        // on an unmutated graph the audit confirms every opportunity of
+        // every candidate.
+        let (g, _, _, _) = figure3();
+        let mut cache = AnalysisCache::new();
+        let results = simulate(&g, &model(), &mut cache);
+        assert!(!results.is_empty());
+        for r in &results {
+            let rerun = audit_opportunities(&g, &model(), &mut cache, r)
+                .expect("candidate exists on the unchanged graph");
+            assert_eq!(
+                rerun, r.opportunities,
+                "audit diverged for ({} -> {})",
+                r.pred, r.merge
+            );
+            assert_eq!(count_mispredictions(&r.opportunities, &rerun), 0);
+        }
+    }
+
+    #[test]
+    fn audit_detects_fabricated_misprediction() {
+        // Fail-first for LintId::Misprediction: tamper a recorded
+        // opportunity so its applicability check cannot re-fire, and the
+        // audit must flag it.
+        let (g, _, bp2, bm) = figure3();
+        let mut cache = AnalysisCache::new();
+        let results = simulate(&g, &model(), &mut cache);
+        let mut r = results
+            .iter()
+            .find(|r| r.pred == bp2 && r.merge == bm)
+            .expect("pair simulated")
+            .clone();
+        assert!(!r.opportunities.is_empty());
+        // Point the opportunity at an instruction the DST never visits.
+        r.opportunities[0].inst = InstId(0);
+        r.opportunities[0].kind = OptKind::ScalarReplace;
+        let rerun =
+            audit_opportunities(&g, &model(), &mut cache, &r).expect("candidate still exists");
+        assert!(
+            count_mispredictions(&r.opportunities, &rerun) >= 1,
+            "tampered opportunity must be reported as mispredicted"
+        );
+    }
+
+    #[test]
+    fn audit_returns_none_for_unreachable_pred() {
+        let (g, _, bp2, bm) = figure3();
+        let mut cache = AnalysisCache::new();
+        let results = simulate(&g, &model(), &mut cache);
+        let mut r = results
+            .iter()
+            .find(|r| r.pred == bp2 && r.merge == bm)
+            .expect("pair simulated")
+            .clone();
+        // A detached block is unreachable; the candidate is gone.
+        let mut g2 = g.clone();
+        let orphan = g2.add_block();
+        r.pred = orphan;
+        assert!(audit_opportunities(&g2, &model(), &mut AnalysisCache::new(), &r).is_none());
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! figures --table backtracking  the §3.1 compile-time comparison
 //! figures --all                 everything, in paper order
 //! figures --json <path|->       deterministic machine-readable report
+//! figures --lint                IR lint + prediction audit over the corpus
+//! figures --lint --json <path|->  the same sweep as JSON
 //! ```
+//!
+//! `--lint` exits nonzero when any error-severity diagnostic or any
+//! misprediction survives — the CI lint gate.
 //!
 //! `--sim-threads N` (combinable with every mode) sets the simulation
 //! tier's DST worker count; `0` means one per hardware thread. The
@@ -16,8 +21,8 @@
 use dbds_core::{compile, DbdsConfig, OptLevel};
 use dbds_costmodel::CostModel;
 use dbds_harness::{
-    format_backtracking, format_figure, format_json, format_summary, run_suite, BacktrackRow,
-    IcacheModel,
+    format_backtracking, format_figure, format_json, format_lint, format_lint_json, format_summary,
+    run_lint_audit, run_suite, BacktrackRow, IcacheModel,
 };
 use dbds_workloads::Suite;
 use std::time::Instant;
@@ -90,6 +95,33 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        ["--lint"] | ["--lint", "--json", _] => {
+            let audit = run_lint_audit(&Suite::ALL, &model, &cfg);
+            if let ["--lint", "--json", path] = args
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .as_slice()
+            {
+                let json = format_lint_json(&audit);
+                if *path == "-" {
+                    print!("{json}");
+                } else if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            } else {
+                print!("{}", format_lint(&audit));
+            }
+            if !audit.gate_passes() {
+                eprintln!(
+                    "lint gate failed: {} error diagnostics, {} mispredictions",
+                    audit.error_count(),
+                    audit.mispredictions
+                );
+                std::process::exit(1);
+            }
+        }
         ["--all"] => {
             let mut results = Vec::new();
             for &suite in &Suite::ALL {
@@ -105,7 +137,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: figures [--sim-threads N] --figure <5|6|7|8> | --summary | \
-                 --table backtracking | --table phases | --all | --json <path|->"
+                 --table backtracking | --table phases | --all | --json <path|-> | \
+                 --lint [--json <path|->]"
             );
             std::process::exit(2);
         }
@@ -128,15 +161,16 @@ fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<14} | {:>11} | {:>11} | {:>11} | {:>11} | {:>9}",
-        "suite", "simulate", "dst pool", "duplicate", "optimize", "sim share"
+        "{:<14} | {:>11} | {:>11} | {:>11} | {:>11} | {:>9} | {:>7}",
+        "suite", "simulate", "dst pool", "duplicate", "optimize", "sim share", "mispred"
     );
-    let _ = writeln!(out, "{}", "-".repeat(82));
+    let _ = writeln!(out, "{}", "-".repeat(92));
     for suite in Suite::ALL {
         let mut sim = 0u128;
         let mut par = 0u128;
         let mut tr = 0u128;
         let mut opt = 0u128;
+        let mut mispred = 0usize;
         for w in suite.workloads() {
             let mut g = w.graph.clone();
             let stats = compile(&mut g, model, OptLevel::Dbds, cfg);
@@ -144,17 +178,19 @@ fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
             par += stats.par_ns;
             tr += stats.transform_ns;
             opt += stats.opt_ns;
+            mispred += stats.mispredictions;
         }
         let total = (sim + tr + opt).max(1);
         let _ = writeln!(
             out,
-            "{:<14} | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.1}%",
+            "{:<14} | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.1}% | {:>7}",
             suite.id(),
             sim as f64 / 1e6,
             par as f64 / 1e6,
             tr as f64 / 1e6,
             opt as f64 / 1e6,
-            sim as f64 / total as f64 * 100.0
+            sim as f64 / total as f64 * 100.0,
+            mispred
         );
     }
     out

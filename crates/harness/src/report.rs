@@ -195,6 +195,12 @@ pub fn format_json(results: &[SuiteResult], sim_threads: usize) -> String {
                     "              \"cache_invalidations\": {},",
                     s.cache.invalidations
                 );
+                let _ = writeln!(
+                    out,
+                    "              \"mispredictions\": {},",
+                    s.mispredictions
+                );
+                let _ = writeln!(out, "              \"stale_skips\": {},", s.stale_skips);
                 let _ = writeln!(out, "              \"bailouts\": {},", s.bailouts.len());
                 let _ = writeln!(out, "              \"bailouts_recovered\": {recovered}");
                 let _ = writeln!(
@@ -373,6 +379,8 @@ mod tests {
         for level in ["baseline", "dbds", "dupalot"] {
             assert!(one.contains(&format!("\"level\": \"{level}\"")), "{one}");
         }
+        // The prediction-audit counter is part of the stable schema.
+        assert!(one.contains("\"mispredictions\""), "{one}");
     }
 
     #[test]

@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod builder;
 mod classes;
@@ -55,6 +56,7 @@ mod graph;
 mod ids;
 mod inst;
 mod interp;
+pub mod lint;
 mod parse;
 mod print;
 mod types;
@@ -68,6 +70,7 @@ pub use inst::{BinOp, CmpOp, Inst, InstKind, KindCounts, Terminator};
 pub use interp::{
     execute, execute_with_heap, ExecResult, Heap, Outcome, Trap, Value, DEFAULT_FUEL,
 };
+pub use lint::{lint, Diagnostic, LintId, LintPass, LintRegistry, LintReport, Severity};
 pub use parse::{parse_graph, parse_module, Module, ParseError};
 pub use print::{print_class_table, print_graph};
 pub use types::{ConstValue, Type};

@@ -75,16 +75,12 @@ pub fn parse_module(text: &str) -> PResult<Module> {
             .and_then(|(_, r)| r.rsplit_once('}'))
             .map(|(b, _)| b.trim())
             .ok_or_else(|| err(*lineno, "class body must be enclosed in { }"))?;
-        let class = table
-            .class_by_name(
-                line.strip_prefix("class ")
-                    .unwrap()
-                    .split('{')
-                    .next()
-                    .unwrap()
-                    .trim(),
-            )
-            .expect("registered in pass 1");
+        let name = line
+            .strip_prefix("class ")
+            .and_then(|r| r.split('{').next())
+            .map(str::trim)
+            .ok_or_else(|| err(*lineno, "malformed class declaration"))?;
+        let class = table.class_by_name(name).expect("registered in pass 1");
         if body.is_empty() {
             continue;
         }

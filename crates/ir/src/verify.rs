@@ -5,12 +5,17 @@
 //! (every use is dominated by its definition). Every transformation in the
 //! workspace is validated against it in tests, and the DBDS optimization
 //! tier re-verifies graphs after each duplication in debug builds.
+//!
+//! Since the lint framework landed, [`verify`] is a thin wrapper over
+//! [`crate::lint`]: it runs the default [`LintRegistry`](crate::lint::LintRegistry)
+//! and reports the error-severity diagnostics as a flat [`VerifyErrors`],
+//! so every existing call site (tests, the bailout checkpoint path, the
+//! debug re-verification after duplication) transparently runs the full
+//! structured suite. Warn-severity hygiene findings do not fail
+//! verification; consume [`crate::lint::lint`] directly to see them.
 
-use crate::ids::{BlockId, InstId};
-use crate::inst::{CmpOp, Inst, Terminator};
-use crate::types::{ConstValue, Type};
+use crate::lint::{lint, Severity};
 use crate::Graph;
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -56,512 +61,20 @@ impl Error for VerifyErrors {}
 ///
 /// Returns a [`VerifyErrors`] describing every violated invariant. An `Ok`
 /// result means the graph is structurally sound, type-correct and in valid
-/// SSA form.
+/// SSA form. Problems arrive in the lint report's deterministic
+/// (block, instruction, lint) order.
 pub fn verify(g: &Graph) -> Result<(), VerifyErrors> {
-    let mut v = Verifier {
-        g,
-        problems: Vec::new(),
-    };
-    v.check_edges();
-    v.check_blocks();
-    v.check_types();
-    v.check_dominance();
-    if v.problems.is_empty() {
+    let report = lint(g);
+    let problems: Vec<String> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.message.clone())
+        .collect();
+    if problems.is_empty() {
         Ok(())
     } else {
-        Err(VerifyErrors {
-            problems: v.problems,
-        })
-    }
-}
-
-struct Verifier<'a> {
-    g: &'a Graph,
-    problems: Vec<String>,
-}
-
-impl Verifier<'_> {
-    fn err(&mut self, msg: String) {
-        self.problems.push(msg);
-    }
-
-    fn check_edges(&mut self) {
-        let g = self.g;
-        if !g.preds(g.entry()).is_empty() {
-            self.err(format!("entry {} has predecessors", g.entry()));
-        }
-        for b in g.blocks() {
-            let succs = g.succs(b);
-            if succs.len() == 2 && succs[0] == succs[1] {
-                self.err(format!("{b} branches to the same block twice"));
-            }
-            for s in &succs {
-                let n = g.preds(*s).iter().filter(|&&p| p == b).count();
-                if n != 1 {
-                    self.err(format!(
-                        "edge {b} -> {s}: successor records {n} matching pred entries, expected 1"
-                    ));
-                }
-            }
-            for &p in g.preds(b) {
-                if !g.succs(p).contains(&b) {
-                    self.err(format!(
-                        "{b} lists pred {p}, but {p} does not branch to {b}"
-                    ));
-                }
-            }
-            if let Terminator::Branch { prob_then, .. } = g.terminator(b) {
-                if !(0.0..=1.0).contains(prob_then) || prob_then.is_nan() {
-                    self.err(format!("{b}: branch probability {prob_then} outside [0,1]"));
-                }
-            }
-        }
-        // Reachable blocks must not have unreachable predecessors: the
-        // cleanup pass must disconnect dead code before verification.
-        let mut reachable = vec![false; g.block_count()];
-        for b in g.reachable_blocks() {
-            reachable[b.index()] = true;
-        }
-        for b in g.blocks().filter(|b| reachable[b.index()]) {
-            for &p in g.preds(b) {
-                if !reachable[p.index()] {
-                    self.err(format!("reachable {b} has unreachable predecessor {p}"));
-                }
-            }
-        }
-    }
-
-    fn check_blocks(&mut self) {
-        let g = self.g;
-        for b in g.blocks() {
-            let mut seen_non_phi = false;
-            for &i in g.block_insts(b) {
-                if g.block_of(i) != Some(b) {
-                    self.err(format!(
-                        "{i} listed in {b} but records block {:?}",
-                        g.block_of(i)
-                    ));
-                }
-                match g.inst(i) {
-                    Inst::Phi { inputs } => {
-                        if seen_non_phi {
-                            self.err(format!("{b}: phi {i} appears after non-phi instructions"));
-                        }
-                        if inputs.len() != g.preds(b).len() {
-                            self.err(format!(
-                                "{b}: phi {i} has {} inputs but the block has {} predecessors",
-                                inputs.len(),
-                                g.preds(b).len()
-                            ));
-                        }
-                        if g.preds(b).is_empty() {
-                            self.err(format!("{b}: phi {i} in a block without predecessors"));
-                        }
-                    }
-                    Inst::Param(idx) => {
-                        if b != g.entry() {
-                            self.err(format!("param {i} outside the entry block"));
-                        }
-                        if *idx as usize >= g.param_types().len() {
-                            self.err(format!("param {i} index {idx} out of range"));
-                        } else if g.ty(i) != g.param_types()[*idx as usize] {
-                            self.err(format!("param {i} type mismatch with signature"));
-                        }
-                        seen_non_phi = true;
-                    }
-                    _ => seen_non_phi = true,
-                }
-                let inst = g.inst(i);
-                inst.for_each_input(|input| {
-                    if input.index() >= g.inst_count() {
-                        self.problems
-                            .push(format!("{i} references out-of-range value {input}"));
-                    } else if g.block_of(input).is_none() {
-                        self.problems
-                            .push(format!("{i} in {b} uses removed instruction {input}"));
-                    }
-                });
-            }
-            g.terminator(b).for_each_input(|input| {
-                if g.block_of(input).is_none() {
-                    self.problems.push(format!(
-                        "terminator of {b} uses removed instruction {input}"
-                    ));
-                }
-            });
-        }
-    }
-
-    fn check_types(&mut self) {
-        let g = self.g;
-        let table = g.class_table().clone();
-        for b in g.blocks() {
-            for &i in g.block_insts(b) {
-                let ty = g.ty(i);
-                match g.inst(i) {
-                    Inst::Const(c) => {
-                        if c.ty() != ty {
-                            self.err(format!("{i}: constant {c} typed {ty}"));
-                        }
-                        if let ConstValue::Null(cl) = c {
-                            if !table.contains_class(*cl) {
-                                self.err(format!("{i}: null of unknown class {cl}"));
-                            }
-                        }
-                    }
-                    Inst::Param(_) => {}
-                    Inst::Binary { lhs, rhs, .. } => {
-                        self.expect(i, *lhs, Type::Int);
-                        self.expect(i, *rhs, Type::Int);
-                        if ty != Type::Int {
-                            self.err(format!("{i}: binary op typed {ty}"));
-                        }
-                    }
-                    Inst::Compare { op, lhs, rhs } => {
-                        let lt = g.ty(*lhs);
-                        let rt = g.ty(*rhs);
-                        let ordered = matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge);
-                        if ordered && (lt != Type::Int || rt != Type::Int) {
-                            self.err(format!("{i}: ordered comparison of {lt} and {rt}"));
-                        }
-                        if !ordered && !Self::comparable(lt, rt) {
-                            self.err(format!("{i}: equality comparison of {lt} and {rt}"));
-                        }
-                        if ty != Type::Bool {
-                            self.err(format!("{i}: comparison typed {ty}"));
-                        }
-                    }
-                    Inst::Not(x) => {
-                        self.expect(i, *x, Type::Bool);
-                        if ty != Type::Bool {
-                            self.err(format!("{i}: not typed {ty}"));
-                        }
-                    }
-                    Inst::Neg(x) => {
-                        self.expect(i, *x, Type::Int);
-                        if ty != Type::Int {
-                            self.err(format!("{i}: neg typed {ty}"));
-                        }
-                    }
-                    Inst::Phi { inputs } => {
-                        for &input in inputs {
-                            if g.ty(input) != ty {
-                                self.err(format!(
-                                    "{i}: phi typed {ty} has input {input} of type {}",
-                                    g.ty(input)
-                                ));
-                            }
-                        }
-                    }
-                    Inst::New { class } => {
-                        if !table.contains_class(*class) {
-                            self.err(format!("{i}: new of unknown class {class}"));
-                        } else if ty != Type::Ref(*class) {
-                            self.err(format!("{i}: new {class} typed {ty}"));
-                        }
-                    }
-                    Inst::LoadField { object, field } => {
-                        self.check_receiver(i, *object, *field);
-                        if table.contains_field(*field) && ty != table.field(*field).ty {
-                            self.err(format!("{i}: load of {field} typed {ty}"));
-                        }
-                    }
-                    Inst::StoreField {
-                        object,
-                        field,
-                        value,
-                    } => {
-                        self.check_receiver(i, *object, *field);
-                        if table.contains_field(*field) && g.ty(*value) != table.field(*field).ty {
-                            self.err(format!("{i}: store of {} into {field}", g.ty(*value)));
-                        }
-                        if ty != Type::Void {
-                            self.err(format!("{i}: store typed {ty}"));
-                        }
-                    }
-                    Inst::InstanceOf { object, class } => {
-                        if !matches!(g.ty(*object), Type::Ref(_)) {
-                            self.err(format!("{i}: instanceof on {}", g.ty(*object)));
-                        }
-                        if !table.contains_class(*class) {
-                            self.err(format!("{i}: instanceof unknown class {class}"));
-                        }
-                        if ty != Type::Bool {
-                            self.err(format!("{i}: instanceof typed {ty}"));
-                        }
-                    }
-                    Inst::NewArray { length } => {
-                        self.expect(i, *length, Type::Int);
-                        if ty != Type::Arr {
-                            self.err(format!("{i}: newarray typed {ty}"));
-                        }
-                    }
-                    Inst::ArrayLoad { array, index } => {
-                        self.expect(i, *array, Type::Arr);
-                        self.expect(i, *index, Type::Int);
-                        if ty != Type::Int {
-                            self.err(format!("{i}: aload typed {ty}"));
-                        }
-                    }
-                    Inst::ArrayStore {
-                        array,
-                        index,
-                        value,
-                    } => {
-                        self.expect(i, *array, Type::Arr);
-                        self.expect(i, *index, Type::Int);
-                        self.expect(i, *value, Type::Int);
-                        if ty != Type::Void {
-                            self.err(format!("{i}: astore typed {ty}"));
-                        }
-                    }
-                    Inst::ArrayLength(a) => {
-                        self.expect(i, *a, Type::Arr);
-                        if ty != Type::Int {
-                            self.err(format!("{i}: alength typed {ty}"));
-                        }
-                    }
-                    Inst::Invoke { args } => {
-                        for &a in args {
-                            if g.ty(a) == Type::Void {
-                                self.err(format!("{i}: invoke passes void value {a}"));
-                            }
-                        }
-                        if ty != Type::Int {
-                            self.err(format!("{i}: invoke typed {ty}"));
-                        }
-                    }
-                }
-            }
-            if let Terminator::Branch { cond, .. } = g.terminator(b) {
-                if g.ty(*cond) != Type::Bool {
-                    self.err(format!("terminator of {b}: branch on {}", g.ty(*cond)));
-                }
-            }
-        }
-    }
-
-    fn comparable(a: Type, b: Type) -> bool {
-        matches!(
-            (a, b),
-            (Type::Int, Type::Int)
-                | (Type::Bool, Type::Bool)
-                | (Type::Arr, Type::Arr)
-                | (Type::Ref(_), Type::Ref(_))
-        )
-    }
-
-    fn check_receiver(&mut self, at: InstId, object: InstId, field: crate::ids::FieldId) {
-        let g = self.g;
-        let table = g.class_table();
-        if !table.contains_field(field) {
-            self.err(format!("{at}: unknown field {field}"));
-            return;
-        }
-        match g.ty(object) {
-            Type::Ref(c) => {
-                if !table.field_belongs_to(field, c) {
-                    self.err(format!("{at}: field {field} does not belong to class {c}"));
-                }
-            }
-            other => self.err(format!("{at}: field access on {other}")),
-        }
-    }
-
-    fn expect(&mut self, at: InstId, v: InstId, ty: Type) {
-        let actual = self.g.ty(v);
-        if actual != ty {
-            self.err(format!(
-                "{at}: operand {v} has type {actual}, expected {ty}"
-            ));
-        }
-    }
-
-    fn check_dominance(&mut self) {
-        let g = self.g;
-        let dom = SimpleDomTree::compute(g);
-        // Position of each instruction within its block for same-block checks.
-        let mut pos: HashMap<InstId, usize> = HashMap::new();
-        for b in g.blocks() {
-            for (k, &i) in g.block_insts(b).iter().enumerate() {
-                pos.insert(i, k);
-            }
-        }
-        for &b in &dom.rpo {
-            for (k, &i) in g.block_insts(b).iter().enumerate() {
-                match g.inst(i) {
-                    Inst::Phi { inputs } => {
-                        let preds = g.preds(b).to_vec();
-                        for (input, &pred) in inputs.iter().zip(preds.iter()) {
-                            if !self.value_available_at_end(&dom, &pos, *input, pred) {
-                                self.err(format!(
-                                    "{i} in {b}: phi input {input} does not dominate predecessor {pred}"
-                                ));
-                            }
-                        }
-                    }
-                    inst => {
-                        let mut bad = Vec::new();
-                        inst.for_each_input(|input| {
-                            if !self.value_dominates_use(&dom, &pos, input, b, k) {
-                                bad.push(input);
-                            }
-                        });
-                        for input in bad {
-                            self.err(format!(
-                                "{i} in {b}: use of {input} not dominated by its definition"
-                            ));
-                        }
-                    }
-                }
-            }
-            let term = g.terminator(b);
-            let end = g.block_insts(b).len();
-            let mut bad = Vec::new();
-            term.for_each_input(|input| {
-                if !self.value_dominates_use(&dom, &pos, input, b, end) {
-                    bad.push(input);
-                }
-            });
-            for input in bad {
-                self.err(format!(
-                    "terminator of {b}: use of {input} not dominated by its definition"
-                ));
-            }
-        }
-    }
-
-    /// True if `v` is defined by the end of block `b` on every path (i.e.
-    /// `v`'s block dominates `b`).
-    fn value_available_at_end(
-        &self,
-        dom: &SimpleDomTree,
-        _pos: &HashMap<InstId, usize>,
-        v: InstId,
-        b: BlockId,
-    ) -> bool {
-        match self.g.block_of(v) {
-            Some(db) => dom.dominates(db, b),
-            None => false,
-        }
-    }
-
-    /// True if the definition of `v` strictly precedes a use at position
-    /// `use_pos` of block `b`.
-    fn value_dominates_use(
-        &self,
-        dom: &SimpleDomTree,
-        pos: &HashMap<InstId, usize>,
-        v: InstId,
-        b: BlockId,
-        use_pos: usize,
-    ) -> bool {
-        match self.g.block_of(v) {
-            Some(db) if db == b => pos.get(&v).is_some_and(|&p| p < use_pos),
-            Some(db) => dom.dominates(db, b),
-            None => false,
-        }
-    }
-}
-
-/// A minimal dominator tree used only by the verifier. The full-featured
-/// analysis (queries, children, traversal) lives in `dbds-analysis`; this
-/// one avoids a dependency cycle.
-struct SimpleDomTree {
-    idom: Vec<Option<BlockId>>,
-    rpo_index: Vec<usize>,
-    rpo: Vec<BlockId>,
-}
-
-impl SimpleDomTree {
-    fn compute(g: &Graph) -> Self {
-        // Reverse postorder over reachable blocks.
-        let n = g.block_count();
-        let mut visited = vec![false; n];
-        let mut post: Vec<BlockId> = Vec::new();
-        // Iterative DFS computing postorder.
-        let mut stack: Vec<(BlockId, usize)> = vec![(g.entry(), 0)];
-        visited[g.entry().index()] = true;
-        while let Some(&mut (b, ref mut child)) = stack.last_mut() {
-            let succs = g.succs(b);
-            if *child < succs.len() {
-                let s = succs[*child];
-                *child += 1;
-                if !visited[s.index()] {
-                    visited[s.index()] = true;
-                    stack.push((s, 0));
-                }
-            } else {
-                post.push(b);
-                stack.pop();
-            }
-        }
-        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
-        let mut rpo_index = vec![usize::MAX; n];
-        for (i, &b) in rpo.iter().enumerate() {
-            rpo_index[b.index()] = i;
-        }
-        // Cooper–Harvey–Kennedy iteration.
-        let mut idom: Vec<Option<BlockId>> = vec![None; n];
-        idom[g.entry().index()] = Some(g.entry());
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in rpo.iter().skip(1) {
-                let mut new_idom: Option<BlockId> = None;
-                for &p in g.preds(b) {
-                    if idom[p.index()].is_none() {
-                        continue;
-                    }
-                    new_idom = Some(match new_idom {
-                        None => p,
-                        Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
-                    });
-                }
-                if let Some(ni) = new_idom {
-                    if idom[b.index()] != Some(ni) {
-                        idom[b.index()] = Some(ni);
-                        changed = true;
-                    }
-                }
-            }
-        }
-        SimpleDomTree {
-            idom,
-            rpo_index,
-            rpo,
-        }
-    }
-
-    fn intersect(idom: &[Option<BlockId>], rpo_index: &[usize], a: BlockId, b: BlockId) -> BlockId {
-        let (mut a, mut b) = (a, b);
-        while a != b {
-            while rpo_index[a.index()] > rpo_index[b.index()] {
-                a = idom[a.index()].expect("processed block has idom");
-            }
-            while rpo_index[b.index()] > rpo_index[a.index()] {
-                b = idom[b.index()].expect("processed block has idom");
-            }
-        }
-        a
-    }
-
-    /// Does `a` dominate `b`? Blocks unreachable from entry dominate
-    /// nothing and are dominated by nothing.
-    fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        if self.rpo_index[a.index()] == usize::MAX || self.rpo_index[b.index()] == usize::MAX {
-            return false;
-        }
-        let mut cur = b;
-        loop {
-            if cur == a {
-                return true;
-            }
-            match self.idom[cur.index()] {
-                Some(i) if i != cur => cur = i,
-                _ => return false,
-            }
-        }
+        Err(VerifyErrors { problems })
     }
 }
 
@@ -570,7 +83,9 @@ mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
     use crate::classes::ClassTable;
-    use crate::inst::BinOp;
+    use crate::ids::InstId;
+    use crate::inst::{BinOp, CmpOp, Inst, Terminator};
+    use crate::types::{ConstValue, Type};
     use std::sync::Arc;
 
     fn empty_table() -> Arc<ClassTable> {
@@ -758,5 +273,29 @@ mod tests {
         let text = errs.to_string();
         assert!(text.contains("verification failed"));
         assert!(text.contains("expected int"));
+    }
+
+    #[test]
+    fn problems_are_sorted_and_stable_across_runs() {
+        // Several independent problems: their order must be the lint
+        // report's (block, inst, lint) order on every run.
+        let mut g = Graph::new("s", &[], empty_table());
+        let e = g.entry();
+        let t = g.append_inst(e, Inst::Const(ConstValue::Bool(true)), Type::Bool);
+        let neg = g.append_inst(e, Inst::Neg(t), Type::Int);
+        let add = g.append_inst(
+            e,
+            Inst::Binary {
+                op: BinOp::Add,
+                lhs: neg,
+                rhs: InstId(9),
+            },
+            Type::Int,
+        );
+        g.set_terminator(e, Terminator::Return { value: Some(add) });
+        let a = verify(&g).unwrap_err();
+        let b = verify(&g).unwrap_err();
+        assert_eq!(a, b);
+        assert!(a.problems.len() >= 2);
     }
 }

@@ -1,0 +1,84 @@
+//! Property-based tests for the lint framework: randomly generated
+//! programs carry no error-severity diagnostics, and they stay that way
+//! under randomly accepted duplications — the lint suite is stable under
+//! the exact transformation DBDS performs.
+
+use dbds::core::{compile, duplicate, DbdsConfig, OptLevel};
+use dbds::costmodel::CostModel;
+use dbds::ir::{lint, BlockId, Severity};
+use dbds::workloads::{generate_graph, FragmentKind, Profile};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        2usize..10,
+        proptest::collection::vec(0.05f64..1.0, FragmentKind::ALL.len()),
+    )
+        .prop_map(|(count, weights)| Profile {
+            fragments: (count, count + 4),
+            weights: FragmentKind::ALL.iter().copied().zip(weights).collect(),
+            input_sets: 2,
+        })
+}
+
+fn assert_error_free(g: &dbds::ir::Graph) {
+    let report = lint(g);
+    assert_eq!(
+        report.error_count(),
+        0,
+        "error-severity diagnostics on a generated graph:\n{report}"
+    );
+    for d in report.diagnostics() {
+        assert_eq!(d.severity, d.lint.severity());
+        assert_eq!(d.severity, Severity::Warn);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated program is lint-clean at error severity (hygiene
+    /// warnings — critical edges and the like — are legitimate shapes).
+    #[test]
+    fn generated_programs_are_error_free(seed in 0u64..1_000_000, profile in arb_profile()) {
+        let g = generate_graph("lintprop", &profile, seed);
+        assert_error_free(&g);
+    }
+
+    /// Lint-clean graphs stay lint-clean under a random sequence of
+    /// accepted duplications: each round picks an arbitrary live
+    /// predecessor→merge pair and duplicates it, re-linting after every
+    /// step.
+    #[test]
+    fn error_freedom_survives_random_duplications(
+        seed in 0u64..1_000_000,
+        profile in arb_profile(),
+        picks in proptest::collection::vec(0usize..64, 1..4),
+    ) {
+        let mut g = generate_graph("lintprop", &profile, seed);
+        assert_error_free(&g);
+        for pick in picks {
+            let pairs: Vec<(BlockId, BlockId)> = g
+                .merge_blocks()
+                .into_iter()
+                .flat_map(|m| g.preds(m).iter().map(move |&p| (p, m)).collect::<Vec<_>>())
+                .filter(|&(p, m)| p != m)
+                .collect();
+            if pairs.is_empty() {
+                break;
+            }
+            let (pred, merge) = pairs[pick % pairs.len()];
+            duplicate(&mut g, pred, merge);
+            assert_error_free(&g);
+        }
+    }
+
+    /// The full DBDS phase (which accepts candidates through the real
+    /// trade-off tier) also preserves error-freedom.
+    #[test]
+    fn error_freedom_survives_the_dbds_phase(seed in 0u64..1_000_000, profile in arb_profile()) {
+        let mut g = generate_graph("lintprop", &profile, seed);
+        compile(&mut g, &CostModel::new(), OptLevel::Dbds, &DbdsConfig::default());
+        assert_error_free(&g);
+    }
+}
