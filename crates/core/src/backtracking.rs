@@ -48,6 +48,7 @@ impl From<BacktrackStats> for PhaseStats {
             sim_ns: 0,
             par_ns: 0,
             sim_threads: 0,
+            tradeoff_par_ns: 0,
             transform_ns: 0,
             opt_ns: 0,
             guard_ns: 0,

@@ -17,6 +17,14 @@
 //!   [`BailoutReason::TransformPanicked`] without spamming stderr.
 //! - [`BailoutRecord`] — the observability row collected into
 //!   [`PhaseStats::bailouts`](crate::PhaseStats::bailouts).
+//!
+//! Ownership is strictly **per compilation unit**: every
+//! [`run_dbds`](crate::run_dbds) / [`compile`](crate::compile) call
+//! creates its own [`Budget`] (and its own analysis cache), and
+//! [`isolate`]'s panic-hook silencer is thread-local. Units compiled
+//! concurrently on the harness's unit queue therefore cannot poison each
+//! other: one unit's fuel exhaustion, deadline miss or contained panic
+//! never charges or silences a neighbor.
 
 use dbds_ir::{BlockId, Graph};
 use std::any::Any;

@@ -109,6 +109,7 @@ pub use simulation::{
     simulate_paths_parallel, Opportunity, SimulationOutcome, SimulationResult,
 };
 pub use tradeoff::{
-    select, select_with_rejections, should_duplicate, Selection, SelectionMode, TradeoffConfig,
+    select, select_with_rejections, select_with_rejections_parallel, should_duplicate,
+    PricedSelection, Selection, SelectionMode, TradeoffConfig,
 };
 pub use transform::{duplicate, try_duplicate, Duplication, TransformError};

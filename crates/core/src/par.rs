@@ -16,6 +16,7 @@
 //! worker-index order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// What one worker of a [`run_indexed`] pool did — observability only;
@@ -64,6 +65,41 @@ pub fn run_indexed<T: Sync>(
     each: impl Fn(usize, &T) + Sync,
 ) -> Vec<WorkerLoad> {
     run_indexed_driving(threads, items, each, || {})
+}
+
+/// Runs `f(index, &items[index])` for every index on the pool and
+/// returns the results **in index order**, regardless of which worker
+/// computed what — the standard deterministic fan-out: each result is
+/// deposited into its index-addressed slot and the slots are drained
+/// sequentially afterwards. Also returns the per-worker loads.
+///
+/// This is the primitive behind both the trade-off tier's parallel
+/// candidate pricing and the harness's unit-level compilation queue.
+pub fn map_indexed<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> (Vec<R>, Vec<WorkerLoad>) {
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let loads = run_indexed(threads, items, |i, item| {
+        let r = f(i, item);
+        match slots[i].lock() {
+            Ok(mut slot) => *slot = Some(r),
+            // A poisoned slot means another worker panicked mid-store,
+            // which `run_indexed` re-raises on the caller; storing through
+            // the poison keeps this worker's result intact regardless.
+            Err(poison) => *poison.into_inner() = Some(r),
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .expect("run_indexed visits every index exactly once")
+        })
+        .collect();
+    (results, loads)
 }
 
 /// Like [`run_indexed`], but dedicates the calling thread to `on_main`
@@ -177,6 +213,22 @@ mod tests {
         run_indexed(1, &items, |i, _| order.lock().unwrap().push(i));
         let order = order.into_inner().unwrap();
         assert_eq!(order, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_returns_results_in_index_order() {
+        let items: Vec<u64> = (0..131).collect();
+        for threads in [1, 2, 3, 8] {
+            let (results, loads) = map_indexed(threads, &items, |i, &v| v * 2 + i as u64);
+            assert_eq!(
+                results,
+                items.iter().map(|&v| v * 3).collect::<Vec<_>>(),
+                "at {threads} threads"
+            );
+            assert_eq!(loads.iter().map(|l| l.tasks).sum::<usize>(), items.len());
+        }
+        let (empty, _) = map_indexed(4, &[] as &[u64], |_, _| 0u64);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::simulation::{
     audit_opportunities, count_mispredictions, dominator_chain, simulate_paths_parallel,
     SimulationResult,
 };
-use crate::tradeoff::{select_with_rejections, SelectionMode, TradeoffConfig};
+use crate::tradeoff::{select_with_rejections_parallel, SelectionMode, TradeoffConfig};
 use crate::transform::{duplicate, try_duplicate, Duplication};
 use dbds_analysis::{AnalysisCache, CacheStats};
 use dbds_costmodel::CostModel;
@@ -73,17 +73,35 @@ pub struct DbdsConfig {
     /// Bailout-and-recovery guardrails: fuel / deadline budgets, verified
     /// checkpoints and panic isolation.
     pub guard: GuardConfig,
-    /// Worker threads for the simulation tier's DST pool (`0` = one per
-    /// hardware thread). Results are bit-identical for every value; only
-    /// wall-clock changes. The default honors the `DBDS_SIM_THREADS`
-    /// environment variable and falls back to 1.
+    /// Worker threads for the simulation tier's DST pool and the
+    /// trade-off tier's pricing fan-out (`0` = one per hardware thread).
+    /// Results are bit-identical for every value; only wall-clock
+    /// changes. The default honors the `DBDS_SIM_THREADS` environment
+    /// variable and falls back to 1.
     pub sim_threads: usize,
+    /// Worker threads for the *unit-level* compilation queue: how many
+    /// independent compilation units the harness overlaps on the
+    /// [`crate::par`] pool (`0` = one per hardware thread). Mirrors the
+    /// paper's setting of DBDS as a per-unit phase inside a compiler
+    /// that compiles units concurrently (§6). Results are committed in
+    /// submission order, so reports are byte-identical for every value.
+    /// The default honors `DBDS_UNIT_THREADS` and falls back to 1.
+    pub unit_threads: usize,
 }
 
 /// The `sim_threads` default: `DBDS_SIM_THREADS` when set to a number,
 /// else 1 (sequential).
 fn sim_threads_from_env() -> usize {
     std::env::var("DBDS_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// The `unit_threads` default: `DBDS_UNIT_THREADS` when set to a number,
+/// else 1 (sequential).
+fn unit_threads_from_env() -> usize {
+    std::env::var("DBDS_UNIT_THREADS")
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(1)
@@ -101,7 +119,38 @@ impl Default for DbdsConfig {
             max_path_length: 1,
             guard: GuardConfig::default(),
             sim_threads: sim_threads_from_env(),
+            unit_threads: unit_threads_from_env(),
         }
+    }
+}
+
+impl DbdsConfig {
+    /// Plans a unit-level fan-out over `units` independent compilations:
+    /// returns the resolved pool width and the configuration each unit
+    /// compiles with.
+    ///
+    /// When the units themselves run on the pool (resolved width > 1),
+    /// the per-unit config forces the *inner* tiers sequential
+    /// (`sim_threads = 1`) — nested-pool avoidance: one layer of
+    /// parallelism at a time, so a `p`-wide unit pool never spawns
+    /// `p × q` DST workers on `p` cores. Safe because every tier's
+    /// results are bit-identical across thread counts; only the purely
+    /// observational [`PhaseStats::sim_threads`] / `par_ns` fields (kept
+    /// out of the deterministic reports) can differ. Each unit still
+    /// owns its own [`dbds_analysis::AnalysisCache`] and fuel/deadline
+    /// [`Budget`](crate::Budget) — both are created per
+    /// [`run_dbds`]/[`compile`] call — so one unit's bailout never
+    /// poisons a neighbor.
+    pub fn unit_plan(&self, units: usize) -> (usize, DbdsConfig) {
+        let threads = crate::par::resolve_threads(self.unit_threads)
+            .min(units)
+            .max(1);
+        let mut per_unit = self.clone();
+        per_unit.unit_threads = 1;
+        if threads > 1 {
+            per_unit.sim_threads = 1;
+        }
+        (threads, per_unit)
     }
 }
 
@@ -132,6 +181,10 @@ pub struct PhaseStats {
     /// The resolved simulation thread count the phase ran with. Purely
     /// observational — every other field is identical for every value.
     pub sim_threads: usize,
+    /// Wall-clock nanoseconds spent inside the trade-off tier's parallel
+    /// pricing fan-out (candidate pricing on the pool plus the
+    /// sequential ranked accept replay). Timing only.
+    pub tradeoff_par_ns: u128,
     /// Wall-clock nanoseconds spent performing duplications.
     pub transform_ns: u128,
     /// Wall-clock nanoseconds spent in the optimization pipeline
@@ -264,14 +317,20 @@ pub fn run_dbds(
             break;
         }
         let current_size = model.graph_size(g);
-        let selection = select_with_rejections(
+        // Trade-off tier: pricing fans out on the same worker budget as
+        // the DST pool; the ranked accept loop replays sequentially, so
+        // the selection is bit-identical to the 1-thread path.
+        let priced = select_with_rejections_parallel(
             &sim.results,
             &cfg.tradeoff,
             mode,
             initial_size,
             current_size,
             &visited,
+            cfg.sim_threads,
         );
+        stats.tradeoff_par_ns += priced.par_ns;
+        let selection = priced.selection;
         for candidate in selection.size_rejected {
             stats.bailouts.push(BailoutRecord {
                 reason: BailoutReason::SizeBudgetExceeded,
@@ -778,6 +837,35 @@ mod tests {
         };
         let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
         assert_eq!(stats.iterations, 1);
+    }
+
+    #[test]
+    fn unit_plan_forces_inner_tiers_sequential() {
+        let cfg = DbdsConfig {
+            unit_threads: 4,
+            sim_threads: 8,
+            ..DbdsConfig::default()
+        };
+        let (threads, per_unit) = cfg.unit_plan(45);
+        assert_eq!(threads, 4);
+        assert_eq!(per_unit.sim_threads, 1, "nested-pool avoidance");
+        assert_eq!(per_unit.unit_threads, 1);
+        // A sequential unit queue leaves the inner tiers' knob alone.
+        let cfg = DbdsConfig {
+            unit_threads: 1,
+            sim_threads: 8,
+            ..DbdsConfig::default()
+        };
+        let (threads, per_unit) = cfg.unit_plan(45);
+        assert_eq!(threads, 1);
+        assert_eq!(per_unit.sim_threads, 8);
+        // Never wider than the unit count, never zero.
+        let wide = DbdsConfig {
+            unit_threads: 16,
+            ..DbdsConfig::default()
+        };
+        assert_eq!(wide.unit_plan(3).0, 3);
+        assert_eq!(wide.unit_plan(0).0, 1);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Property tests for the trade-off tier's parallel pricing: for *any*
+//! candidate list, selection mode, size budget and visited set, pricing
+//! `should_duplicate` on the worker pool and replaying the greedy accept
+//! loop over the pre-priced candidates must produce acceptance order,
+//! budget accrual and rejection records bit-identical to the sequential
+//! `select_with_rejections` — including on the full 45-workload corpus.
+
+use dbds_analysis::AnalysisCache;
+use dbds_core::{
+    select_with_rejections, select_with_rejections_parallel, simulate, SelectionMode,
+    SimulationResult, TradeoffConfig,
+};
+use dbds_costmodel::CostModel;
+use dbds_ir::BlockId;
+use dbds_workloads::all_workloads;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const THREADS: [usize; 3] = [2, 3, 8];
+const MODES: [SelectionMode; 2] = [SelectionMode::CostBenefit, SelectionMode::Dupalot];
+
+/// The comparable digest of a selection: accepted candidates in
+/// application order (by identity pair) plus the rejection records.
+type Digest = (Vec<(BlockId, BlockId)>, Vec<(BlockId, BlockId)>);
+
+fn digest(
+    results: &[SimulationResult],
+    cfg: &TradeoffConfig,
+    mode: SelectionMode,
+    initial: u64,
+    current: u64,
+    visited: &HashSet<BlockId>,
+    threads: usize,
+) -> Digest {
+    let sel = if threads == 0 {
+        select_with_rejections(results, cfg, mode, initial, current, visited)
+    } else {
+        let priced =
+            select_with_rejections_parallel(results, cfg, mode, initial, current, visited, threads);
+        priced.selection
+    };
+    (
+        sel.accepted.iter().map(|r| (r.pred, r.merge)).collect(),
+        sel.size_rejected,
+    )
+}
+
+fn candidate(raw: &(u32, u32, i64, u32, i64)) -> SimulationResult {
+    let &(pred, merge, benefit_tenths, prob_pct, size_cost) = raw;
+    SimulationResult {
+        pred: BlockId(pred),
+        merge: BlockId(merge),
+        path: vec![BlockId(merge)],
+        probability: prob_pct as f64 / 100.0,
+        cycles_saved: benefit_tenths as f64 / 10.0,
+        size_cost,
+        opportunities: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random candidate lists — including zero/negative benefits,
+    /// zero probabilities, shrinking (negative) size costs, duplicate
+    /// merges and tight budgets — price identically at every pool width.
+    #[test]
+    fn parallel_pricing_matches_sequential(
+        raw in proptest::collection::vec(
+            (0u32..24, 0u32..24, -40i64..400, 0u32..120, -60i64..200),
+            0..48,
+        ),
+        initial in 50u64..400,
+        headroom in 0u64..200,
+        visited_mask in 0u32..256,
+    ) {
+        let results: Vec<SimulationResult> = raw.iter().map(candidate).collect();
+        // A visited set carved out of the merge-id space, so freshness
+        // actually flips for some candidates.
+        let visited: HashSet<BlockId> = (0..24)
+            .filter(|m| visited_mask & (1 << (m % 8)) != 0 && m % 3 == 0)
+            .map(BlockId)
+            .collect();
+        let current = initial + headroom;
+        let cfg = TradeoffConfig::default();
+        for mode in MODES {
+            let seq = digest(&results, &cfg, mode, initial, current, &visited, 0);
+            for threads in THREADS {
+                let par = digest(&results, &cfg, mode, initial, current, &visited, threads);
+                prop_assert_eq!(
+                    &seq, &par,
+                    "selection diverged at {} threads ({:?})", threads, mode
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance-criteria check: on every workload of the full corpus,
+/// the parallel pricing path selects and rejects bit-identically to the
+/// sequential tier, for both selection modes, with and without a
+/// visited set.
+#[test]
+fn parallel_pricing_matches_sequential_on_the_full_corpus() {
+    let model = CostModel::new();
+    let cfg = TradeoffConfig::default();
+    let mut priced_candidates = 0usize;
+    for w in all_workloads() {
+        let mut cache = AnalysisCache::new();
+        let results = simulate(&w.graph, &model, &mut cache);
+        priced_candidates += results.len();
+        let initial = model.graph_size(&w.graph);
+        let fresh = HashSet::new();
+        // Second round flavor: the first round's accepted merges are
+        // already visited.
+        let visited: HashSet<BlockId> = select_with_rejections(
+            &results,
+            &cfg,
+            SelectionMode::CostBenefit,
+            initial,
+            initial,
+            &fresh,
+        )
+        .accepted
+        .iter()
+        .map(|r| r.merge)
+        .collect();
+        for mode in MODES {
+            for vis in [&fresh, &visited] {
+                let seq = digest(&results, &cfg, mode, initial, initial, vis, 0);
+                for threads in THREADS {
+                    let par = digest(&results, &cfg, mode, initial, initial, vis, threads);
+                    assert_eq!(
+                        seq, par,
+                        "{}: selection diverged at {threads} threads ({mode:?})",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        priced_candidates > 100,
+        "corpus produced only {priced_candidates} candidates — not a meaningful sweep"
+    );
+}

@@ -1,0 +1,126 @@
+//! Emits `BENCH_suite.json`: the whole-corpus compilation pipeline swept
+//! over the `unit_threads` × `sim_threads` matrix, with wall-clock per
+//! configuration next to the deterministic counters that prove every
+//! configuration did the same work. The perf trajectory of the suite
+//! pipeline is tracked by committing this file per revision (schema
+//! documented in EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p dbds-harness --bin bench_suite [-- <out-path|->]
+//! ```
+//!
+//! The deterministic counters (`work`, `candidates`, `duplications`,
+//! `raw_cycles`, summed over every suite × benchmark × configuration)
+//! must be identical across the matrix — the bin exits non-zero if any
+//! combination disagrees with the sequential baseline. Wall-clock fields
+//! (`wall_ms`, `unit_pool_ms`) are *not* deterministic: they depend on
+//! the machine, its load, and `hardware_threads` (on a single-core host
+//! the threaded rows bound pool overhead instead of showing overlap).
+
+use dbds_core::DbdsConfig;
+use dbds_costmodel::CostModel;
+use dbds_harness::{run_suite, IcacheModel, SuiteResult};
+use dbds_workloads::Suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The thread-count matrix the sweep covers: `(unit_threads,
+/// sim_threads)`. The `(1, 1)` row is the sequential baseline every
+/// other row's counters must match.
+const MATRIX: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
+
+/// Deterministic whole-corpus work counters, summed over every
+/// suite × benchmark × configuration.
+#[derive(PartialEq, Eq, Clone, Copy, Debug, Default)]
+struct Counters {
+    work: u64,
+    candidates: u64,
+    duplications: u64,
+    raw_cycles: u64,
+}
+
+fn counters(results: &[SuiteResult]) -> Counters {
+    let mut c = Counters::default();
+    for r in results {
+        for row in &r.rows {
+            for m in [&row.baseline, &row.dbds, &row.dupalot] {
+                c.work += m.work;
+                c.candidates += m.stats.candidates as u64;
+                c.duplications += m.stats.duplications as u64;
+                c.raw_cycles += m.raw_cycles;
+            }
+        }
+    }
+    c
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_suite.json".to_string());
+    let model = CostModel::new();
+    let icache = IcacheModel::default();
+    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut rows = Vec::new();
+    for (unit, sim) in MATRIX {
+        let cfg = DbdsConfig {
+            unit_threads: unit,
+            sim_threads: sim,
+            ..DbdsConfig::default()
+        };
+        let t = Instant::now();
+        let results: Vec<SuiteResult> = Suite::ALL
+            .iter()
+            .map(|&s| run_suite(s, &model, &cfg, &icache))
+            .collect();
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let unit_pool_ms: f64 = results.iter().map(|r| r.unit_par_ns as f64 / 1e6).sum();
+        eprintln!(
+            "bench_suite: unit_threads={unit} sim_threads={sim}: {wall_ms:.1} ms wall, \
+             {unit_pool_ms:.1} ms in the unit pool"
+        );
+        rows.push((unit, sim, counters(&results), wall_ms, unit_pool_ms));
+    }
+
+    let base = rows[0].2;
+    for &(unit, sim, c, _, _) in &rows {
+        if c != base {
+            eprintln!(
+                "bench_suite: DETERMINISM VIOLATION at unit_threads={unit} \
+                 sim_threads={sim}: {c:?} != sequential {base:?}"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"dbds-bench-suite-v1\",");
+    let _ = writeln!(out, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(out, "  \"workloads\": 45,");
+    let _ = writeln!(out, "  \"configs_per_workload\": 3,");
+    let _ = writeln!(out, "  \"runs\": [");
+    let last = rows.len() - 1;
+    for (i, (unit, sim, c, wall_ms, unit_pool_ms)) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"unit_threads\": {unit},");
+        let _ = writeln!(out, "      \"sim_threads\": {sim},");
+        let _ = writeln!(out, "      \"work\": {},", c.work);
+        let _ = writeln!(out, "      \"candidates\": {},", c.candidates);
+        let _ = writeln!(out, "      \"duplications\": {},", c.duplications);
+        let _ = writeln!(out, "      \"raw_cycles\": {},", c.raw_cycles);
+        let _ = writeln!(out, "      \"wall_ms\": {wall_ms:.3},");
+        let _ = writeln!(out, "      \"unit_pool_ms\": {unit_pool_ms:.3}");
+        let _ = writeln!(out, "    }}{}", if i < last { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+
+    if path == "-" {
+        print!("{out}");
+    } else if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}

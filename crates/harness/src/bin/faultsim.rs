@@ -12,6 +12,14 @@
 //!
 //! Exit status is non-zero if any check fails.
 //!
+//! The per-plan workload loop runs on the unit-level compilation queue
+//! (`DBDS_UNIT_THREADS`, default 1): arming is thread-local, so each
+//! unit arms the plan on whichever worker compiles it and disarms before
+//! the worker moves on — a fault contained in one unit can never leak
+//! into a neighbor. Results are committed in submission order, so stdout
+//! is byte-identical for every thread count (CI compares the sequential
+//! and threaded sweeps with `cmp`).
+//!
 //! ```text
 //! cargo run --release -p dbds-harness --features fault-injection --bin faultsim [-- <seed>]
 //! ```
@@ -19,8 +27,17 @@
 use dbds_core::faultinject::{arm, disarm, FaultPlan};
 use dbds_core::{compile, DbdsConfig, OptLevel};
 use dbds_costmodel::CostModel;
+use dbds_harness::run_units;
 use dbds_ir::{execute, verify, Outcome};
 use dbds_workloads::all_workloads;
+
+/// What one `(plan, workload)` unit reported, committed in submission
+/// order so the sweep's output is deterministic.
+struct UnitReport {
+    fired: bool,
+    bailouts: usize,
+    failures: Vec<String>,
+}
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -30,17 +47,18 @@ fn main() {
     let model = CostModel::new();
     let cfg = DbdsConfig::default();
     let workloads = all_workloads();
+    let (unit_threads, unit_cfg) = cfg.unit_plan(workloads.len());
+    // Stderr only: stdout must stay byte-identical across thread counts.
+    eprintln!("faultsim: unit pool width {unit_threads}");
 
     // The ground truth each faulted compilation must still match: the
     // baseline (no duplication, no faults) interpreter outcomes.
-    let baselines: Vec<Vec<Outcome>> = workloads
-        .iter()
-        .map(|w| {
+    let (baselines, _, _): (Vec<Vec<Outcome>>, _, _) =
+        run_units(unit_threads, &workloads, |_, w| {
             let mut g = w.graph.clone();
-            compile(&mut g, &model, OptLevel::Baseline, &cfg);
+            compile(&mut g, &model, OptLevel::Baseline, &unit_cfg);
             w.inputs.iter().map(|i| execute(&g, i).outcome).collect()
-        })
-        .collect();
+        });
 
     let plans = FaultPlan::sweep(seed);
     println!(
@@ -53,41 +71,54 @@ fn main() {
     let mut fired_total = 0usize;
     let mut bailouts_total = 0usize;
     for plan in &plans {
-        let mut fired_here = 0usize;
-        for (w, baseline) in workloads.iter().zip(&baselines) {
+        // Each unit arms on its own worker thread and disarms before the
+        // worker claims the next unit — per-unit fault ownership.
+        let (reports, _, _) = run_units(unit_threads, &workloads, |i, w| {
             arm(plan.clone());
             let mut g = w.graph.clone();
-            let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+            let stats = compile(&mut g, &model, OptLevel::Dbds, &unit_cfg);
             let (_hits, fired) = disarm();
-            fired_here += usize::from(fired);
-            bailouts_total += stats.bailouts.len();
+            let mut unit = UnitReport {
+                fired,
+                bailouts: stats.bailouts.len(),
+                failures: Vec::new(),
+            };
 
             if let Err(e) = verify(&g) {
-                failures += 1;
-                eprintln!(
+                unit.failures.push(format!(
                     "FAIL {}/{} nth={} on {}: final graph does not verify: {}",
                     plan.site,
                     plan.kind.name(),
                     plan.nth,
                     w.name,
                     e.summary()
-                );
-                continue;
+                ));
+                return unit;
             }
-            for (input, expected) in w.inputs.iter().zip(baseline) {
+            for (input, expected) in w.inputs.iter().zip(&baselines[i]) {
                 let got = execute(&g, input).outcome;
                 if &got != expected {
-                    failures += 1;
-                    eprintln!(
+                    unit.failures.push(format!(
                         "FAIL {}/{} nth={} on {}: outcome diverged from baseline \
                          ({got:?} vs {expected:?})",
                         plan.site,
                         plan.kind.name(),
                         plan.nth,
                         w.name,
-                    );
+                    ));
                     break;
                 }
+            }
+            unit
+        });
+
+        let mut fired_here = 0usize;
+        for r in &reports {
+            fired_here += usize::from(r.fired);
+            bailouts_total += r.bailouts;
+            failures += r.failures.len();
+            for f in &r.failures {
+                eprintln!("{f}");
             }
         }
         fired_total += fired_here;

@@ -14,15 +14,18 @@
 //! misprediction survives — the CI lint gate.
 //!
 //! `--sim-threads N` (combinable with every mode) sets the simulation
-//! tier's DST worker count; `0` means one per hardware thread. The
-//! default honors `DBDS_SIM_THREADS`. All measured results are
-//! bit-identical for every value — only wall-clock changes.
+//! tier's DST worker count; `--unit-threads N` sets the width of the
+//! unit-level compilation queue (independent `(workload, config)` units
+//! overlapped on the worker pool). For both, `0` means one per hardware
+//! thread and the defaults honor `DBDS_SIM_THREADS` /
+//! `DBDS_UNIT_THREADS`. All measured results are bit-identical for
+//! every value — only wall-clock changes.
 
 use dbds_core::{compile, DbdsConfig, OptLevel};
 use dbds_costmodel::CostModel;
 use dbds_harness::{
     format_backtracking, format_figure, format_json, format_lint, format_lint_json, format_summary,
-    run_lint_audit, run_suite, BacktrackRow, IcacheModel,
+    run_lint_audit, run_suite, run_units, BacktrackRow, IcacheModel,
 };
 use dbds_workloads::Suite;
 use std::time::Instant;
@@ -33,18 +36,26 @@ fn main() {
     let mut cfg = DbdsConfig::default();
     let icache = IcacheModel::default();
 
-    // `--sim-threads N` composes with every mode; strip it before the
-    // mode match.
-    if let Some(pos) = args.iter().position(|a| a == "--sim-threads") {
-        let parsed = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok());
-        match parsed {
-            Some(n) => {
-                cfg.sim_threads = n;
-                args.drain(pos..=pos + 1);
-            }
-            None => {
-                eprintln!("--sim-threads expects a thread count (0 = auto)");
-                std::process::exit(2);
+    // `--sim-threads N` / `--unit-threads N` compose with every mode;
+    // strip them before the mode match.
+    for (flag, pick) in [
+        (
+            "--sim-threads",
+            (|cfg, n| cfg.sim_threads = n) as fn(&mut DbdsConfig, usize),
+        ),
+        ("--unit-threads", |cfg, n| cfg.unit_threads = n),
+    ] {
+        if let Some(pos) = args.iter().position(|a| a == flag) {
+            let parsed = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok());
+            match parsed {
+                Some(n) => {
+                    pick(&mut cfg, n);
+                    args.drain(pos..=pos + 1);
+                }
+                None => {
+                    eprintln!("{flag} expects a thread count (0 = auto)");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -87,7 +98,7 @@ fn main() {
                 .iter()
                 .map(|&s| run_suite(s, &model, &cfg, &icache))
                 .collect();
-            let json = format_json(&results, cfg.sim_threads);
+            let json = format_json(&results, cfg.sim_threads, cfg.unit_threads);
             if *path == "-" {
                 print!("{json}");
             } else if let Err(e) = std::fs::write(path, &json) {
@@ -136,8 +147,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: figures [--sim-threads N] --figure <5|6|7|8> | --summary | \
-                 --table backtracking | --table phases | --all | --json <path|-> | \
+                "usage: figures [--sim-threads N] [--unit-threads N] --figure <5|6|7|8> | \
+                 --summary | --table backtracking | --table phases | --all | --json <path|-> | \
                  --lint [--json <path|->]"
             );
             std::process::exit(2);
@@ -148,7 +159,13 @@ fn main() {
 /// Per-tier compile-time breakdown of the DBDS phase (the paper's
 /// "timing statements … used throughout the compiler", §6.1): how the
 /// phase splits between simulation, the duplication transform and the
-/// optimization pipeline, per suite.
+/// optimization pipeline, per suite. Each suite's units run on the
+/// unit-level queue; `unit pool` is the wall clock of that fan-out and
+/// `price pool` the trade-off tier's pricing fan-out.
+///
+/// Column widths are measured from the rendered cells (numeric columns
+/// right-aligned), so large `par_ns` sums widen their column instead of
+/// overflowing it.
 fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
     use dbds_workloads::Suite;
     use std::fmt::Write as _;
@@ -156,42 +173,84 @@ fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
     let _ = writeln!(
         out,
         "DBDS phase breakdown (per suite, sums over all benchmarks; \
-         sim_threads = {})\n",
-        cfg.sim_threads
+         sim_threads = {}, unit_threads = {})\n",
+        cfg.sim_threads, cfg.unit_threads
     );
-    let _ = writeln!(
-        out,
-        "{:<14} | {:>11} | {:>11} | {:>11} | {:>11} | {:>9} | {:>7}",
-        "suite", "simulate", "dst pool", "duplicate", "optimize", "sim share", "mispred"
-    );
-    let _ = writeln!(out, "{}", "-".repeat(92));
+    let header = [
+        "suite",
+        "simulate",
+        "dst pool",
+        "price pool",
+        "duplicate",
+        "optimize",
+        "unit pool",
+        "sim share",
+        "mispred",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
     for suite in Suite::ALL {
+        let workloads = suite.workloads();
+        let (unit_threads, unit_cfg) = cfg.unit_plan(workloads.len());
+        let (stats_list, _loads, unit_ns) = run_units(unit_threads, &workloads, |_, w| {
+            let mut g = w.graph.clone();
+            compile(&mut g, model, OptLevel::Dbds, &unit_cfg)
+        });
         let mut sim = 0u128;
         let mut par = 0u128;
+        let mut price = 0u128;
         let mut tr = 0u128;
         let mut opt = 0u128;
         let mut mispred = 0usize;
-        for w in suite.workloads() {
-            let mut g = w.graph.clone();
-            let stats = compile(&mut g, model, OptLevel::Dbds, cfg);
+        for stats in &stats_list {
             sim += stats.sim_ns;
             par += stats.par_ns;
+            price += stats.tradeoff_par_ns;
             tr += stats.transform_ns;
             opt += stats.opt_ns;
             mispred += stats.mispredictions;
         }
         let total = (sim + tr + opt).max(1);
-        let _ = writeln!(
-            out,
-            "{:<14} | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.2} ms | {:>8.1}% | {:>7}",
-            suite.id(),
-            sim as f64 / 1e6,
-            par as f64 / 1e6,
-            tr as f64 / 1e6,
-            opt as f64 / 1e6,
-            sim as f64 / total as f64 * 100.0,
-            mispred
-        );
+        let ms = |ns: u128| format!("{:.2} ms", ns as f64 / 1e6);
+        rows.push(vec![
+            suite.id().to_string(),
+            ms(sim),
+            ms(par),
+            ms(price),
+            ms(tr),
+            ms(opt),
+            ms(unit_ns),
+            format!("{:.1}%", sim as f64 / total as f64 * 100.0),
+            mispred.to_string(),
+        ]);
+    }
+    // Measured widths: every cell (header included) fits, however large
+    // the timing sums get.
+    let mut width: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let render = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str(" | ");
+            }
+            if i == 0 {
+                let _ = write!(line, "{:<1$}", cell, width[i]);
+            } else {
+                let _ = write!(line, "{:>1$}", cell, width[i]);
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "{}", render(&header_cells));
+    let rule_len = width.iter().sum::<usize>() + 3 * (header.len() - 1);
+    let _ = writeln!(out, "{}", "-".repeat(rule_len));
+    for row in &rows {
+        let _ = writeln!(out, "{}", render(row));
     }
     out
 }

@@ -44,7 +44,9 @@ mod runner;
 mod stats;
 
 pub use lintaudit::{format_lint, format_lint_json, run_lint_audit, LintAudit};
-pub use metrics::{geomean_pct, measure, pct_increase, pct_speedup, IcacheModel, Metrics};
+pub use metrics::{
+    geomean_pct, measure, measure_from, pct_increase, pct_speedup, IcacheModel, Metrics,
+};
 pub use report::{format_backtracking, format_figure, format_json, format_summary, BacktrackRow};
-pub use runner::{run_benchmark, run_suite, BenchmarkRow, Metric, SuiteResult};
+pub use runner::{run_benchmark, run_suite, run_units, BenchmarkRow, Metric, SuiteResult};
 pub use stats::{pearson, spearman};

@@ -5,11 +5,12 @@
 //! counter is aggregated. The result feeds the CI lint gate: the build
 //! fails on any error-severity diagnostic or any misprediction.
 
+use crate::runner::run_units;
 use dbds_analysis::AnalysisCache;
 use dbds_core::{lint_simulation, run_dbds, simulate, DbdsConfig, SelectionMode};
 use dbds_costmodel::CostModel;
 use dbds_ir::{Diagnostic, LintId, Severity};
-use dbds_workloads::Suite;
+use dbds_workloads::{Suite, Workload};
 use std::fmt::Write as _;
 
 /// Aggregated outcome of a lint sweep over a set of suites.
@@ -80,26 +81,39 @@ impl LintAudit {
 /// 4. one more simulation over the final graph, with
 ///    [`lint_simulation`]'s cost-sanity checks over its estimates.
 pub fn run_lint_audit(suites: &[Suite], model: &CostModel, cfg: &DbdsConfig) -> LintAudit {
+    // One unit per workload, dispatched onto the unit-level queue
+    // (`DbdsConfig::unit_threads`) and absorbed in submission order —
+    // the audit is byte-identical for every thread count.
+    let workloads: Vec<Workload> = suites.iter().flat_map(|s| s.workloads()).collect();
+    let (unit_threads, unit_cfg) = cfg.unit_plan(workloads.len());
+    let (parts, _loads, _ns) = run_units(unit_threads, &workloads, |_, w| {
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        let mut g = w.graph.clone();
+        diagnostics.extend_from_slice(dbds_ir::lint(&g).diagnostics());
+
+        let mut cache = AnalysisCache::new();
+        let stats = run_dbds(
+            &mut g,
+            model,
+            &unit_cfg,
+            SelectionMode::CostBenefit,
+            &mut cache,
+        );
+
+        diagnostics.extend_from_slice(dbds_ir::lint(&g).diagnostics());
+        diagnostics.extend(cache.audit(&g));
+
+        let results = simulate(&g, model, &mut cache);
+        diagnostics.extend(lint_simulation(&results, model.graph_size(&g)));
+        (diagnostics, stats.mispredictions)
+    });
+
     let mut audit = LintAudit::new();
-    for &suite in suites {
-        for w in suite.workloads() {
-            audit.workloads += 1;
-
-            let mut g = w.graph.clone();
-            audit.absorb(dbds_ir::lint(&g).diagnostics());
-            audit.graphs_linted += 1;
-
-            let mut cache = AnalysisCache::new();
-            let stats = run_dbds(&mut g, model, cfg, SelectionMode::CostBenefit, &mut cache);
-            audit.mispredictions += stats.mispredictions;
-
-            audit.absorb(dbds_ir::lint(&g).diagnostics());
-            audit.graphs_linted += 1;
-            audit.absorb(&cache.audit(&g));
-
-            let results = simulate(&g, model, &mut cache);
-            audit.absorb(&lint_simulation(&results, model.graph_size(&g)));
-        }
+    for (diagnostics, mispredictions) in &parts {
+        audit.workloads += 1;
+        audit.graphs_linted += 2;
+        audit.mispredictions += mispredictions;
+        audit.absorb(diagnostics);
     }
     audit
 }
@@ -186,21 +200,25 @@ mod tests {
     #[test]
     fn lint_report_is_byte_identical_across_runs_and_thread_counts() {
         let model = CostModel::new();
-        let run = |threads: usize| {
+        let run = |sim: usize, unit: usize| {
             let cfg = DbdsConfig {
-                sim_threads: threads,
+                sim_threads: sim,
+                unit_threads: unit,
                 ..DbdsConfig::default()
             };
             let audit = run_lint_audit(&[Suite::Micro], &model, &cfg);
             (format_lint(&audit), format_lint_json(&audit))
         };
-        let one = run(1);
-        let four = run(4);
+        let one = run(1, 1);
         // No strip step here on purpose: the lint report carries no
-        // sim_threads field, so whole-output equality must hold.
-        assert_eq!(one, four);
-        assert_eq!(four, run(4));
+        // thread-count field at all, so whole-output equality must hold
+        // across the whole unit_threads × sim_threads matrix.
+        for (sim, unit) in [(4, 1), (1, 4), (4, 4)] {
+            assert_eq!(one, run(sim, unit), "sim={sim} unit={unit}");
+        }
+        assert_eq!(run(4, 4), run(4, 4));
         assert!(!one.1.contains("sim_threads"), "{}", one.1);
+        assert!(!one.1.contains("unit_threads"), "{}", one.1);
     }
 
     #[test]

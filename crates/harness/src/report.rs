@@ -151,15 +151,18 @@ pub fn format_summary(results: &[SuiteResult]) -> String {
 ///
 /// Two invariants CI's determinism gate relies on:
 ///
-/// - **No timing fields.** `compile_ns`/`sim_ns`/`par_ns` are excluded,
-///   so two runs over identical inputs produce byte-identical output.
-/// - **`sim_threads` sits alone on its own line** (the only
-///   thread-count-dependent value), so reports taken at different
-///   thread counts can be diffed with that one line filtered out.
-pub fn format_json(results: &[SuiteResult], sim_threads: usize) -> String {
+/// - **No timing fields.** `compile_ns`/`sim_ns`/`par_ns`/
+///   `tradeoff_par_ns`/`unit_par_ns` are excluded, so two runs over
+///   identical inputs produce byte-identical output.
+/// - **`sim_threads` and `unit_threads` each sit alone on their own
+///   line** (the only thread-count-dependent values), so reports taken
+///   at different thread counts can be diffed with those two lines
+///   filtered out.
+pub fn format_json(results: &[SuiteResult], sim_threads: usize, unit_threads: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"sim_threads\": {sim_threads},");
+    let _ = writeln!(out, "  \"unit_threads\": {unit_threads},");
     let _ = writeln!(out, "  \"suites\": [");
     for (si, r) in results.iter().enumerate() {
         let _ = writeln!(out, "    {{");
@@ -352,28 +355,33 @@ mod tests {
     fn json_report_identical_across_thread_counts() {
         let model = CostModel::new();
         let ic = IcacheModel::default();
-        let run = |threads: usize| {
+        let run = |sim: usize, unit: usize| {
             let cfg = DbdsConfig {
-                sim_threads: threads,
+                sim_threads: sim,
+                unit_threads: unit,
                 ..DbdsConfig::default()
             };
             let results = vec![run_suite(Suite::Micro, &model, &cfg, &ic)];
-            format_json(&results, threads)
+            format_json(&results, sim, unit)
         };
         let strip = |s: &str| {
             s.lines()
-                .filter(|l| !l.contains("\"sim_threads\""))
+                .filter(|l| !l.contains("\"sim_threads\"") && !l.contains("\"unit_threads\""))
                 .collect::<Vec<_>>()
                 .join("\n")
         };
-        let one = run(1);
-        let four = run(4);
-        // Only the sim_threads line may differ between thread counts...
-        assert_ne!(one, four);
-        assert_eq!(strip(&one), strip(&four));
-        // ...and a rerun at the same count is byte-identical (no timing
+        // The full unit_threads × sim_threads matrix must agree modulo
+        // the two header lines.
+        let one = run(1, 1);
+        for (sim, unit) in [(4, 1), (1, 4), (4, 4)] {
+            let other = run(sim, unit);
+            // Only the thread-count header lines may differ...
+            assert_ne!(one, other, "sim={sim} unit={unit}");
+            assert_eq!(strip(&one), strip(&other), "sim={sim} unit={unit}");
+        }
+        // ...and a rerun at the same counts is byte-identical (no timing
         // leaks into the report).
-        assert_eq!(four, run(4));
+        assert_eq!(run(4, 4), run(4, 4));
         // Shape sanity: well-formed-ish JSON with all three configs.
         assert!(one.trim_start().starts_with('{') && one.trim_end().ends_with('}'));
         for level in ["baseline", "dbds", "dupalot"] {

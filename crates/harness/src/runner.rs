@@ -1,10 +1,11 @@
 //! Suite execution: every benchmark under baseline / DBDS / dupalot,
 //! exactly like the paper's three configurations (§6.1).
 
-use crate::metrics::{measure, pct_increase, pct_speedup, IcacheModel, Metrics};
-use dbds_core::{BailoutReason, DbdsConfig, OptLevel};
+use crate::metrics::{measure, measure_from, pct_increase, pct_speedup, IcacheModel, Metrics};
+use dbds_core::{par, BailoutReason, DbdsConfig, OptLevel, WorkerLoad};
 use dbds_costmodel::CostModel;
 use dbds_workloads::{Suite, Workload};
+use std::time::Instant;
 
 /// The three per-configuration measurements of one benchmark.
 #[derive(Clone, Debug)]
@@ -66,6 +67,16 @@ pub struct SuiteResult {
     pub suite: Suite,
     /// One row per benchmark, in figure order.
     pub rows: Vec<BenchmarkRow>,
+    /// The resolved width of the unit-level compilation queue the suite
+    /// ran on. Purely observational — `rows` is identical for every
+    /// value.
+    pub unit_threads: usize,
+    /// Wall-clock nanoseconds of the unit fan-out. Timing only, never
+    /// part of the deterministic reports.
+    pub unit_par_ns: u128,
+    /// Per-worker loads of the unit pool, in worker-index order. Timing
+    /// and scheduling observability only.
+    pub unit_loads: Vec<WorkerLoad>,
 }
 
 impl SuiteResult {
@@ -171,19 +182,72 @@ pub fn run_benchmark(
     }
 }
 
-/// Runs a whole suite.
+/// Runs `f(index, &units[index])` over every unit on the
+/// `dbds_core::par` worker pool and returns the results in submission
+/// (index) order — execution order never leaks into the output — plus
+/// the per-worker loads and the wall-clock nanoseconds of the fan-out.
+///
+/// This is the harness's unit-level compilation queue: `run_suite`, the
+/// lint sweep, the phase table and the fault sweep all dispatch their
+/// independent per-unit work through it. With `threads <= 1` the pool
+/// runs inline on the calling thread in index order, so the sequential
+/// path is the same code.
+pub fn run_units<I: Sync, T: Send>(
+    threads: usize,
+    units: &[I],
+    f: impl Fn(usize, &I) -> T + Sync,
+) -> (Vec<T>, Vec<WorkerLoad>, u128) {
+    let t = Instant::now();
+    let (results, loads) = par::map_indexed(threads, units, f);
+    (results, loads, t.elapsed().as_nanos())
+}
+
+/// Runs a whole suite: every `(workload, configuration)` pair is one
+/// independent compilation unit, dispatched onto the worker pool behind
+/// [`DbdsConfig::unit_threads`] and committed in submission order (the
+/// result is byte-identical for every thread count).
+///
+/// Each workload's pristine graph is verified **once** here; every unit
+/// clones from that verified copy instead of re-validating per
+/// configuration.
 pub fn run_suite(
     suite: Suite,
     model: &CostModel,
     cfg: &DbdsConfig,
     icache: &IcacheModel,
 ) -> SuiteResult {
-    let rows = suite
-        .workloads()
-        .iter()
-        .map(|w| run_benchmark(w, model, cfg, icache))
+    let workloads = suite.workloads();
+    for w in &workloads {
+        dbds_ir::verify(&w.graph)
+            .unwrap_or_else(|e| panic!("workload {} failed pristine verification: {e}", w.name));
+    }
+    const LEVELS: [OptLevel; 3] = [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot];
+    let units: Vec<(usize, OptLevel)> = (0..workloads.len())
+        .flat_map(|wi| LEVELS.iter().map(move |&l| (wi, l)))
         .collect();
-    SuiteResult { suite, rows }
+    let (unit_threads, unit_cfg) = cfg.unit_plan(units.len());
+    let (metrics, unit_loads, unit_par_ns) = run_units(unit_threads, &units, |_, &(wi, level)| {
+        let w = &workloads[wi];
+        measure_from(&w.graph, w, level, model, &unit_cfg, icache)
+    });
+    let mut metrics = metrics.into_iter();
+    let mut next = || metrics.next().expect("one Metrics per unit");
+    let rows = workloads
+        .iter()
+        .map(|w| BenchmarkRow {
+            name: w.name.clone(),
+            baseline: next(),
+            dbds: next(),
+            dupalot: next(),
+        })
+        .collect();
+    SuiteResult {
+        suite,
+        rows,
+        unit_threads,
+        unit_par_ns,
+        unit_loads,
+    }
 }
 
 #[cfg(test)]
