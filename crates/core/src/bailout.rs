@@ -15,6 +15,10 @@
 //! - [`isolate`] — `catch_unwind` with a panic-hook silencer, converting
 //!   a panicking transformation into
 //!   [`BailoutReason::TransformPanicked`] without spamming stderr.
+//! - [`transact`] — [`isolate`] composed with the IR undo log: the
+//!   closure runs inside a [`Graph::begin_txn`] frame that is committed
+//!   on success and rolled back (in O(edits), not O(graph)) on panic or
+//!   error.
 //! - [`BailoutRecord`] — the observability row collected into
 //!   [`PhaseStats::bailouts`](crate::PhaseStats::bailouts).
 //!
@@ -268,8 +272,8 @@ static HOOK: Once = Once::new();
 /// previous hook outside isolation) keeps the caught panics from printing
 /// a message and backtrace for every injected or recovered fault.
 /// Callers are responsible for restoring any state `f` may have left
-/// half-mutated — the phase driver rolls back to the last verified
-/// snapshot.
+/// half-mutated — use [`transact`] to get that rollback for free from
+/// the IR undo log.
 ///
 /// # Errors
 ///
@@ -287,6 +291,39 @@ pub fn isolate<R>(f: impl FnOnce() -> R) -> Result<R, BailoutReason> {
     let result = panic::catch_unwind(AssertUnwindSafe(f));
     SILENCED.with(|c| c.set(c.get() - 1));
     result.map_err(|payload| BailoutReason::TransformPanicked(panic_message(payload.as_ref())))
+}
+
+/// Runs `f` against `g` inside an IR transaction with panics isolated.
+///
+/// On success the transaction is committed; on a panic (caught by
+/// [`isolate`]) or an `Err` from `f` it is rolled back, restoring the
+/// graph and its version stamps to the state at entry in O(edits made) —
+/// the undo-log replacement for the whole-graph
+/// [`GraphSnapshot`](dbds_ir::GraphSnapshot) restore. Returns the result
+/// alongside the nanoseconds spent on transaction bookkeeping
+/// (begin + commit/rollback), which callers fold into their `undo_ns`
+/// accounting.
+///
+/// # Errors
+///
+/// Propagates `f`'s error, or [`BailoutReason::TransformPanicked`] when
+/// `f` panicked — in both cases after the rollback has completed.
+pub fn transact<R>(
+    g: &mut Graph,
+    f: impl FnOnce(&mut Graph) -> Result<R, BailoutReason>,
+) -> (Result<R, BailoutReason>, u128) {
+    let t = Instant::now();
+    g.begin_txn();
+    let mut txn_ns = t.elapsed().as_nanos();
+    let result = isolate(|| f(g)).and_then(|r| r);
+    let t = Instant::now();
+    if result.is_ok() {
+        g.commit_txn();
+    } else {
+        g.rollback_txn();
+    }
+    txn_ns += t.elapsed().as_nanos();
+    (result, txn_ns)
 }
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -365,6 +402,52 @@ mod tests {
             }
             other => panic!("expected VerifierRejected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn transact_commits_on_ok_and_rolls_back_on_err_or_panic() {
+        use dbds_ir::{ClassTable, GraphBuilder, Type};
+        use std::sync::Arc;
+        let mut b = GraphBuilder::new("tx", &[Type::Int], Arc::new(ClassTable::new()));
+        let x = b.param(0);
+        b.ret(Some(x));
+        let mut g = b.finish();
+        let pre_version = g.version();
+        let pre_blocks = g.block_count();
+
+        // Ok: the mutation survives.
+        let (r, _) = transact(&mut g, |g| {
+            g.add_block();
+            Ok(())
+        });
+        r.unwrap();
+        assert_eq!(g.block_count(), pre_blocks + 1);
+
+        // Err: the mutation is rolled back, stamps included.
+        let mid_version = g.version();
+        let (r, _) = transact(&mut g, |g| {
+            g.add_block();
+            Err::<(), _>(BailoutReason::SizeBudgetExceeded)
+        });
+        assert_eq!(r, Err(BailoutReason::SizeBudgetExceeded));
+        assert_eq!(g.block_count(), pre_blocks + 1);
+        assert_eq!(g.version(), mid_version);
+
+        // Panic: isolated, converted, rolled back.
+        let (r, _) = transact(&mut g, |g| -> Result<(), BailoutReason> {
+            g.add_block();
+            panic!("mid-transform fault");
+        });
+        match r {
+            Err(BailoutReason::TransformPanicked(msg)) => {
+                assert!(msg.contains("mid-transform fault"));
+            }
+            other => panic!("expected TransformPanicked, got {other:?}"),
+        }
+        assert_eq!(g.block_count(), pre_blocks + 1);
+        assert_eq!(g.version(), mid_version);
+        assert_ne!(g.version(), pre_version);
+        assert_eq!(g.txn_depth(), 0);
     }
 
     #[test]

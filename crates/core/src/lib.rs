@@ -100,7 +100,9 @@ pub(crate) mod faultinject {
 }
 
 pub use backtracking::{run_backtracking, BacktrackStats};
-pub use bailout::{checkpoint, isolate, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier};
+pub use bailout::{
+    checkpoint, isolate, transact, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier,
+};
 pub use lint::lint_simulation;
 pub use par::WorkerLoad;
 pub use phase::{compile, run_dbds, DbdsConfig, OptLevel, PhaseStats};

@@ -9,7 +9,7 @@
 //! merges not yet duplicated.
 
 use crate::bailout::{
-    checkpoint, isolate, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier,
+    checkpoint, transact, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier,
 };
 use crate::faultinject::fault_point;
 use crate::simulation::{
@@ -20,7 +20,7 @@ use crate::tradeoff::{select_with_rejections_parallel, SelectionMode, TradeoffCo
 use crate::transform::{duplicate, try_duplicate, Duplication};
 use dbds_analysis::{AnalysisCache, CacheStats};
 use dbds_costmodel::CostModel;
-use dbds_ir::{BlockId, Graph, GraphSnapshot};
+use dbds_ir::{BlockId, Graph};
 use dbds_opt::{optimize_full, optimize_once, OptKind};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -190,11 +190,25 @@ pub struct PhaseStats {
     /// Wall-clock nanoseconds spent in the optimization pipeline
     /// (pre-pass, per-iteration cleanup and final fixpoint).
     pub opt_ns: u128,
-    /// Wall-clock nanoseconds spent on guardrail bookkeeping (rollback
-    /// snapshots, checkpoint verification, restores) — kept out of
+    /// Wall-clock nanoseconds spent on guardrail bookkeeping (undo-log
+    /// transactions, checkpoint verification, rollbacks) — kept out of
     /// `sim_ns` / `opt_ns` / `transform_ns` so those stay comparable to
     /// unguarded runs.
     pub guard_ns: u128,
+    /// Primitive IR mutations recorded by the undo log while a
+    /// transaction was open. Deterministic.
+    pub undo_edits: u64,
+    /// Undo-log transactions rolled back (contained candidate failures,
+    /// rejected backtracking attempts, final-checkpoint recoveries).
+    /// Deterministic.
+    pub undo_rollbacks: u64,
+    /// Peak number of backed-up arena slots the undo log held at any
+    /// point — the O(edit) analog of a whole-graph snapshot's size.
+    /// Deterministic.
+    pub undo_peak: usize,
+    /// Wall-clock nanoseconds spent on undo-log bookkeeping
+    /// (begin/commit/rollback). A subset of `guard_ns`; timing only.
+    pub undo_ns: u128,
     /// Analysis-cache counters accumulated over the compilation
     /// (dominators, loops, frequencies served from / recomputed into the
     /// [`AnalysisCache`]).
@@ -262,8 +276,8 @@ pub fn compile(g: &mut Graph, model: &CostModel, level: OptLevel, cfg: &DbdsConf
 ///
 /// The phase is guarded (see [`GuardConfig`]): fuel / deadline exhaustion
 /// stops it early with a [`BailoutRecord`], a failing candidate rolls
-/// back to the last verified snapshot and the remaining candidates
-/// continue — the returned graph always verifies.
+/// its undo-log transaction back to the last verified state and the
+/// remaining candidates continue — the returned graph always verifies.
 pub fn run_dbds(
     g: &mut Graph,
     model: &CostModel,
@@ -273,15 +287,19 @@ pub fn run_dbds(
 ) -> PhaseStats {
     let mut stats = PhaseStats::default();
     let cache_base = cache.stats();
+    let undo_base = g.undo_stats();
     let budget = Budget::new(&cfg.guard);
     let checkpoints = cfg.guard.checkpoints;
     run_opt_tier(g, cache, &mut stats, checkpoints, true);
     let initial_size = model.graph_size(g);
     stats.initial_size = initial_size;
     let mut visited: HashSet<BlockId> = HashSet::new();
-    // The last snapshot known to verify, the rollback target for a
-    // failing candidate.
-    let mut good: Option<GraphSnapshot> = None;
+    // Whether the phase-level recovery transaction is open. Its
+    // `begin_txn` marks are the states known to verify — recommitted and
+    // reopened at every refresh point where the old snapshot-based
+    // recovery took a whole-graph copy — and the final checkpoint rolls
+    // back to the latest mark if the compilation ends on a broken graph.
+    let mut recovery_open = false;
 
     for _ in 0..cfg.max_iterations {
         stats.iterations += 1;
@@ -358,10 +376,18 @@ pub fn run_dbds(
         let mut cumulative = 0.0;
         let t = Instant::now();
         let mut guard_here: u128 = 0;
+        let mut undo_here: u128 = 0;
         if checkpoints {
+            // Refresh the recovery mark: everything up to here verified.
             let tg = Instant::now();
-            good = Some(g.snapshot());
-            guard_here += tg.elapsed().as_nanos();
+            if recovery_open {
+                g.commit_txn();
+            }
+            g.begin_txn();
+            recovery_open = true;
+            let ns = tg.elapsed().as_nanos();
+            guard_here += ns;
+            undo_here += ns;
         }
         let mut stopped = None;
         // Blocks mutated by duplications applied earlier this round: the
@@ -426,7 +452,7 @@ pub fn run_dbds(
                 }
                 guard_here += tg.elapsed().as_nanos();
             }
-            match apply_chain(g, s, checkpoints, &mut guard_here) {
+            match apply_chain(g, s, checkpoints, &mut guard_here, &mut undo_here) {
                 Ok(chain) => {
                     stats.duplications += chain.duplications;
                     stats.work += chain.work;
@@ -437,19 +463,20 @@ pub fn run_dbds(
                         *stats.opportunities.entry(o.kind).or_insert(0) += 1;
                     }
                     if checkpoints {
+                        // The candidate verified: move the recovery mark
+                        // forward past it.
                         let tg = Instant::now();
-                        good = Some(g.snapshot());
-                        guard_here += tg.elapsed().as_nanos();
+                        g.commit_txn();
+                        g.begin_txn();
+                        let ns = tg.elapsed().as_nanos();
+                        guard_here += ns;
+                        undo_here += ns;
                     }
                 }
                 Err(reason) => {
-                    // Contained failure: roll the graph back to the last
-                    // verified snapshot and move on to the next candidate.
-                    let tg = Instant::now();
-                    if let Some(snap) = &good {
-                        snap.restore_cloned(g);
-                    }
-                    guard_here += tg.elapsed().as_nanos();
+                    // Contained failure: `apply_chain`'s transaction
+                    // already rolled the graph back to the last verified
+                    // state; move on to the next candidate.
                     stats.bailouts.push(BailoutRecord {
                         reason,
                         tier: Tier::Optimization,
@@ -461,6 +488,7 @@ pub fn run_dbds(
         }
         stats.transform_ns += t.elapsed().as_nanos().saturating_sub(guard_here);
         stats.guard_ns += guard_here;
+        stats.undo_ns += undo_here;
         if let Some(reason) = stopped {
             stats.bailouts.push(BailoutRecord {
                 reason,
@@ -489,9 +517,12 @@ pub fn run_dbds(
     {
         let tg = Instant::now();
         if let Err(reason) = checkpoint(g) {
-            let recovered = good.is_some();
-            if let Some(snap) = good.take() {
-                snap.restore(g);
+            let recovered = recovery_open;
+            if recovery_open {
+                let tu = Instant::now();
+                g.rollback_txn();
+                stats.undo_ns += tu.elapsed().as_nanos();
+                recovery_open = false;
             }
             stats.bailouts.push(BailoutRecord {
                 reason,
@@ -521,8 +552,21 @@ pub fn run_dbds(
         }
         stats.guard_ns += tg.elapsed().as_nanos();
     }
+    if recovery_open {
+        // The compilation ends on a verified graph: retire the recovery
+        // transaction.
+        let tg = Instant::now();
+        g.commit_txn();
+        let ns = tg.elapsed().as_nanos();
+        stats.guard_ns += ns;
+        stats.undo_ns += ns;
+    }
     stats.final_size = model.graph_size(g);
     stats.record_cache(cache, cache_base);
+    let undo_now = g.undo_stats();
+    stats.undo_edits = undo_now.edits - undo_base.edits;
+    stats.undo_rollbacks = undo_now.rollbacks - undo_base.rollbacks;
+    stats.undo_peak = undo_now.peak_entries;
     stats
 }
 
@@ -553,14 +597,17 @@ fn record_step(out: &mut ChainOutcome, g: &Graph, dup: &Duplication) {
 
 /// Applies one accepted candidate: the `(pred, merge)` duplication plus
 /// the path-based extension into the freshly created copies. With
-/// checkpoints on, each applied duplication is verified and both typed
-/// transform errors and panics become bailout reasons; with checkpoints
-/// off this is the pre-guardrail behavior (failures panic).
+/// checkpoints on, the chain runs inside an undo-log transaction
+/// ([`transact`]): each applied duplication is verified, both typed
+/// transform errors and panics become bailout reasons, and a failing
+/// chain is rolled back to its starting state before this returns. With
+/// checkpoints off this is the pre-guardrail behavior (failures panic).
 fn apply_chain(
     g: &mut Graph,
     s: &SimulationResult,
     checkpoints: bool,
     guard_ns: &mut u128,
+    undo_ns: &mut u128,
 ) -> Result<ChainOutcome, BailoutReason> {
     if !checkpoints {
         let mut out = ChainOutcome::default();
@@ -576,7 +623,7 @@ fn apply_chain(
         return Ok(out);
     }
     let mut guard: u128 = 0;
-    let result = isolate(|| {
+    let (result, txn_ns) = transact(g, |g| {
         let verified = |g: &Graph, guard: &mut u128| {
             let tg = Instant::now();
             let ck = checkpoint(g);
@@ -601,14 +648,16 @@ fn apply_chain(
         }
         Ok(out)
     });
-    *guard_ns += guard;
-    result.and_then(|inner| inner)
+    *guard_ns += guard + txn_ns;
+    *undo_ns += txn_ns;
+    result
 }
 
 /// Runs the optimization pipeline (`optimize_once`, or the full fixpoint
-/// when `full`) behind the guardrails: a panicking pass is caught and the
-/// graph restored to its pre-pass state. With faults compiled in, the
-/// result is also verified (a corrupted graph restores the same way).
+/// when `full`) behind the guardrails: the pipeline runs inside an
+/// undo-log transaction, so a panicking pass is caught and the graph
+/// rolled back to its pre-pass state. With faults compiled in, the
+/// result is also verified (a corrupted graph rolls back the same way).
 fn run_opt_tier(
     g: &mut Graph,
     cache: &mut AnalysisCache,
@@ -627,49 +676,39 @@ fn run_opt_tier(
         stats.opt_ns += t.elapsed().as_nanos();
         return;
     }
-    let tg = Instant::now();
-    let snap = g.snapshot();
-    stats.guard_ns += tg.elapsed().as_nanos();
-    let t = Instant::now();
-    let result = isolate(|| {
+    let mut opt_ns: u128 = 0;
+    let mut verify_ns: u128 = 0;
+    let (result, txn_ns) = transact(g, |g| {
         // Inside the guard so an injected panic here is contained.
         fault_point("phase/optimize", Some(g));
+        let t = Instant::now();
         if full {
             optimize_full(g, cache);
         } else {
             optimize_once(g, cache);
         }
-    });
-    stats.opt_ns += t.elapsed().as_nanos();
-    match result {
-        Err(reason) => {
-            let tg = Instant::now();
-            snap.restore(g);
-            stats.guard_ns += tg.elapsed().as_nanos();
-            stats.bailouts.push(BailoutRecord {
-                reason,
-                tier: Tier::Optimization,
-                candidate: None,
-                recovered: true,
-            });
-        }
-        Ok(()) if cfg!(feature = "fault-injection") => {
+        opt_ns = t.elapsed().as_nanos();
+        if cfg!(feature = "fault-injection") {
             // Production builds skip this verify: optimizer bugs surface
-            // as panics (caught above), injected corruption only exists
-            // with the feature on.
-            let tg = Instant::now();
-            if let Err(reason) = checkpoint(g) {
-                snap.restore(g);
-                stats.bailouts.push(BailoutRecord {
-                    reason,
-                    tier: Tier::Optimization,
-                    candidate: None,
-                    recovered: true,
-                });
-            }
-            stats.guard_ns += tg.elapsed().as_nanos();
+            // as panics (caught by the transaction), injected corruption
+            // only exists with the feature on.
+            let tv = Instant::now();
+            let ck = checkpoint(g);
+            verify_ns = tv.elapsed().as_nanos();
+            ck?;
         }
-        Ok(()) => {}
+        Ok(())
+    });
+    stats.opt_ns += opt_ns;
+    stats.guard_ns += verify_ns + txn_ns;
+    stats.undo_ns += txn_ns;
+    if let Err(reason) = result {
+        stats.bailouts.push(BailoutRecord {
+            reason,
+            tier: Tier::Optimization,
+            candidate: None,
+            recovered: true,
+        });
     }
 }
 

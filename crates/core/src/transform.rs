@@ -109,7 +109,8 @@ pub fn duplicate(g: &mut Graph, pred: BlockId, merge: BlockId) -> Duplication {
 /// Returns a [`TransformError`] when the `(pred, merge)` pair does not
 /// describe a duplicable edge or the graph violates a φ/SSA invariant
 /// mid-transform. The graph may be left partially transformed on error —
-/// callers roll back to a snapshot (the phase driver's checkpoint path).
+/// callers run this inside an undo-log transaction and roll it back (the
+/// phase driver's checkpoint path, [`transact`](crate::transact)).
 pub fn try_duplicate(
     g: &mut Graph,
     pred: BlockId,

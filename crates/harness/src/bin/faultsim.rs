@@ -36,6 +36,7 @@ use dbds_workloads::all_workloads;
 struct UnitReport {
     fired: bool,
     bailouts: usize,
+    undo_rollbacks: u64,
     failures: Vec<String>,
 }
 
@@ -70,6 +71,7 @@ fn main() {
     let mut failures = 0usize;
     let mut fired_total = 0usize;
     let mut bailouts_total = 0usize;
+    let mut undo_rollbacks_total = 0u64;
     for plan in &plans {
         // Each unit arms on its own worker thread and disarms before the
         // worker claims the next unit — per-unit fault ownership.
@@ -81,6 +83,7 @@ fn main() {
             let mut unit = UnitReport {
                 fired,
                 bailouts: stats.bailouts.len(),
+                undo_rollbacks: stats.undo_rollbacks,
                 failures: Vec::new(),
             };
 
@@ -116,6 +119,7 @@ fn main() {
         for r in &reports {
             fired_here += usize::from(r.fired);
             bailouts_total += r.bailouts;
+            undo_rollbacks_total += r.undo_rollbacks;
             failures += r.failures.len();
             for f in &r.failures {
                 eprintln!("{f}");
@@ -134,12 +138,22 @@ fn main() {
 
     println!(
         "faultsim: {} plans swept, {fired_total} armed faults fired, \
-         {bailouts_total} bailout records, {failures} failures",
+         {bailouts_total} bailout records, {undo_rollbacks_total} undo rollbacks, \
+         {failures} failures",
         plans.len()
     );
     assert!(
         fired_total > 0,
         "no fault ever fired: the sweep is not exercising the injection points"
+    );
+    // The recovery path under test *is* the undo log now: every contained
+    // mid-transform fault must have rolled a transaction back. The count
+    // is deterministic (all graph mutations happen on the coordinating
+    // thread), so it is part of the `cmp`-gated stdout above.
+    assert!(
+        undo_rollbacks_total > 0,
+        "no undo-log rollback happened: injected faults are not exercising \
+         the transactional recovery path"
     );
     if failures > 0 {
         std::process::exit(1);

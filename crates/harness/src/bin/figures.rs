@@ -160,8 +160,10 @@ fn main() {
 /// "timing statements … used throughout the compiler", §6.1): how the
 /// phase splits between simulation, the duplication transform and the
 /// optimization pipeline, per suite. Each suite's units run on the
-/// unit-level queue; `unit pool` is the wall clock of that fan-out and
-/// `price pool` the trade-off tier's pricing fan-out.
+/// unit-level queue; `unit pool` is the wall clock of that fan-out,
+/// `price pool` the trade-off tier's pricing fan-out, and `undo` the
+/// undo-log transaction bookkeeping (with the deterministic `edits` /
+/// `rollb` counters next to it).
 ///
 /// Column widths are measured from the rendered cells (numeric columns
 /// right-aligned), so large `par_ns` sums widen their column instead of
@@ -184,8 +186,11 @@ fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
         "duplicate",
         "optimize",
         "unit pool",
+        "undo",
         "sim share",
         "mispred",
+        "edits",
+        "rollb",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
     for suite in Suite::ALL {
@@ -200,14 +205,20 @@ fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
         let mut price = 0u128;
         let mut tr = 0u128;
         let mut opt = 0u128;
+        let mut undo = 0u128;
         let mut mispred = 0usize;
+        let mut edits = 0u64;
+        let mut rollbacks = 0u64;
         for stats in &stats_list {
             sim += stats.sim_ns;
             par += stats.par_ns;
             price += stats.tradeoff_par_ns;
             tr += stats.transform_ns;
             opt += stats.opt_ns;
+            undo += stats.undo_ns;
             mispred += stats.mispredictions;
+            edits += stats.undo_edits;
+            rollbacks += stats.undo_rollbacks;
         }
         let total = (sim + tr + opt).max(1);
         let ms = |ns: u128| format!("{:.2} ms", ns as f64 / 1e6);
@@ -219,8 +230,11 @@ fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
             ms(tr),
             ms(opt),
             ms(unit_ns),
+            ms(undo),
             format!("{:.1}%", sim as f64 / total as f64 * 100.0),
             mispred.to_string(),
+            edits.to_string(),
+            rollbacks.to_string(),
         ]);
     }
     // Measured widths: every cell (header included) fits, however large

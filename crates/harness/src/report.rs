@@ -152,8 +152,8 @@ pub fn format_summary(results: &[SuiteResult]) -> String {
 /// Two invariants CI's determinism gate relies on:
 ///
 /// - **No timing fields.** `compile_ns`/`sim_ns`/`par_ns`/
-///   `tradeoff_par_ns`/`unit_par_ns` are excluded, so two runs over
-///   identical inputs produce byte-identical output.
+///   `tradeoff_par_ns`/`unit_par_ns`/`guard_ns`/`undo_ns` are excluded,
+///   so two runs over identical inputs produce byte-identical output.
 /// - **`sim_threads` and `unit_threads` each sit alone on their own
 ///   line** (the only thread-count-dependent values), so reports taken
 ///   at different thread counts can be diffed with those two lines
@@ -204,6 +204,13 @@ pub fn format_json(results: &[SuiteResult], sim_threads: usize, unit_threads: us
                     s.mispredictions
                 );
                 let _ = writeln!(out, "              \"stale_skips\": {},", s.stale_skips);
+                let _ = writeln!(out, "              \"undo_edits\": {},", s.undo_edits);
+                let _ = writeln!(
+                    out,
+                    "              \"undo_rollbacks\": {},",
+                    s.undo_rollbacks
+                );
+                let _ = writeln!(out, "              \"undo_peak\": {},", s.undo_peak);
                 let _ = writeln!(out, "              \"bailouts\": {},", s.bailouts.len());
                 let _ = writeln!(out, "              \"bailouts_recovered\": {recovered}");
                 let _ = writeln!(
@@ -389,6 +396,12 @@ mod tests {
         }
         // The prediction-audit counter is part of the stable schema.
         assert!(one.contains("\"mispredictions\""), "{one}");
+        // The undo-log counters are part of the stable schema (they are
+        // deterministic: all graph mutations happen on the coordinating
+        // thread, so the gate covers them across the thread matrix).
+        for key in ["\"undo_edits\"", "\"undo_rollbacks\"", "\"undo_peak\""] {
+            assert!(one.contains(key), "{one}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::classes::ClassTable;
 use crate::ids::{BlockId, InstId};
 use crate::inst::{Inst, Terminator};
 use crate::types::Type;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -51,6 +52,89 @@ struct BlockData {
     preds: Vec<BlockId>,
 }
 
+/// One open transaction of the undo log: the first-touch backups needed
+/// to restore the graph to its state at the matching
+/// [`Graph::begin_txn`].
+///
+/// A frame records, per arena slot, the value the slot had when the
+/// frame was opened — captured by the *first* mutation that touches it
+/// while the frame is open (see [`Graph::touch_inst`]). Slots allocated
+/// after the frame opened need no backup: rollback truncates the arenas
+/// back to the frame's base lengths (nothing ever deallocates a slot
+/// except rollback itself, and inner frames only truncate to bases at
+/// least as large).
+#[derive(Debug)]
+struct TxnFrame {
+    /// Arena lengths at `begin_txn`: slots at or past these indices were
+    /// allocated inside the transaction and are dropped by rollback.
+    base_insts: usize,
+    base_blocks: usize,
+    /// Version stamps at `begin_txn`, restored verbatim by rollback.
+    /// ABA-safe: stamps are globally unique and never reused, so a cache
+    /// entry keyed on them can only describe this exact pre-txn state.
+    cfg_version: u64,
+    value_version: u64,
+    /// First-touch backups of instruction / block slots mutated while
+    /// this frame was open (only slots below the bases are recorded).
+    saved_insts: HashMap<usize, InstData>,
+    saved_blocks: HashMap<usize, BlockData>,
+    /// Differential-checking shadow: a full snapshot taken at
+    /// `begin_txn`, cross-checked against the undo-log restore on every
+    /// rollback.
+    #[cfg(feature = "debug-snapshot-check")]
+    shadow: Box<Graph>,
+}
+
+impl TxnFrame {
+    fn entries(&self) -> usize {
+        self.saved_insts.len() + self.saved_blocks.len()
+    }
+}
+
+/// The graph's undo log: a stack of open [`TxnFrame`]s plus cumulative
+/// counters ([`Graph::undo_stats`]).
+///
+/// Recording discipline: every mutating primitive backs up each arena
+/// slot it is about to change into *every* open frame that does not
+/// already hold it (and whose base covers the slot) **before** mutating.
+/// A recorded backup therefore always equals the slot's value at the
+/// frame's `begin_txn` — any earlier in-frame mutation of the slot would
+/// itself have recorded it first — so committing an inner frame is just
+/// dropping it: the outer frames already hold their own backups.
+#[derive(Debug, Default)]
+struct UndoLog {
+    frames: Vec<TxnFrame>,
+    /// Primitive mutations recorded while at least one frame was open.
+    edits: u64,
+    /// Frames rolled back.
+    rollbacks: u64,
+    /// Peak total backup entries across all open frames.
+    peak_entries: usize,
+}
+
+impl UndoLog {
+    fn note_peak(&mut self) {
+        let entries: usize = self.frames.iter().map(TxnFrame::entries).sum();
+        if entries > self.peak_entries {
+            self.peak_entries = entries;
+        }
+    }
+}
+
+/// Cumulative undo-log counters of a [`Graph`], as returned by
+/// [`Graph::undo_stats`]. All three values are deterministic functions
+/// of the mutation sequence (no timing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UndoStats {
+    /// Primitive mutations recorded while a transaction was open.
+    pub edits: u64,
+    /// Transactions rolled back.
+    pub rollbacks: u64,
+    /// Peak number of backed-up arena slots held by the log at any
+    /// point — the O(edit) analog of a whole-graph snapshot's size.
+    pub peak_entries: usize,
+}
+
 /// An SSA control-flow graph for a single compilation unit.
 ///
 /// # Examples
@@ -65,7 +149,15 @@ struct BlockData {
 /// g.set_terminator(entry, Terminator::Return { value: Some(c) });
 /// assert_eq!(g.block_insts(entry), &[c]);
 /// ```
-#[derive(Clone, Debug)]
+///
+/// # Transactions
+///
+/// Mutations can be bracketed by [`Graph::begin_txn`] /
+/// [`Graph::commit_txn`] / [`Graph::rollback_txn`]: rollback restores
+/// the graph *and* its version stamps to the `begin_txn` state in
+/// O(slots touched) instead of the O(graph) a
+/// [`snapshot`](Graph::snapshot)-and-restore costs. Transactions nest.
+#[derive(Debug)]
 pub struct Graph {
     /// Human-readable compilation unit name.
     pub name: String,
@@ -83,6 +175,29 @@ pub struct Graph {
     /// levels; a pure value rewrite bumps only this one, so CFG-level
     /// analyses survive it.
     value_version: u64,
+    /// Open transactions and their first-touch backups.
+    undo: UndoLog,
+}
+
+impl Clone for Graph {
+    /// Clones the arenas, the class table, and the version stamps — but
+    /// **not** the undo log: the clone starts with no open transactions
+    /// and zeroed undo counters. A clone is an independent timeline;
+    /// rolling back the original must never entangle it.
+    fn clone(&self) -> Self {
+        Graph {
+            name: self.name.clone(),
+            params: self.params.clone(),
+            param_values: self.param_values.clone(),
+            entry: self.entry,
+            insts: self.insts.clone(),
+            blocks: self.blocks.clone(),
+            class_table: Arc::clone(&self.class_table),
+            cfg_version: self.cfg_version,
+            value_version: self.value_version,
+            undo: UndoLog::default(),
+        }
+    }
 }
 
 impl Graph {
@@ -104,6 +219,7 @@ impl Graph {
             class_table,
             cfg_version: fresh_version(),
             value_version: 0,
+            undo: UndoLog::default(),
         };
         g.value_version = g.cfg_version;
         for (i, &ty) in params.iter().enumerate() {
@@ -145,13 +261,167 @@ impl Graph {
     /// Records a CFG-structural mutation (also a value-level one: CFG edits
     /// can move or drop instructions, e.g. φ inputs).
     fn bump_cfg(&mut self) {
+        self.note_edit();
         self.cfg_version = fresh_version();
         self.value_version = self.cfg_version;
     }
 
     /// Records a value-level mutation that leaves the block structure alone.
     fn bump_value(&mut self) {
+        self.note_edit();
         self.value_version = fresh_version();
+    }
+
+    /// Counts one primitive mutation towards the undo log's edit counter.
+    /// Every mutating primitive calls exactly one of [`Graph::bump_cfg`] /
+    /// [`Graph::bump_value`] exactly once, so hooking the counter there
+    /// counts each primitive once.
+    fn note_edit(&mut self) {
+        if !self.undo.frames.is_empty() {
+            self.undo.edits += 1;
+        }
+    }
+
+    /// Backs up instruction slot `id` into every open frame that does not
+    /// hold it yet. Must be called **before** the slot is mutated. Slots
+    /// allocated after a frame opened are skipped for that frame —
+    /// rollback's arena truncation drops them.
+    fn touch_inst(&mut self, id: InstId) {
+        if self.undo.frames.is_empty() {
+            return;
+        }
+        let insts = &self.insts;
+        for frame in &mut self.undo.frames {
+            if id.index() < frame.base_insts {
+                frame
+                    .saved_insts
+                    .entry(id.index())
+                    .or_insert_with(|| insts[id.index()].clone());
+            }
+        }
+        self.undo.note_peak();
+    }
+
+    /// Backs up block slot `b` into every open frame that does not hold
+    /// it yet. Same contract as [`Graph::touch_inst`].
+    fn touch_block(&mut self, b: BlockId) {
+        if self.undo.frames.is_empty() {
+            return;
+        }
+        let blocks = &self.blocks;
+        for frame in &mut self.undo.frames {
+            if b.index() < frame.base_blocks {
+                frame
+                    .saved_blocks
+                    .entry(b.index())
+                    .or_insert_with(|| blocks[b.index()].clone());
+            }
+        }
+        self.undo.note_peak();
+    }
+
+    /// Opens a transaction: subsequent mutations record first-touch
+    /// backups so [`Graph::rollback_txn`] can restore this exact state —
+    /// arena contents *and* version stamps — in O(slots touched).
+    /// Transactions nest; each `begin_txn` must be matched by one
+    /// [`Graph::commit_txn`] or [`Graph::rollback_txn`].
+    pub fn begin_txn(&mut self) {
+        let frame = TxnFrame {
+            base_insts: self.insts.len(),
+            base_blocks: self.blocks.len(),
+            cfg_version: self.cfg_version,
+            value_version: self.value_version,
+            saved_insts: HashMap::new(),
+            saved_blocks: HashMap::new(),
+            #[cfg(feature = "debug-snapshot-check")]
+            shadow: Box::new(self.clone()),
+        };
+        self.undo.frames.push(frame);
+    }
+
+    /// Closes the innermost transaction, keeping its mutations. O(1):
+    /// enclosing frames already hold their own first-touch backups (every
+    /// mutation records into all open frames), so the committed frame is
+    /// simply dropped. Returns the number of backup entries it held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn commit_txn(&mut self) -> usize {
+        let frame = self
+            .undo
+            .frames
+            .pop()
+            .expect("commit_txn without an open transaction");
+        frame.entries()
+    }
+
+    /// Rolls the innermost transaction back: every backed-up slot is
+    /// restored, slots allocated inside the transaction are dropped, and
+    /// both version stamps return to their `begin_txn` values. Because
+    /// stamps are never reused, analysis-cache entries recorded under the
+    /// pre-txn stamps become valid again — exactly as restoring a
+    /// [`GraphSnapshot`] would. Returns the number of entries restored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open, or (with the
+    /// `debug-snapshot-check` feature) if the undo-log restore diverges
+    /// from a full snapshot restore.
+    pub fn rollback_txn(&mut self) -> usize {
+        let frame = self
+            .undo
+            .frames
+            .pop()
+            .expect("rollback_txn without an open transaction");
+        let entries = frame.entries();
+        for (idx, data) in frame.saved_insts {
+            self.insts[idx] = data;
+        }
+        for (idx, data) in frame.saved_blocks {
+            self.blocks[idx] = data;
+        }
+        self.insts.truncate(frame.base_insts);
+        self.blocks.truncate(frame.base_blocks);
+        self.cfg_version = frame.cfg_version;
+        self.value_version = frame.value_version;
+        self.undo.rollbacks += 1;
+        #[cfg(feature = "debug-snapshot-check")]
+        self.assert_matches_shadow(&frame.shadow);
+        entries
+    }
+
+    /// Differential cross-check of the undo-log restore against the full
+    /// snapshot taken at `begin_txn`. Compiled in only with the
+    /// `debug-snapshot-check` feature.
+    #[cfg(feature = "debug-snapshot-check")]
+    fn assert_matches_shadow(&self, shadow: &Graph) {
+        let digest = |g: &Graph| {
+            format!(
+                "{:?}|{:?}|{}|{}",
+                g.insts, g.blocks, g.cfg_version, g.value_version
+            )
+        };
+        assert_eq!(
+            digest(self),
+            digest(shadow),
+            "undo-log rollback diverged from snapshot restore"
+        );
+    }
+
+    /// Number of transactions currently open.
+    pub fn txn_depth(&self) -> usize {
+        self.undo.frames.len()
+    }
+
+    /// Cumulative undo-log counters since this graph was created (or
+    /// cloned — cloning resets them).
+    pub fn undo_stats(&self) -> UndoStats {
+        UndoStats {
+            edits: self.undo.edits,
+            rollbacks: self.undo.rollbacks,
+            peak_entries: self.undo.peak_entries,
+        }
     }
 
     /// Parameter types, in order.
@@ -229,6 +499,7 @@ impl Graph {
     /// Callers must not change the number of φ inputs through this (use the
     /// edge API), nor change the produced type.
     pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        self.touch_inst(id);
         self.bump_value();
         &mut self.insts[id.index()].inst
     }
@@ -304,6 +575,7 @@ impl Graph {
     /// Panics if `inst` is a φ (use [`Graph::append_phi`]).
     pub fn append_inst(&mut self, b: BlockId, inst: Inst, ty: Type) -> InstId {
         assert!(!inst.is_phi(), "use append_phi for phis");
+        self.touch_block(b);
         let id = self.alloc_inst(inst, ty, b);
         self.blocks[b.index()].insts.push(id);
         id
@@ -318,6 +590,7 @@ impl Graph {
     pub fn insert_inst(&mut self, b: BlockId, at: usize, inst: Inst, ty: Type) -> InstId {
         assert!(!inst.is_phi(), "use append_phi for phis");
         assert!(at >= self.phis(b).len(), "cannot insert before phis");
+        self.touch_block(b);
         let id = self.alloc_inst(inst, ty, b);
         self.blocks[b.index()].insts.insert(at, id);
         id
@@ -336,6 +609,7 @@ impl Graph {
             "phi input count must match predecessor count of {b}"
         );
         let at = self.phis(b).len();
+        self.touch_block(b);
         let id = self.alloc_inst(Inst::Phi { inputs }, ty, b);
         self.blocks[b.index()].insts.insert(at, id);
         id
@@ -356,6 +630,10 @@ impl Graph {
     /// longer be referenced by any remaining instruction or terminator
     /// (checked by the verifier, not here).
     pub fn remove_inst(&mut self, id: InstId) {
+        self.touch_inst(id);
+        if let Some(b) = self.insts[id.index()].block {
+            self.touch_block(b);
+        }
         self.bump_value();
         if let Some(b) = self.insts[id.index()].block.take() {
             let insts = &mut self.blocks[b.index()].insts;
@@ -377,6 +655,7 @@ impl Graph {
     /// retarget instead), or if the new terminator lists the same successor
     /// twice.
     pub fn set_terminator(&mut self, b: BlockId, term: Terminator) {
+        self.touch_block(b);
         self.bump_cfg();
         let new_succs = term.successors();
         if new_succs.len() == 2 {
@@ -394,6 +673,7 @@ impl Graph {
                 self.phis(s).is_empty(),
                 "cannot add an edge into {s}: it has phis; use connect_edge_with_phi_inputs"
             );
+            self.touch_block(s);
             self.blocks[s.index()].preds.push(b);
         }
         self.blocks[b.index()].term = term;
@@ -415,6 +695,7 @@ impl Graph {
         new_to: BlockId,
         phi_inputs: &[InstId],
     ) {
+        self.touch_block(from);
         self.bump_cfg();
         assert!(
             self.succs(from).contains(&old_to),
@@ -454,6 +735,7 @@ impl Graph {
         term: Terminator,
         phi_inputs: &[Vec<InstId>],
     ) {
+        self.touch_block(b);
         self.bump_cfg();
         assert!(
             self.blocks[b.index()].term.successors().is_empty(),
@@ -487,8 +769,10 @@ impl Graph {
             phi_inputs.len(),
             "need exactly one phi input per phi of {to}"
         );
+        self.touch_block(to);
         self.blocks[to.index()].preds.push(from);
         for (phi, &input) in phis.iter().zip(phi_inputs) {
+            self.touch_inst(*phi);
             match &mut self.insts[phi.index()].inst {
                 Inst::Phi { inputs } => inputs.push(input),
                 _ => unreachable!("phi prefix returned a non-phi"),
@@ -500,9 +784,11 @@ impl Graph {
     /// the corresponding position of each φ of `to`.
     fn remove_pred(&mut self, to: BlockId, from: BlockId) {
         let idx = self.pred_index(to, from);
+        self.touch_block(to);
         self.blocks[to.index()].preds.remove(idx);
         let phis: Vec<InstId> = self.phis(to).to_vec();
         for phi in phis {
+            self.touch_inst(phi);
             match &mut self.insts[phi.index()].inst {
                 Inst::Phi { inputs } => {
                     inputs.remove(idx);
@@ -520,6 +806,7 @@ impl Graph {
     ///
     /// Panics if `b` is not terminated by a branch.
     pub fn fold_branch(&mut self, b: BlockId, take_then: bool) {
+        self.touch_block(b);
         self.bump_cfg();
         let (then_bb, else_bb) = match self.blocks[b.index()].term {
             Terminator::Branch {
@@ -540,6 +827,7 @@ impl Graph {
     /// successors untouched. Used by the parser to patch forward
     /// references and by optimizations to rewrite branch conditions.
     pub fn patch_terminator_inputs(&mut self, b: BlockId, f: impl FnMut(&mut InstId)) {
+        self.touch_block(b);
         self.bump_value();
         self.blocks[b.index()].term.for_each_input_mut(f);
     }
@@ -552,6 +840,7 @@ impl Graph {
     pub fn set_branch_probability(&mut self, b: BlockId, prob: f64) {
         // Probabilities feed BlockFrequencies, a CFG-level analysis, so this
         // counts as a CFG change even though no edge moves.
+        self.touch_block(b);
         self.bump_cfg();
         match &mut self.blocks[b.index()].term {
             Terminator::Branch { prob_then, .. } => *prob_then = prob,
@@ -564,17 +853,38 @@ impl Graph {
     pub fn replace_all_uses(&mut self, old: InstId, new: InstId) {
         assert_ne!(old, new, "cannot replace a value with itself");
         self.bump_value();
-        for data in &mut self.insts {
-            if data.block.is_some() {
-                data.inst.for_each_input_mut(|i| {
-                    if *i == old {
-                        *i = new;
-                    }
-                });
+        for idx in 0..self.insts.len() {
+            if self.insts[idx].block.is_none() {
+                continue;
             }
+            let mut uses_old = false;
+            self.insts[idx].inst.for_each_input(|i| {
+                if i == old {
+                    uses_old = true;
+                }
+            });
+            if !uses_old {
+                continue;
+            }
+            self.touch_inst(InstId::from_index(idx));
+            self.insts[idx].inst.for_each_input_mut(|i| {
+                if *i == old {
+                    *i = new;
+                }
+            });
         }
-        for block in &mut self.blocks {
-            block.term.for_each_input_mut(|i| {
+        for idx in 0..self.blocks.len() {
+            let mut uses_old = false;
+            self.blocks[idx].term.for_each_input(|i| {
+                if i == old {
+                    uses_old = true;
+                }
+            });
+            if !uses_old {
+                continue;
+            }
+            self.touch_block(BlockId::from_index(idx));
+            self.blocks[idx].term.for_each_input_mut(|i| {
                 if *i == old {
                     *i = new;
                 }
@@ -616,6 +926,8 @@ impl Graph {
     /// The caller must first have eliminated `from`'s φs and must ensure
     /// `to`'s unique successor is `from`.
     pub fn merge_block_into_pred(&mut self, from: BlockId, to: BlockId) {
+        self.touch_block(from);
+        self.touch_block(to);
         self.bump_cfg();
         assert_eq!(
             self.succs(to),
@@ -630,6 +942,7 @@ impl Graph {
         assert!(self.phis(from).is_empty(), "{from} still has phis");
         let moved: Vec<InstId> = std::mem::take(&mut self.blocks[from.index()].insts);
         for &i in &moved {
+            self.touch_inst(i);
             self.insts[i.index()].block = Some(to);
         }
         self.blocks[to.index()].insts.extend(moved);
@@ -639,6 +952,7 @@ impl Graph {
         for s in term.successors() {
             // Rewrite pred entries of successors from `from` to `to`.
             let idx = self.pred_index(s, from);
+            self.touch_block(s);
             self.blocks[s.index()].preds[idx] = to;
         }
         // `to`'s old terminator was Jump{from}; drop its pred entry.
@@ -1041,5 +1355,131 @@ mod tests {
         let reach = g.reachable_blocks();
         assert!(reach.contains(&bt) && reach.contains(&bf) && reach.contains(&bm));
         assert!(!reach.contains(&orphan));
+    }
+
+    /// Debug digest of everything rollback promises to restore.
+    fn digest(g: &Graph) -> String {
+        format!(
+            "{:?}|{:?}|{}|{}",
+            g.insts, g.blocks, g.cfg_version, g.value_version
+        )
+    }
+
+    #[test]
+    fn txn_rollback_restores_graph_and_stamps() {
+        let (mut g, _bt, _bf, bm, phi) = figure1();
+        let before = digest(&g);
+        let (cfg0, val0) = (g.cfg_version(), g.version());
+
+        g.begin_txn();
+        assert_eq!(g.txn_depth(), 1);
+        // A representative mix: allocate, mutate an old slot, rewire edges.
+        let c = g.append_inst(g.entry(), Inst::Const(ConstValue::Int(7)), Type::Int);
+        g.replace_all_uses(phi, c);
+        g.fold_branch(g.entry(), true);
+        let orphan = g.add_block();
+        g.set_terminator(orphan, Terminator::Return { value: None });
+        let last = *g.block_insts(bm).last().expect("bm has instructions");
+        g.remove_inst(last);
+        assert_ne!(digest(&g), before);
+
+        let restored = g.rollback_txn();
+        assert!(restored > 0);
+        assert_eq!(g.txn_depth(), 0);
+        assert_eq!(digest(&g), before);
+        assert_eq!(g.cfg_version(), cfg0);
+        assert_eq!(g.version(), val0);
+    }
+
+    #[test]
+    fn txn_commit_keeps_mutations_and_is_transparent_to_outer_frames() {
+        let (mut g, _bt, _bf, _bm, phi) = figure1();
+        let before = digest(&g);
+
+        g.begin_txn(); // outer
+        let c = g.append_inst(g.entry(), Inst::Const(ConstValue::Int(9)), Type::Int);
+        g.begin_txn(); // inner
+        g.replace_all_uses(phi, c);
+        g.commit_txn(); // inner mutations survive...
+        assert_eq!(g.txn_depth(), 1);
+        g.rollback_txn(); // ...until the outer frame rolls back past them.
+        assert_eq!(digest(&g), before);
+    }
+
+    #[test]
+    fn nested_rollback_unwinds_one_frame_at_a_time() {
+        let (mut g, _bt, _bf, _bm, phi) = figure1();
+        let outer_state = digest(&g);
+
+        g.begin_txn();
+        let c = g.append_inst(g.entry(), Inst::Const(ConstValue::Int(3)), Type::Int);
+        let mid_state = digest(&g);
+
+        g.begin_txn();
+        g.replace_all_uses(phi, c);
+        g.fold_branch(g.entry(), false);
+        assert_ne!(digest(&g), mid_state);
+        g.rollback_txn();
+        assert_eq!(digest(&g), mid_state);
+
+        g.rollback_txn();
+        assert_eq!(digest(&g), outer_state);
+    }
+
+    #[test]
+    fn undo_counters_track_edits_rollbacks_and_peak() {
+        let (mut g, ..) = figure1();
+        assert_eq!(g.undo_stats(), UndoStats::default());
+
+        // Mutations outside a transaction are not counted as edits.
+        g.add_block();
+        assert_eq!(g.undo_stats().edits, 0);
+
+        g.begin_txn();
+        g.add_block();
+        let c = g.append_inst(g.entry(), Inst::Const(ConstValue::Int(1)), Type::Int);
+        let stats = g.undo_stats();
+        assert_eq!(stats.edits, 2);
+        // append_inst touched the (pre-txn) entry block slot.
+        assert!(stats.peak_entries >= 1);
+        g.rollback_txn();
+        assert_eq!(g.undo_stats().rollbacks, 1);
+        // The rolled-back const slot is gone from the arena entirely.
+        assert!(c.index() >= g.insts.len());
+    }
+
+    #[test]
+    fn clone_resets_undo_log() {
+        let (mut g, ..) = figure1();
+        g.begin_txn();
+        g.add_block();
+        let c = g.clone();
+        assert_eq!(c.txn_depth(), 0);
+        assert_eq!(c.undo_stats(), UndoStats::default());
+        assert_eq!(g.txn_depth(), 1);
+        g.rollback_txn();
+    }
+
+    #[test]
+    fn rollback_matches_snapshot_restore() {
+        let (mut g, _bt, _bf, bm, phi) = figure1();
+        let snap = g.snapshot();
+
+        g.begin_txn();
+        let c = g.append_inst(bm, Inst::Const(ConstValue::Int(11)), Type::Int);
+        g.replace_all_uses(phi, c);
+        g.fold_branch(g.entry(), true);
+        g.rollback_txn();
+
+        let mut restored = g.clone();
+        snap.restore(&mut restored);
+        assert_eq!(digest(&g), digest(&restored));
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback_txn without an open transaction")]
+    fn rollback_without_txn_panics() {
+        let (mut g, ..) = figure1();
+        g.rollback_txn();
     }
 }

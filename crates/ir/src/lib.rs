@@ -64,7 +64,7 @@ mod verify;
 
 pub use builder::GraphBuilder;
 pub use classes::{ClassInfo, ClassTable, FieldInfo};
-pub use graph::{Graph, GraphSnapshot, InstData};
+pub use graph::{Graph, GraphSnapshot, InstData, UndoStats};
 pub use ids::{BlockId, ClassId, FieldId, InstId};
 pub use inst::{BinOp, CmpOp, Inst, InstKind, KindCounts, Terminator};
 pub use interp::{

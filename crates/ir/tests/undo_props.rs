@@ -1,0 +1,203 @@
+//! Property tests for the undo log: for random mutation sequences over a
+//! well-formed seed graph, `rollback_txn` must restore *exactly* the
+//! state a [`GraphSnapshot`] taken at `begin_txn` would restore — same
+//! printed graph, same predecessor lists, same version stamps, and the
+//! same lint report. Nested transactions must unwind one mark at a time,
+//! and a committed inner transaction must stay transparent to an outer
+//! rollback.
+//!
+//! The mutation menu deliberately includes edits that leave the graph
+//! unhygienic (dangling φ inputs, unreachable blocks): rollback has to be
+//! byte-identical on *any* intermediate state, not just clean ones.
+
+use dbds_ir::{
+    lint, print_graph, BlockId, ClassTable, CmpOp, ConstValue, Graph, GraphBuilder, Inst, InstId,
+    Terminator, Type,
+};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The well-formed diamond all mutation sequences start from.
+fn diamond() -> Graph {
+    let mut b = GraphBuilder::new("d", &[Type::Int], Arc::new(ClassTable::new()));
+    let x = b.param(0);
+    let zero = b.iconst(0);
+    let c = b.cmp(CmpOp::Gt, x, zero);
+    let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+    b.branch(c, bt, bf, 0.5);
+    b.switch_to(bt);
+    b.jump(bm);
+    b.switch_to(bf);
+    b.jump(bm);
+    b.switch_to(bm);
+    let phi = b.phi(vec![x, zero], Type::Int);
+    b.ret(Some(phi));
+    b.finish()
+}
+
+/// A total textual fingerprint of the graph built from public API only:
+/// the printed body, every block's predecessor list and terminator, the
+/// instruction arena contents by id, and both version stamps. Two equal
+/// digests mean the observable graph states are identical.
+fn digest(g: &Graph) -> String {
+    let mut out = print_graph(g);
+    for b in g.blocks() {
+        let _ = writeln!(
+            out,
+            "{b:?}: preds={:?} term={:?}",
+            g.preds(b),
+            g.terminator(b)
+        );
+        for &i in g.block_insts(b) {
+            let _ = writeln!(
+                out,
+                "  {i:?}: {:?} : {:?} @ {:?}",
+                g.inst(i),
+                g.ty(i),
+                g.block_of(i)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "live={} cfg_v={} value_v={}",
+        g.live_inst_count(),
+        g.cfg_version(),
+        g.version()
+    );
+    out
+}
+
+/// One encoded mutation. `created` tracks constants this sequence
+/// appended so removals and use-rewrites target live, sequence-owned
+/// instructions.
+fn apply(g: &mut Graph, created: &mut Vec<InstId>, kind: u8, bsel: u8, csel: u8, val: i64) {
+    let blocks: Vec<BlockId> = g.blocks().collect();
+    let b = blocks[bsel as usize % blocks.len()];
+    match kind % 6 {
+        0 => {
+            g.add_block();
+        }
+        1 => {
+            created.push(g.append_inst(b, Inst::Const(ConstValue::Int(val)), Type::Int));
+        }
+        2 => {
+            if let Some(i) = created.pop() {
+                if g.block_of(i).is_some() {
+                    g.remove_inst(i);
+                }
+            }
+        }
+        3 => {
+            if created.len() >= 2 {
+                let old = created[csel as usize % created.len()];
+                let new = created[(csel as usize + 1) % created.len()];
+                if old != new && g.block_of(old).is_some() && g.block_of(new).is_some() {
+                    g.replace_all_uses(old, new);
+                }
+            }
+        }
+        4 => {
+            if matches!(g.terminator(b), Terminator::Branch { .. }) {
+                g.set_branch_probability(b, f64::from(csel % 10) / 10.0);
+            }
+        }
+        _ => {
+            // `set_terminator` refuses edges into φ-bearing blocks, so
+            // the retarget op only aims at φ-free candidates.
+            let candidates: Vec<BlockId> = blocks
+                .iter()
+                .copied()
+                .filter(|&t| g.phis(t).is_empty())
+                .collect();
+            if !candidates.is_empty() {
+                let target = candidates[(bsel as usize + 1 + csel as usize) % candidates.len()];
+                g.set_terminator(b, Terminator::Jump { target });
+            }
+        }
+    }
+}
+
+/// Strategy: a sequence of up to 24 encoded mutations.
+fn ops() -> impl Strategy<Value = Vec<(u8, u8, u8, i64)>> {
+    collection::vec((0u8..6, 0u8..16, 0u8..16, -100i64..100), 1..24)
+}
+
+proptest! {
+    /// `rollback_txn` is byte-identical to restoring a `GraphSnapshot`
+    /// taken at `begin_txn`: printed graph, arena contents, version
+    /// stamps and the lint report all agree.
+    #[test]
+    fn rollback_matches_snapshot_restore(seq in ops()) {
+        let mut g = diamond();
+        let snap = g.snapshot();
+        let lint_before = lint(&g).to_string();
+
+        g.begin_txn();
+        let mut created = Vec::new();
+        for &(k, b, c, v) in &seq {
+            apply(&mut g, &mut created, k, b, c, v);
+        }
+        g.rollback_txn();
+
+        let rolled = digest(&g);
+        let lint_rolled = lint(&g).to_string();
+        let mut restored = diamond();
+        snap.restore(&mut restored);
+        prop_assert_eq!(&rolled, &digest(&restored));
+        prop_assert_eq!(&lint_rolled, &lint_before);
+        prop_assert_eq!(g.txn_depth(), 0);
+    }
+
+    /// Nested transactions unwind one mark at a time: the inner rollback
+    /// lands on the mid-sequence state, the outer on the base state.
+    #[test]
+    fn nested_rollbacks_unwind_to_each_mark(seq in ops(), split in 0usize..64) {
+        let mut g = diamond();
+        let base = digest(&g);
+        let cut = split % (seq.len() + 1);
+
+        let mut created = Vec::new();
+        g.begin_txn();
+        for &(k, b, c, v) in &seq[..cut] {
+            apply(&mut g, &mut created, k, b, c, v);
+        }
+        let mid = digest(&g);
+
+        g.begin_txn();
+        for &(k, b, c, v) in &seq[cut..] {
+            apply(&mut g, &mut created, k, b, c, v);
+        }
+        g.rollback_txn();
+        prop_assert_eq!(&digest(&g), &mid);
+
+        g.rollback_txn();
+        prop_assert_eq!(&digest(&g), &base);
+        prop_assert_eq!(g.txn_depth(), 0);
+    }
+
+    /// A committed inner transaction is transparent to the outer frame:
+    /// rolling the outer back still restores the pre-outer state.
+    #[test]
+    fn inner_commit_is_transparent_to_outer_rollback(seq in ops(), split in 0usize..64) {
+        let mut g = diamond();
+        let base = digest(&g);
+        let cut = split % (seq.len() + 1);
+
+        let mut created = Vec::new();
+        g.begin_txn();
+        for &(k, b, c, v) in &seq[..cut] {
+            apply(&mut g, &mut created, k, b, c, v);
+        }
+        g.begin_txn();
+        for &(k, b, c, v) in &seq[cut..] {
+            apply(&mut g, &mut created, k, b, c, v);
+        }
+        g.commit_txn();
+        g.rollback_txn();
+
+        prop_assert_eq!(&digest(&g), &base);
+        prop_assert_eq!(g.txn_depth(), 0);
+    }
+}
