@@ -120,10 +120,20 @@ pub fn live_intervals(g: &Graph, lin: &Linearization) -> Vec<Interval> {
                     });
                 }
             }
-            if live_out.get_mut(&b.index()).unwrap().union_with(&out) {
+            // Every block in `lin.order` was seeded above, so the sets
+            // exist; `entry` keeps the fixpoint total without unwraps.
+            if live_out
+                .entry(b.index())
+                .or_insert_with(|| BitSet::new(n))
+                .union_with(&out)
+            {
                 changed = true;
             }
-            if live_in.get_mut(&b.index()).unwrap().union_with(&inn) {
+            if live_in
+                .entry(b.index())
+                .or_insert_with(|| BitSet::new(n))
+                .union_with(&inn)
+            {
                 changed = true;
             }
         }

@@ -82,7 +82,7 @@ pub fn linear_scan(intervals: &[Interval], num_regs: u8) -> Allocation {
                 .iter()
                 .enumerate()
                 .map(|(ix, (a, _))| (ix, score(a)))
-                .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+                .max_by(|x, y| x.1.total_cmp(&y.1))
                 .expect("active non-empty when full");
             if score(&active[victim_ix].0) > score(&iv) {
                 let (victim, r) = active.remove(victim_ix);

@@ -102,6 +102,27 @@ pub fn map_indexed<T: Sync, R: Send>(
     (results, loads)
 }
 
+/// Runs `f(index, &units[index])` over every unit on the pool and
+/// returns the results in submission (index) order — execution order
+/// never leaks into the output — plus the per-worker loads and the
+/// wall-clock nanoseconds of the fan-out.
+///
+/// This is the unit-level compilation queue shared by the evaluation
+/// harness (`dbds_harness::run_units` re-exports it) and the
+/// compilation service's batch dispatcher: independent compilation
+/// units fan out onto the pool and commit deterministically. With
+/// `threads <= 1` the pool runs inline on the calling thread in index
+/// order, so the sequential path is the same code.
+pub fn run_units<I: Sync, T: Send>(
+    threads: usize,
+    units: &[I],
+    f: impl Fn(usize, &I) -> T + Sync,
+) -> (Vec<T>, Vec<WorkerLoad>, u128) {
+    let t = Instant::now();
+    let (results, loads) = map_indexed(threads, units, f);
+    (results, loads, t.elapsed().as_nanos())
+}
+
 /// Like [`run_indexed`], but dedicates the calling thread to `on_main`
 /// instead of claiming items: while up to `threads` spawned workers
 /// drain `items`, the calling thread repeatedly runs `on_main` (yielding

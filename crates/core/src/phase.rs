@@ -152,6 +152,33 @@ impl DbdsConfig {
         }
         (threads, per_unit)
     }
+
+    /// A stable fingerprint of every configuration field that can
+    /// change the *result* of a compilation under `level` — the config
+    /// half of the compilation service's content-addressed store key
+    /// (the graph half is [`dbds_ir::content_hash`]).
+    ///
+    /// Included: the opt level, the trade-off parameters, the iteration
+    /// limits, the path length, the fuel budget and the checkpoint
+    /// switch. Deliberately excluded, because results are proven
+    /// invariant under them: `sim_threads` / `unit_threads` (bit-identical
+    /// at any width) and `guard.deadline` (a deadline is wall-clock
+    /// nondeterminism — the service never caches a compilation that a
+    /// deadline cut short, see [`PhaseStats::stopped_early`]).
+    pub fn fingerprint(&self, level: OptLevel) -> u64 {
+        let mut h = dbds_ir::Fnv64::new();
+        h.write_str("dbds-config-fingerprint-v1");
+        h.write_str(level.name());
+        h.write_u64(self.tradeoff.benefit_scale.to_bits());
+        h.write_u64(self.tradeoff.size_increase_budget.to_bits());
+        h.write_u64(self.tradeoff.max_unit_size);
+        h.write_u64(self.max_iterations as u64);
+        h.write_u64(self.iteration_benefit_threshold.to_bits());
+        h.write_u64(self.max_path_length as u64);
+        h.write_u64(self.guard.fuel.map_or(u64::MAX, |f| f));
+        h.write_u64(u64::from(self.guard.checkpoints));
+        h.finish()
+    }
 }
 
 /// Statistics of one compilation.
@@ -231,6 +258,27 @@ pub struct PhaseStats {
 }
 
 impl PhaseStats {
+    /// The reason the phase stopped *early* (a budget exhaustion that
+    /// was not contained), if any: the first bailout record whose
+    /// failure was not recovered. The graph is still verified in that
+    /// case, but the result reflects how far the wall clock or fuel
+    /// tank let the phase get — a deadline-truncated compilation is
+    /// wall-clock-dependent, so the compilation service treats such a
+    /// result as non-cacheable and answers with a typed error instead.
+    pub fn stopped_early(&self) -> Option<&BailoutReason> {
+        self.bailouts
+            .iter()
+            .find(|b| !b.recovered)
+            .map(|b| &b.reason)
+    }
+
+    /// `true` when [`PhaseStats::stopped_early`] reports a missed
+    /// wall-clock deadline — the per-request deadline plumbing of the
+    /// compilation service.
+    pub fn hit_deadline(&self) -> bool {
+        matches!(self.stopped_early(), Some(BailoutReason::DeadlineExceeded))
+    }
+
     /// Copies the cache counters accumulated between `base` and `cache`'s
     /// current state into these stats (delta form, so callers may share
     /// one long-lived cache across compilations).

@@ -96,7 +96,11 @@ fn main() {
 
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"dbds-bench-suite-v1\",");
+    let _ = writeln!(
+        out,
+        "  \"schema\": \"{}\",",
+        dbds_harness::BENCH_SUITE_SCHEMA
+    );
     let _ = writeln!(out, "  \"hardware_threads\": {hardware_threads},");
     let _ = writeln!(out, "  \"workloads\": 45,");
     let _ = writeln!(out, "  \"configs_per_workload\": 3,");

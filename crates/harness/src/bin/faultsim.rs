@@ -41,10 +41,16 @@ struct UnitReport {
 }
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be a u64"))
-        .unwrap_or(0xDBD5);
+    let seed: u64 = match std::env::args().nth(1) {
+        None => 0xDBD5,
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("faultsim: error: seed must be a u64, got {s:?}");
+                std::process::exit(2);
+            }
+        },
+    };
     let model = CostModel::new();
     let cfg = DbdsConfig::default();
     let workloads = all_workloads();

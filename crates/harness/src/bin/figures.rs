@@ -20,6 +20,19 @@
 //! thread and the defaults honor `DBDS_SIM_THREADS` /
 //! `DBDS_UNIT_THREADS`. All measured results are bit-identical for
 //! every value — only wall-clock changes.
+//!
+//! Compile-cache modes (the `dbds-server` integration):
+//!
+//! ```text
+//! figures --json <path|-> --cache mem|DIR   embed a 2-pass compile-cache
+//!                                           session's counters in the report
+//! figures --client ADDR                     run the session against a live
+//!                                           dbds-server daemon instead
+//! ```
+//!
+//! `--cache mem` uses the in-memory store; any other value is an
+//! on-disk store directory. Session counters are deterministic, so the
+//! `--json` report stays byte-identical across thread counts.
 
 use dbds_core::{compile, DbdsConfig, OptLevel};
 use dbds_costmodel::CostModel;
@@ -35,6 +48,21 @@ fn main() {
     let model = CostModel::new();
     let mut cfg = DbdsConfig::default();
     let icache = IcacheModel::default();
+
+    // `--cache mem|DIR` composes with `--json`; strip it first.
+    let mut cache: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--cache") {
+        match args.get(pos + 1) {
+            Some(v) => {
+                cache = Some(v.clone());
+                args.drain(pos..=pos + 1);
+            }
+            None => {
+                eprintln!("--cache expects `mem` or a store directory");
+                std::process::exit(2);
+            }
+        }
+    }
 
     // `--sim-threads N` / `--unit-threads N` compose with every mode;
     // strip them before the mode match.
@@ -94,11 +122,17 @@ fn main() {
             print!("{}", phases_table(&model, &cfg));
         }
         ["--json", path] => {
+            let session = cache.as_deref().map(|choice| cache_session(choice, &cfg));
             let results: Vec<_> = Suite::ALL
                 .iter()
                 .map(|&s| run_suite(s, &model, &cfg, &icache))
                 .collect();
-            let json = format_json(&results, cfg.sim_threads, cfg.unit_threads);
+            let json = format_json(
+                &results,
+                cfg.sim_threads,
+                cfg.unit_threads,
+                session.as_ref(),
+            );
             if *path == "-" {
                 print!("{json}");
             } else if let Err(e) = std::fs::write(path, &json) {
@@ -106,6 +140,13 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        ["--client", addr] => match client_session(addr) {
+            Ok(()) => {}
+            Err(msg) => {
+                eprintln!("client session failed: {msg}");
+                std::process::exit(1);
+            }
+        },
         ["--lint"] | ["--lint", "--json", _] => {
             let audit = run_lint_audit(&Suite::ALL, &model, &cfg);
             if let ["--lint", "--json", path] = args
@@ -148,12 +189,75 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: figures [--sim-threads N] [--unit-threads N] --figure <5|6|7|8> | \
-                 --summary | --table backtracking | --table phases | --all | --json <path|-> | \
-                 --lint [--json <path|->]"
+                 --summary | --table backtracking | --table phases | --all | \
+                 --json <path|-> [--cache mem|DIR] | --client ADDR | --lint [--json <path|->]"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// Runs the standard two-pass compile-cache session in-process (the
+/// first pass populates the store, the second measures it) and returns
+/// the per-pass counters for the report's `store` block.
+fn cache_session(choice: &str, cfg: &DbdsConfig) -> dbds_server::SessionReport {
+    use dbds_server::{run_session, CompileService, CompiledStore, DiskStore, MemStore};
+    let store: Box<dyn CompiledStore> = if choice == "mem" {
+        Box::new(MemStore::new())
+    } else {
+        match DiskStore::open(choice) {
+            Ok(s) => Box::new(s),
+            Err(e) => {
+                // The store is advisory by design: fall back to memory
+                // rather than failing the report.
+                eprintln!("cannot open store {choice}: {e}; using in-memory cache");
+                Box::new(MemStore::new())
+            }
+        }
+    };
+    let mut svc = CompileService::new(store, cfg.clone(), dbds_server::ServiceConfig::default());
+    run_session(
+        &mut svc,
+        &[OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot],
+        2,
+    )
+}
+
+/// Replays the two-pass session against a live daemon over the wire
+/// protocol and prints per-pass tallies plus the server's own status
+/// report (no timings — output is deterministic given the server
+/// state).
+fn client_session(addr: &str) -> Result<(), String> {
+    use dbds_server::{Client, CompileRequest, CompileSource};
+    let mut client = Client::connect(addr)?;
+    let levels = [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot];
+    let names: Vec<String> = dbds_workloads::all_workloads()
+        .into_iter()
+        .map(|w| w.name)
+        .collect();
+    for pass in 1..=2 {
+        let (mut hits, mut misses, mut errors) = (0u64, 0u64, 0u64);
+        for name in &names {
+            for level in levels {
+                let outcome = client.compile(CompileRequest {
+                    source: CompileSource::Workload(name.clone()),
+                    level,
+                    deadline_ms: None,
+                })?;
+                match outcome {
+                    Ok(served) if served.cached => hits += 1,
+                    Ok(_) => misses += 1,
+                    Err(_) => errors += 1,
+                }
+            }
+        }
+        println!(
+            "pass {pass}: {} requests, {hits} hits, {misses} misses, {errors} errors",
+            names.len() * levels.len()
+        );
+    }
+    print!("{}", client.status()?.pretty());
+    Ok(())
 }
 
 /// Per-tier compile-time breakdown of the DBDS phase (the paper's

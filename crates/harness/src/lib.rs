@@ -36,12 +36,19 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod lintaudit;
 mod metrics;
 mod report;
 mod runner;
 mod stats;
+
+/// Schema tag the `bench_suite` binary stamps into its report; the
+/// committed `BENCH_suite.json` must carry exactly this string (gated
+/// by `tests/report_roundtrip.rs`), so schema changes are deliberate:
+/// bump the tag here and regenerate the committed baseline together.
+pub const BENCH_SUITE_SCHEMA: &str = "dbds-bench-suite-v1";
 
 pub use lintaudit::{format_lint, format_lint_json, run_lint_audit, LintAudit};
 pub use metrics::{

@@ -7,6 +7,7 @@
 use crate::metrics::geomean_pct;
 use crate::runner::{Metric, SuiteResult};
 use dbds_core::OptLevel;
+use dbds_server::SessionReport;
 use std::fmt::Write as _;
 
 /// Renders one suite's figure-style table.
@@ -158,11 +159,67 @@ pub fn format_summary(results: &[SuiteResult]) -> String {
 ///   line** (the only thread-count-dependent values), so reports taken
 ///   at different thread counts can be diffed with those two lines
 ///   filtered out.
-pub fn format_json(results: &[SuiteResult], sim_threads: usize, unit_threads: usize) -> String {
+///
+/// When `store` carries the result of a compile-cache session
+/// (`figures --json --cache …`), the report embeds its per-pass and
+/// total service counters; those are deterministic too (store traffic
+/// is sequential in submission order), so the block is covered by the
+/// same byte-identity gate. Without a session the field is `null` so
+/// the schema is stable either way.
+pub fn format_json(
+    results: &[SuiteResult],
+    sim_threads: usize,
+    unit_threads: usize,
+    store: Option<&SessionReport>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"sim_threads\": {sim_threads},");
     let _ = writeln!(out, "  \"unit_threads\": {unit_threads},");
+    match store {
+        None => {
+            let _ = writeln!(out, "  \"store\": null,");
+        }
+        Some(session) => {
+            let _ = writeln!(out, "  \"store\": {{");
+            let _ = writeln!(out, "    \"backend\": {},", json_str(&session.backend));
+            let _ = writeln!(out, "    \"passes\": [");
+            for (pi, pass) in session.passes.iter().enumerate() {
+                let _ = writeln!(out, "      {{");
+                let _ = writeln!(out, "        \"pass\": {},", pi + 1);
+                let _ = writeln!(out, "        \"served\": {},", pass.served);
+                for (name, value) in pass.counters.fields() {
+                    let _ = writeln!(out, "        \"{name}\": {value},");
+                }
+                let _ = writeln!(
+                    out,
+                    "        \"hit_rate_pct\": {:?}",
+                    session.hit_rate(pi) * 100.0
+                );
+                let _ = writeln!(
+                    out,
+                    "      }}{}",
+                    if pi + 1 < session.passes.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                );
+            }
+            let _ = writeln!(out, "    ],");
+            let _ = writeln!(out, "    \"totals\": {{");
+            let totals = session.totals.fields();
+            for (i, (name, value)) in totals.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "      \"{name}\": {value}{}",
+                    if i + 1 < totals.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(out, "    }}");
+            let _ = writeln!(out, "  }},");
+        }
+    }
     let _ = writeln!(out, "  \"suites\": [");
     for (si, r) in results.iter().enumerate() {
         let _ = writeln!(out, "    {{");
@@ -369,7 +426,7 @@ mod tests {
                 ..DbdsConfig::default()
             };
             let results = vec![run_suite(Suite::Micro, &model, &cfg, &ic)];
-            format_json(&results, sim, unit)
+            format_json(&results, sim, unit, None)
         };
         let strip = |s: &str| {
             s.lines()

@@ -5,7 +5,6 @@ use crate::metrics::{measure, measure_from, pct_increase, pct_speedup, IcacheMod
 use dbds_core::{par, BailoutReason, DbdsConfig, OptLevel, WorkerLoad};
 use dbds_costmodel::CostModel;
 use dbds_workloads::{Suite, Workload};
-use std::time::Instant;
 
 /// The three per-configuration measurements of one benchmark.
 #[derive(Clone, Debug)]
@@ -197,9 +196,7 @@ pub fn run_units<I: Sync, T: Send>(
     units: &[I],
     f: impl Fn(usize, &I) -> T + Sync,
 ) -> (Vec<T>, Vec<WorkerLoad>, u128) {
-    let t = Instant::now();
-    let (results, loads) = par::map_indexed(threads, units, f);
-    (results, loads, t.elapsed().as_nanos())
+    par::run_units(threads, units, f)
 }
 
 /// Runs a whole suite: every `(workload, configuration)` pair is one

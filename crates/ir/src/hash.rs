@@ -1,0 +1,138 @@
+//! Stable content hashing of graphs.
+//!
+//! The compilation service memoizes compiled graphs in a
+//! content-addressed store, so it needs a hash that is a pure function
+//! of the graph's *semantic content* — stable across processes, runs,
+//! platforms and pointer layouts. `std::hash` offers no such guarantee
+//! (and `DefaultHasher` is explicitly randomized), so this module ships
+//! a tiny FNV-1a implementation and hashes the canonical textual form
+//! of a graph: [`print_graph`](crate::print_graph) prints reachable
+//! blocks in sorted id order, which the parser round-trips to a
+//! fixpoint, making the text a canonical serialization.
+//!
+//! The class table is hashed alongside the body: two graphs with equal
+//! bodies but different field layouts are different compilation inputs.
+
+use crate::print::{print_class_table, print_graph};
+use crate::Graph;
+
+/// The 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// An incremental 64-bit FNV-1a hasher with a stable, documented
+/// algorithm (unlike `std`'s `DefaultHasher`, which may change between
+/// releases and is seeded per process).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a string's UTF-8 bytes plus a terminator byte, so
+    /// `"ab" + "c"` and `"a" + "bc"` hash differently.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write(s.as_bytes()).write(&[0xff])
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The stable content hash of a graph: FNV-1a over its class table and
+/// canonical textual form. Equal for graphs that print identically
+/// (same reachable structure, ids, and class layout), independent of
+/// process, allocation order of dead arena slots, or undo-log history.
+pub fn content_hash(g: &Graph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&print_class_table(g.class_table()));
+    h.write_str(&print_graph(g));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassTable, GraphBuilder, Type};
+    use std::sync::Arc;
+
+    fn sample(ret_param: bool) -> Graph {
+        let mut b = GraphBuilder::new("h", &[Type::Int], Arc::new(ClassTable::new()));
+        let x = b.param(0);
+        let one = b.iconst(1);
+        let s = b.add(x, one);
+        b.ret(Some(if ret_param { x } else { s }));
+        b.finish()
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a test vector: "a" hashes to 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn equal_graphs_hash_equal_and_clones_too() {
+        assert_eq!(content_hash(&sample(false)), content_hash(&sample(false)));
+        let g = sample(false);
+        assert_eq!(content_hash(&g), content_hash(&g.clone()));
+    }
+
+    #[test]
+    fn different_graphs_hash_differently() {
+        assert_ne!(content_hash(&sample(false)), content_hash(&sample(true)));
+    }
+
+    #[test]
+    fn write_str_is_concatenation_safe() {
+        let mut a = Fnv64::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hash_ignores_undo_log_history() {
+        let mut g = sample(false);
+        let before = content_hash(&g);
+        g.begin_txn();
+        g.add_block();
+        g.rollback_txn();
+        // Version stamps moved, arena truncated back — content equal.
+        assert_eq!(content_hash(&g), before);
+    }
+}

@@ -53,6 +53,7 @@
 mod builder;
 mod classes;
 mod graph;
+mod hash;
 mod ids;
 mod inst;
 mod interp;
@@ -65,6 +66,7 @@ mod verify;
 pub use builder::GraphBuilder;
 pub use classes::{ClassInfo, ClassTable, FieldInfo};
 pub use graph::{Graph, GraphSnapshot, InstData, UndoStats};
+pub use hash::{content_hash, fnv1a, Fnv64};
 pub use ids::{BlockId, ClassId, FieldId, InstId};
 pub use inst::{BinOp, CmpOp, Inst, InstKind, KindCounts, Terminator};
 pub use interp::{

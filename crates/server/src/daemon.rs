@@ -1,0 +1,374 @@
+//! The `dbds-server` daemon: socket listeners, a bounded admission
+//! queue with load shedding, and a single dispatcher thread that owns
+//! the [`CompileService`].
+//!
+//! Architecture: connection threads only parse frames and enqueue
+//! jobs; every store access and compilation happens on the dispatcher,
+//! which drains the queue in batches (so concurrent clients still get
+//! the unit-level parallel fan-out of
+//! [`CompileService::compile_batch`]). When the queue is full, the
+//! connection thread answers `overloaded` immediately — admission
+//! control is the one decision made off the dispatcher, which is why
+//! the shed counter is a shared atomic folded into the status report.
+
+use crate::json::Json;
+use crate::proto::{error_json, read_frame, response_json, write_frame, Request, PROTO_VERSION};
+use crate::service::{CompileService, ServiceConfig, ServiceError};
+use crate::store::{CompiledStore, DiskStore, MemStore, StoreError};
+use dbds_core::DbdsConfig;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// Which store backend the daemon should open.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreChoice {
+    /// In-memory cache (dies with the daemon).
+    Mem,
+    /// Crash-safe on-disk store rooted at the given directory.
+    Disk(PathBuf),
+}
+
+impl StoreChoice {
+    /// Opens the chosen backend. A store directory that cannot be
+    /// opened degrades to the in-memory backend with a warning on
+    /// stderr — a broken cache must not prevent serving.
+    pub fn open(&self) -> Box<dyn CompiledStore> {
+        match self {
+            StoreChoice::Mem => Box::new(MemStore::new()),
+            StoreChoice::Disk(dir) => match DiskStore::open(dir) {
+                Ok(s) => Box::new(s),
+                Err(StoreError(e)) => {
+                    eprintln!(
+                        "dbds-server: warning: store {} unusable ({e}); \
+                         falling back to in-memory cache",
+                        dir.display()
+                    );
+                    Box::new(MemStore::new())
+                }
+            },
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address: `host:port` for TCP or `unix:<path>` for a Unix
+    /// domain socket.
+    pub listen: String,
+    /// Store backend.
+    pub store: StoreChoice,
+    /// Compilation configuration (thread counts honor
+    /// `DBDS_SIM_THREADS` / `DBDS_UNIT_THREADS` via its default).
+    pub base_cfg: DbdsConfig,
+    /// Store retry/backoff tuning.
+    pub service: ServiceConfig,
+    /// Admission-queue bound: jobs beyond this many waiting are shed
+    /// with a typed `overloaded` response.
+    pub max_queue: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            store: StoreChoice::Mem,
+            base_cfg: DbdsConfig::default(),
+            service: ServiceConfig::default(),
+            max_queue: 128,
+        }
+    }
+}
+
+/// Either listener flavor.
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// Either stream flavor; the protocol layer only needs `Read + Write`.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One queued unit of dispatcher work.
+enum Job {
+    Compile {
+        req: crate::service::CompileRequest,
+        reply: mpsc::Sender<Json>,
+    },
+    Status {
+        reply: mpsc::Sender<Json>,
+    },
+    Shutdown {
+        reply: mpsc::Sender<Json>,
+    },
+}
+
+/// A running daemon: the resolved listen address plus the thread
+/// handles needed to join it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    /// The resolved address clients should connect to (`host:port` or
+    /// `unix:<path>`), useful when the config asked for port 0.
+    pub addr: String,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: thread::JoinHandle<()>,
+    dispatcher_thread: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Blocks until the daemon has shut down (a client sent
+    /// `shutdown`, or [`ServerHandle::stop`] was called).
+    pub fn join(self) {
+        let _ = self.dispatcher_thread.join();
+        let _ = self.accept_thread.join();
+    }
+
+    /// Requests shutdown from the hosting process (equivalent to a
+    /// client `shutdown` op) and waits for the daemon to stop.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the accept loop out of `accept()`.
+        let _ = crate::client::Client::connect(&self.addr);
+        self.join();
+    }
+}
+
+/// Binds the listener and starts the accept + dispatcher threads.
+///
+/// # Errors
+///
+/// Returns a message when the listen address cannot be parsed or
+/// bound. Store problems do *not* fail startup (see
+/// [`StoreChoice::open`]).
+pub fn serve(cfg: ServerConfig) -> Result<ServerHandle, String> {
+    let (listener, addr) = bind(&cfg.listen)?;
+    let service = CompileService::new(cfg.store.open(), cfg.base_cfg.clone(), cfg.service.clone());
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let depth = Arc::new(AtomicUsize::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = mpsc::channel::<Job>();
+
+    let dispatcher_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let depth = Arc::clone(&depth);
+        let shed = Arc::clone(&shed);
+        let addr = addr.clone();
+        thread::Builder::new()
+            .name("dbds-dispatcher".into())
+            .spawn(move || {
+                dispatcher(service, &rx, &shutdown, &depth, &shed);
+                // Nudge the accept loop out of its blocking `accept()`
+                // so `join()` completes after a client-driven shutdown.
+                let _ = crate::client::Client::connect(&addr);
+            })
+            .map_err(|e| format!("spawn dispatcher: {e}"))?
+    };
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let depth = Arc::clone(&depth);
+        let shed = Arc::clone(&shed);
+        let max_queue = cfg.max_queue;
+        thread::Builder::new()
+            .name("dbds-accept".into())
+            .spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    let stream = match listener.accept() {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let tx = tx.clone();
+                    let shutdown = Arc::clone(&shutdown);
+                    let depth = Arc::clone(&depth);
+                    let shed = Arc::clone(&shed);
+                    let _ = thread::Builder::new()
+                        .name("dbds-conn".into())
+                        .spawn(move || {
+                            connection(stream, &tx, &shutdown, &depth, &shed, max_queue);
+                        });
+                }
+            })
+            .map_err(|e| format!("spawn accept loop: {e}"))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread,
+        dispatcher_thread,
+    })
+}
+
+fn bind(listen: &str) -> Result<(Listener, String), String> {
+    if let Some(path) = listen.strip_prefix("unix:") {
+        let _ = std::fs::remove_file(path);
+        let l = UnixListener::bind(path).map_err(|e| format!("bind {path}: {e}"))?;
+        Ok((Listener::Unix(l), format!("unix:{path}")))
+    } else {
+        let l = TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+        let addr = l
+            .local_addr()
+            .map_err(|e| format!("local addr: {e}"))?
+            .to_string();
+        Ok((Listener::Tcp(l), addr))
+    }
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}
+
+/// The dispatcher: drains the queue in batches, owns the service.
+fn dispatcher(
+    mut service: CompileService,
+    rx: &mpsc::Receiver<Job>,
+    shutdown: &AtomicBool,
+    depth: &AtomicUsize,
+    shed: &AtomicU64,
+) {
+    while let Ok(first) = rx.recv() {
+        // Batch: everything already waiting rides along with the job
+        // that woke us, so a burst of clients compiles in one parallel
+        // fan-out instead of serially.
+        let mut jobs = vec![first];
+        while let Ok(job) = rx.try_recv() {
+            jobs.push(job);
+        }
+        depth.fetch_sub(jobs.len(), Ordering::SeqCst);
+
+        service.record_shed(shed.swap(0, Ordering::SeqCst));
+
+        let mut compile_jobs = Vec::new();
+        let mut stop = false;
+        for job in jobs {
+            match job {
+                Job::Compile { req, reply } => compile_jobs.push((req, reply)),
+                Job::Status { reply } => {
+                    let mut status = service.status_json();
+                    if let Json::Obj(pairs) = &mut status {
+                        pairs.insert(0, ("proto".into(), Json::str(PROTO_VERSION)));
+                    }
+                    let _ = reply.send(status);
+                }
+                Job::Shutdown { reply } => {
+                    let _ = reply.send(Json::Obj(vec![("ok".into(), Json::Bool(true))]));
+                    stop = true;
+                }
+            }
+        }
+
+        let reqs: Vec<_> = compile_jobs.iter().map(|(r, _)| r.clone()).collect();
+        let outcomes = service.compile_batch(&reqs);
+        for ((_req, reply), outcome) in compile_jobs.into_iter().zip(&outcomes) {
+            let _ = reply.send(response_json(outcome));
+        }
+
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// One client connection: read frames, enqueue, relay replies.
+fn connection(
+    mut stream: Stream,
+    tx: &mpsc::Sender<Job>,
+    shutdown: &AtomicBool,
+    depth: &AtomicUsize,
+    shed: &AtomicU64,
+    max_queue: usize,
+) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(v)) => v,
+            Ok(None) => return, // client hung up
+            Err(_) => return,
+        };
+        let request = match Request::from_json(&frame) {
+            Ok(r) => r,
+            Err(msg) => {
+                let _ = write_frame(&mut stream, &error_json(&ServiceError::BadRequest(msg)));
+                continue;
+            }
+        };
+
+        // Admission control: compile jobs respect the queue bound;
+        // status/shutdown are tiny and always admitted.
+        if matches!(request, Request::Compile(_)) && depth.load(Ordering::SeqCst) >= max_queue {
+            shed.fetch_add(1, Ordering::SeqCst);
+            let _ = write_frame(&mut stream, &error_json(&ServiceError::Overloaded));
+            continue;
+        }
+        if shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+            let _ = write_frame(&mut stream, &error_json(&ServiceError::Overloaded));
+            continue;
+        }
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = match request {
+            Request::Compile(req) => Job::Compile {
+                req,
+                reply: reply_tx,
+            },
+            Request::Status => Job::Status { reply: reply_tx },
+            Request::Shutdown => Job::Shutdown { reply: reply_tx },
+        };
+        depth.fetch_add(1, Ordering::SeqCst);
+        if tx.send(job).is_err() {
+            // Dispatcher is gone (shutdown raced us).
+            let _ = write_frame(&mut stream, &error_json(&ServiceError::Overloaded));
+            return;
+        }
+        match reply_rx.recv() {
+            Ok(json) => {
+                if write_frame(&mut stream, &json).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! The compilation service: request resolution, cache lookup with
+//! verification, parallel fresh compilation, and the graceful
+//! degradation ladder that keeps the service correct when the store is
+//! not.
+//!
+//! # Degradation ladder
+//!
+//! For every request the service walks down this ladder and stops at
+//! the first rung that yields a verified artifact:
+//!
+//! 1. **Hit** — the store returns a payload whose checksum, structure
+//!    and IR verification all pass, and whose embedded key matches the
+//!    request. Served as `cached: true`.
+//! 2. **Heal** — the payload exists but fails any check: the entry is
+//!    evicted (quarantined), the `quarantined` counter ticks, and the
+//!    request falls through to a fresh compile.
+//! 3. **Retry** — a store operation returns a transient error: it is
+//!    retried up to [`ServiceConfig::store_retries`] times with linear
+//!    backoff, ticking `retries`.
+//! 4. **Degrade** — the store stays unavailable: the request is served
+//!    by a fresh compile without caching, ticking `degraded`. A dead
+//!    store never fails a request.
+//!
+//! Requests that a wall-clock deadline cut short get the typed
+//! [`ServiceError::DeadlineExceeded`] and are *never* cached: a
+//! deadline-truncated graph is wall-clock nondeterministic, and the
+//! store's contract is that every entry is byte-identical to a fresh
+//! compile of its key.
+
+use crate::artifact::CompiledArtifact;
+use crate::json::Json;
+use crate::key::StoreKey;
+use crate::store::{CompiledStore, StoreError};
+use dbds_core::{compile, DbdsConfig, OptLevel, PhaseStats};
+use dbds_costmodel::CostModel;
+use dbds_ir::Graph;
+use dbds_workloads::{all_workloads, Workload};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// What a request asks the service to compile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileSource {
+    /// A named workload from the built-in suites.
+    Workload(String),
+    /// Inline IR text (class table + exactly one `func`).
+    IrText(String),
+}
+
+/// One compile request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileRequest {
+    /// What to compile.
+    pub source: CompileSource,
+    /// The optimization level to compile at.
+    pub level: OptLevel,
+    /// Optional per-request wall-clock deadline in milliseconds,
+    /// installed into [`dbds_core::GuardConfig::deadline`].
+    pub deadline_ms: Option<u64>,
+}
+
+/// The typed failure responses of the service. Every error a client
+/// can observe is one of these — the service never panics a request
+/// and never surfaces a raw store error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request queue was full; retry later.
+    Overloaded,
+    /// The per-request deadline cut the compilation short; the partial
+    /// result was discarded (deadline-truncated graphs are wall-clock
+    /// nondeterministic and therefore neither served nor cached).
+    DeadlineExceeded,
+    /// The request itself was malformed (unknown workload, unparsable
+    /// IR, unknown level); the payload is a user-facing message.
+    BadRequest(String),
+}
+
+impl ServiceError {
+    /// Stable wire tag of the error kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded => "overloaded",
+            ServiceError::DeadlineExceeded => "deadline-exceeded",
+            ServiceError::BadRequest(_) => "bad-request",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded => write!(f, "server overloaded, retry later"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A successfully served compilation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServedResult {
+    /// The verified artifact.
+    pub artifact: CompiledArtifact,
+    /// `true` when it came out of the store, `false` when freshly
+    /// compiled for this request.
+    pub cached: bool,
+}
+
+/// The outcome of one request.
+pub type CompileOutcome = Result<ServedResult, ServiceError>;
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bounded retries for transient store errors (rung 3 of the
+    /// degradation ladder).
+    pub store_retries: u32,
+    /// Linear backoff step between store retries.
+    pub store_backoff: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            store_retries: 2,
+            store_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Deterministic service counters. Every field is a function of the
+/// request sequence and the store contents only — never of wall-clock
+/// or thread interleaving — so status reports are byte-identical
+/// across `DBDS_UNIT_THREADS` settings (gated by a harness test).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Requests accepted into a batch (sheds not included).
+    pub requests: u64,
+    /// Requests served from the store.
+    pub hits: u64,
+    /// Requests that required a fresh compile (including heals and
+    /// degradations).
+    pub misses: u64,
+    /// Fresh results durably installed into the store.
+    pub puts: u64,
+    /// Store entries evicted because they failed parse, verification
+    /// or key match after retrieval (store-internal checksum
+    /// quarantines are reported separately via store health).
+    pub quarantined: u64,
+    /// Requests rejected with [`ServiceError::Overloaded`] before
+    /// reaching a batch.
+    pub shed: u64,
+    /// Store-operation retries performed.
+    pub retries: u64,
+    /// Store operations abandoned after exhausting retries (the
+    /// request was still served, uncached).
+    pub degraded: u64,
+    /// Requests rejected with [`ServiceError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Requests rejected with [`ServiceError::BadRequest`].
+    pub bad_requests: u64,
+}
+
+impl ServiceCounters {
+    /// Field-wise `self - earlier`; used for per-pass session deltas.
+    #[must_use]
+    pub fn delta(&self, earlier: &ServiceCounters) -> ServiceCounters {
+        ServiceCounters {
+            requests: self.requests - earlier.requests,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            puts: self.puts - earlier.puts,
+            quarantined: self.quarantined - earlier.quarantined,
+            shed: self.shed - earlier.shed,
+            retries: self.retries - earlier.retries,
+            degraded: self.degraded - earlier.degraded,
+            deadline_exceeded: self.deadline_exceeded - earlier.deadline_exceeded,
+            bad_requests: self.bad_requests - earlier.bad_requests,
+        }
+    }
+
+    /// The counters in stable report order.
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("requests", self.requests),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("puts", self.puts),
+            ("quarantined", self.quarantined),
+            ("shed", self.shed),
+            ("retries", self.retries),
+            ("degraded", self.degraded),
+            ("deadline_exceeded", self.deadline_exceeded),
+            ("bad_requests", self.bad_requests),
+        ]
+    }
+
+    /// JSON object in stable report order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.fields()
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), Json::num(*v)))
+                .collect(),
+        )
+    }
+}
+
+/// The compilation service: one store, one cost model, one base
+/// configuration, and the built-in workload table.
+pub struct CompileService {
+    store: Box<dyn CompiledStore>,
+    model: CostModel,
+    base_cfg: DbdsConfig,
+    cfg: ServiceConfig,
+    counters: ServiceCounters,
+    workloads: BTreeMap<String, Workload>,
+}
+
+impl fmt::Debug for CompileService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileService")
+            .field("backend", &self.store.backend())
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompileService {
+    /// Builds a service over `store` compiling with `base_cfg`.
+    pub fn new(store: Box<dyn CompiledStore>, base_cfg: DbdsConfig, cfg: ServiceConfig) -> Self {
+        CompileService {
+            store,
+            model: CostModel::new(),
+            base_cfg,
+            cfg,
+            counters: ServiceCounters::default(),
+            workloads: all_workloads()
+                .into_iter()
+                .map(|w| (w.name.clone(), w))
+                .collect(),
+        }
+    }
+
+    /// Current counters snapshot.
+    pub fn counters(&self) -> ServiceCounters {
+        self.counters
+    }
+
+    /// Records `n` requests shed by the admission queue.
+    pub fn record_shed(&mut self, n: u64) {
+        self.counters.shed += n;
+    }
+
+    /// Health snapshot of the underlying store (entry count plus
+    /// store-internal checksum quarantines, which are distinct from
+    /// the service-level verify quarantines in
+    /// [`ServiceCounters::quarantined`]).
+    pub fn store_health(&mut self) -> crate::store::StoreHealth {
+        self.store.health()
+    }
+
+    /// The status report: counters plus store health, as served to
+    /// `dbds_client status` and embedded in harness reports.
+    pub fn status_json(&mut self) -> Json {
+        let health = self.store.health();
+        Json::Obj(vec![
+            ("backend".into(), Json::str(self.store.backend())),
+            ("counters".into(), self.counters.to_json()),
+            (
+                "store".into(),
+                Json::Obj(vec![
+                    ("entries".into(), Json::num(health.entries as u64)),
+                    ("quarantined".into(), Json::num(health.quarantined)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Runs a store operation with bounded retry + linear backoff
+    /// (rung 3); `Err` means the ladder fell through to rung 4.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut dyn CompiledStore) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut attempt = 0;
+        loop {
+            match op(self.store.as_mut()) {
+                Ok(v) => return Ok(v),
+                Err(_) if attempt < self.cfg.store_retries => {
+                    attempt += 1;
+                    self.counters.retries += 1;
+                    std::thread::sleep(self.cfg.store_backoff * attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Resolves a request into a pristine graph (cloned, unoptimized)
+    /// or a typed [`ServiceError::BadRequest`].
+    fn resolve(&self, source: &CompileSource) -> Result<Graph, ServiceError> {
+        match source {
+            CompileSource::Workload(name) => self
+                .workloads
+                .get(name)
+                .map(|w| w.graph.clone())
+                .ok_or_else(|| ServiceError::BadRequest(format!("unknown workload `{name}`"))),
+            CompileSource::IrText(text) => {
+                let mut module = dbds_ir::parse_module(text)
+                    .map_err(|e| ServiceError::BadRequest(format!("IR does not parse: {e}")))?;
+                if module.graphs.len() != 1 {
+                    return Err(ServiceError::BadRequest(format!(
+                        "expected exactly one func, found {}",
+                        module.graphs.len()
+                    )));
+                }
+                Ok(module.graphs.remove(0))
+            }
+        }
+    }
+
+    /// Serves a batch of requests.
+    ///
+    /// Store lookups and installs run sequentially in submission order
+    /// (this is what makes the counters deterministic); the fresh
+    /// compiles of all misses fan out together on the
+    /// [`dbds_core::par`] unit pool and are committed back in
+    /// submission order.
+    pub fn compile_batch(&mut self, reqs: &[CompileRequest]) -> Vec<CompileOutcome> {
+        self.counters.requests += reqs.len() as u64;
+
+        // Rungs 1–2, sequentially per request: resolve, key, probe the
+        // store, verify anything it returns.
+        let mut outcomes: Vec<Option<CompileOutcome>> = Vec::with_capacity(reqs.len());
+        let mut misses: Vec<(usize, Graph, StoreKey, DbdsConfig, OptLevel)> = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let graph = match self.resolve(&req.source) {
+                Ok(g) => g,
+                Err(e) => {
+                    self.counters.bad_requests += 1;
+                    outcomes.push(Some(Err(e)));
+                    continue;
+                }
+            };
+            let mut cfg = self.base_cfg.clone();
+            cfg.guard.deadline = req.deadline_ms.map(Duration::from_millis);
+            let key = StoreKey::compute(&graph, &cfg, req.level);
+            match self.lookup_verified(&key) {
+                Some(artifact) => {
+                    self.counters.hits += 1;
+                    outcomes.push(Some(Ok(ServedResult {
+                        artifact,
+                        cached: true,
+                    })));
+                }
+                None => {
+                    self.counters.misses += 1;
+                    outcomes.push(None);
+                    misses.push((i, graph, key, cfg, req.level));
+                }
+            }
+        }
+
+        // Fresh compiles: fan out on the unit pool. Each unit carries
+        // its own config (deadlines differ per request); the pool plan
+        // still comes from the base config so `DBDS_UNIT_THREADS`
+        // applies.
+        let (threads, pool_plan) = self.base_cfg.unit_plan(misses.len());
+        let force_seq_sim = pool_plan.sim_threads == 1 && threads > 1;
+        let model = &self.model;
+        let (compiled, _loads, _ns) =
+            dbds_core::par::run_units(threads, &misses, |_i, (_idx, graph, _key, cfg, level)| {
+                let mut g = graph.clone();
+                let mut unit_cfg = cfg.clone();
+                unit_cfg.unit_threads = 1;
+                if force_seq_sim {
+                    unit_cfg.sim_threads = 1;
+                }
+                let stats = compile(&mut g, model, *level, &unit_cfg);
+                (g, stats)
+            });
+
+        // Commit in submission order: reject deadline-truncated
+        // results, install the rest (rungs 3–4 for the put).
+        for ((idx, _graph, key, _cfg, level), (g, stats)) in misses.into_iter().zip(compiled) {
+            let outcome = self.commit_fresh(key, level, &g, &stats);
+            outcomes[idx] = Some(outcome);
+        }
+
+        outcomes
+            .into_iter()
+            .map(|o| o.unwrap_or(Err(ServiceError::Overloaded)))
+            .collect()
+    }
+
+    /// Rungs 1–2: probe the store for `key` and fully verify whatever
+    /// comes back. Any failure heals to a miss, never to an error.
+    fn lookup_verified(&mut self, key: &StoreKey) -> Option<CompiledArtifact> {
+        let payload = match self.with_retry(|s| s.get(key)) {
+            Ok(p) => p?,
+            Err(_) => {
+                // Rung 4: the store cannot even answer reads — compile
+                // fresh, uncached.
+                self.counters.degraded += 1;
+                return None;
+            }
+        };
+        let ok = CompiledArtifact::parse(&payload)
+            .ok()
+            .filter(|a| a.key == *key)
+            .filter(|a| a.verify().is_ok());
+        if ok.is_none() {
+            // Rung 2: structurally intact on disk (the checksum passed)
+            // but semantically bad — evict and recompute.
+            self.counters.quarantined += 1;
+            if self.with_retry(|s| s.evict(key)).is_err() {
+                self.counters.degraded += 1;
+            }
+        }
+        ok
+    }
+
+    /// Turns one fresh compilation into an outcome: reject it if a
+    /// deadline cut it short, otherwise serve it and try to install it.
+    fn commit_fresh(
+        &mut self,
+        key: StoreKey,
+        level: OptLevel,
+        g: &Graph,
+        stats: &PhaseStats,
+    ) -> CompileOutcome {
+        if stats.hit_deadline() {
+            self.counters.deadline_exceeded += 1;
+            return Err(ServiceError::DeadlineExceeded);
+        }
+        let artifact = CompiledArtifact::from_compiled(key, level, g, stats);
+        if stats.stopped_early().is_none() {
+            match self.with_retry(|s| s.put(&key, &artifact.serialize())) {
+                Ok(()) => self.counters.puts += 1,
+                Err(_) => self.counters.degraded += 1,
+            }
+        }
+        // Non-deadline early stops (e.g. fuel exhaustion) are
+        // deterministic — the *result* is servable — but conservative:
+        // only fully converged compilations enter the store.
+        Ok(ServedResult {
+            artifact,
+            cached: false,
+        })
+    }
+}
+
+/// Counter deltas of one pass of a repeated-workload session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionPass {
+    /// Requests served (hits + misses) this pass.
+    pub served: u64,
+    /// Counter deltas attributable to this pass.
+    pub counters: ServiceCounters,
+}
+
+/// The result of [`run_session`]: per-pass counter deltas over the
+/// full workload corpus, for cache-effectiveness reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Store backend name.
+    pub backend: String,
+    /// One entry per pass, in order.
+    pub passes: Vec<SessionPass>,
+    /// Final cumulative counters.
+    pub totals: ServiceCounters,
+}
+
+impl SessionReport {
+    /// Hit rate of pass `i` (0-based), in [0, 1].
+    pub fn hit_rate(&self, i: usize) -> f64 {
+        let p = &self.passes[i];
+        let looked = p.counters.hits + p.counters.misses;
+        if looked == 0 {
+            0.0
+        } else {
+            p.counters.hits as f64 / looked as f64
+        }
+    }
+}
+
+/// The standard repeated-workload session: every built-in workload at
+/// every `level`, `passes` times over. The first pass populates the
+/// store; later passes measure its effectiveness (the acceptance gate
+/// asserts a >90% second-pass hit rate).
+pub fn run_session(svc: &mut CompileService, levels: &[OptLevel], passes: usize) -> SessionReport {
+    let reqs: Vec<CompileRequest> = all_workloads()
+        .iter()
+        .flat_map(|w| {
+            levels.iter().map(|&level| CompileRequest {
+                source: CompileSource::Workload(w.name.clone()),
+                level,
+                deadline_ms: None,
+            })
+        })
+        .collect();
+    let mut report = SessionReport {
+        backend: svc.store.backend().to_string(),
+        ..SessionReport::default()
+    };
+    for _ in 0..passes {
+        let before = svc.counters();
+        let outcomes = svc.compile_batch(&reqs);
+        let served = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        report.passes.push(SessionPass {
+            served,
+            counters: svc.counters().delta(&before),
+        });
+    }
+    report.totals = svc.counters();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn service() -> CompileService {
+        CompileService::new(
+            Box::new(MemStore::new()),
+            DbdsConfig::default(),
+            ServiceConfig::default(),
+        )
+    }
+
+    fn req(name: &str, level: OptLevel) -> CompileRequest {
+        CompileRequest {
+            source: CompileSource::Workload(name.into()),
+            level,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn second_request_hits_and_is_byte_identical() {
+        let mut svc = service();
+        let r = req("wordcount", OptLevel::Dbds);
+        let first = svc.compile_batch(std::slice::from_ref(&r));
+        let second = svc.compile_batch(std::slice::from_ref(&r));
+        let a = first[0].as_ref().unwrap();
+        let b = second[0].as_ref().unwrap();
+        assert!(!a.cached);
+        assert!(b.cached);
+        assert_eq!(a.artifact, b.artifact);
+        let c = svc.counters();
+        assert_eq!((c.hits, c.misses, c.puts), (1, 1, 1));
+    }
+
+    #[test]
+    fn unknown_workload_is_a_typed_bad_request() {
+        let mut svc = service();
+        let out = svc.compile_batch(&[req("no-such-benchmark", OptLevel::Dbds)]);
+        match &out[0] {
+            Err(ServiceError::BadRequest(msg)) => assert!(msg.contains("no-such-benchmark")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        assert_eq!(svc.counters().bad_requests, 1);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_typed_error_and_never_cached() {
+        let mut svc = service();
+        let mut r = req("wordcount", OptLevel::Dbds);
+        r.deadline_ms = Some(0);
+        let out = svc.compile_batch(std::slice::from_ref(&r));
+        assert_eq!(out[0], Err(ServiceError::DeadlineExceeded));
+        let c = svc.counters();
+        assert_eq!(c.deadline_exceeded, 1);
+        assert_eq!(c.puts, 0, "deadline-truncated result must not be cached");
+        // The same request without a deadline is a miss (nothing was
+        // cached under the no-deadline key either).
+        let out = svc.compile_batch(&[req("wordcount", OptLevel::Dbds)]);
+        assert!(!out[0].as_ref().unwrap().cached);
+    }
+
+    #[test]
+    fn ir_text_source_compiles_and_hits() {
+        let ir = "func @tiny(v0: int) {\nb0:\n  return v0\n}\n";
+        let mut svc = service();
+        let r = CompileRequest {
+            source: CompileSource::IrText(ir.into()),
+            level: OptLevel::Baseline,
+            deadline_ms: None,
+        };
+        let first = svc.compile_batch(std::slice::from_ref(&r));
+        let second = svc.compile_batch(std::slice::from_ref(&r));
+        assert!(!first[0].as_ref().unwrap().cached);
+        assert!(second[0].as_ref().unwrap().cached);
+
+        let bad = CompileRequest {
+            source: CompileSource::IrText("not ir at all".into()),
+            level: OptLevel::Baseline,
+            deadline_ms: None,
+        };
+        assert!(matches!(
+            svc.compile_batch(&[bad])[0],
+            Err(ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn session_second_pass_hits_everything() {
+        let mut svc = service();
+        let report = run_session(&mut svc, &[OptLevel::Dbds], 2);
+        assert_eq!(report.passes.len(), 2);
+        assert_eq!(report.hit_rate(0), 0.0);
+        assert!(
+            report.hit_rate(1) > 0.9,
+            "second pass hit rate {} ≤ 0.9",
+            report.hit_rate(1)
+        );
+        assert_eq!(
+            report.passes[1].counters.misses, 0,
+            "identical second pass must not miss"
+        );
+    }
+}

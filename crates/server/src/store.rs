@@ -1,0 +1,500 @@
+//! The content-addressed compiled-graph store: a swappable backend
+//! trait, an in-memory backend, and a crash-safe on-disk backend with
+//! checksummed entries, atomic installs and self-healing quarantine.
+//!
+//! Robustness contract (what the `servsim` sweep proves):
+//!
+//! - **No torn entry is ever served.** Every on-disk entry carries a
+//!   header with its payload length and FNV-1a checksum; a mismatch on
+//!   read quarantines the file and reports a miss, never bytes.
+//! - **Writes are atomic.** Entries are written to a temp file, synced,
+//!   and renamed into place. A crash before the rename loses only the
+//!   new entry (the temp file is swept by the next recovery scan); a
+//!   crash after the rename leaves a complete, checksummed entry.
+//! - **The store is advisory.** Every operation returns a typed
+//!   [`StoreError`] instead of panicking; the service layer retries
+//!   transient errors and degrades to fresh compilation when the store
+//!   stays unavailable. A dead store slows requests down, it never
+//!   fails them.
+
+use crate::key::StoreKey;
+use dbds_ir::fnv1a;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+#[cfg(feature = "fault-injection")]
+use dbds_core::faultinject::{take_store_fault, StoreFault, StoreOp};
+
+/// The header magic of one on-disk entry file.
+const ENTRY_MAGIC: &str = "dbds-store-entry-v1";
+/// Entry file suffix.
+const ENTRY_SUFFIX: &str = ".entry";
+/// Temp-file suffix used during atomic installs.
+const TMP_SUFFIX: &str = ".tmp";
+
+/// A typed store failure. All store errors are *advisory*: the caller
+/// is expected to retry or degrade, never to crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreError(pub String);
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Liveness/integrity summary of a backend, served in the status
+/// report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Entries currently retrievable.
+    pub entries: usize,
+    /// Entries quarantined since the backend was opened (recovery scan
+    /// plus read-time checksum failures).
+    pub quarantined: u64,
+}
+
+/// The swappable persistence layer of the compilation service.
+///
+/// Both backends observe identical get/put/evict semantics (gated by
+/// the parity proptest in `tests/store_parity.rs`): `get` returns
+/// exactly the last successfully `put` payload or `None`, `evict`
+/// reports whether an entry existed, and `keys` lists live entries in
+/// sorted order. The on-disk backend additionally survives crashes and
+/// quarantines corrupt entries instead of serving them.
+pub trait CompiledStore: Send {
+    /// Stable backend name for reports.
+    fn backend(&self) -> &'static str;
+
+    /// Fetches the payload stored under `key`, or `None` when absent
+    /// (including when a corrupt entry was quarantined on this read).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the backend cannot currently
+    /// answer (I/O failure) — *not* for misses or quarantines.
+    fn get(&mut self, key: &StoreKey) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Durably stores `payload` under `key`, replacing any previous
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the payload could not be
+    /// installed; the store is left without a *partial* entry either
+    /// way (atomic install).
+    fn put(&mut self, key: &StoreKey, payload: &[u8]) -> Result<(), StoreError>;
+
+    /// Removes the entry under `key`; `Ok(true)` when one existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the backend cannot currently
+    /// answer.
+    fn evict(&mut self, key: &StoreKey) -> Result<bool, StoreError>;
+
+    /// Lists the keys of live entries, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the backend cannot currently
+    /// answer.
+    fn keys(&mut self) -> Result<Vec<StoreKey>, StoreError>;
+
+    /// Current health snapshot.
+    fn health(&mut self) -> StoreHealth;
+}
+
+/// The in-memory backend: a sorted map. Fast, crash-oblivious (the
+/// cache dies with the process), and the semantic reference model for
+/// the parity tests.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    entries: BTreeMap<StoreKey, Vec<u8>>,
+}
+
+impl MemStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl CompiledStore for MemStore {
+    fn backend(&self) -> &'static str {
+        "mem"
+    }
+
+    fn get(&mut self, key: &StoreKey) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.entries.get(key).cloned())
+    }
+
+    fn put(&mut self, key: &StoreKey, payload: &[u8]) -> Result<(), StoreError> {
+        self.entries.insert(*key, payload.to_vec());
+        Ok(())
+    }
+
+    fn evict(&mut self, key: &StoreKey) -> Result<bool, StoreError> {
+        Ok(self.entries.remove(key).is_some())
+    }
+
+    fn keys(&mut self) -> Result<Vec<StoreKey>, StoreError> {
+        Ok(self.entries.keys().copied().collect())
+    }
+
+    fn health(&mut self) -> StoreHealth {
+        StoreHealth {
+            entries: self.entries.len(),
+            quarantined: 0,
+        }
+    }
+}
+
+/// The crash-safe on-disk backend: one checksummed file per entry,
+/// atomic temp-file-plus-rename installs, and a recovery scan that
+/// sweeps stray temp files and quarantines corrupt entries on open.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    quarantined: u64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store at `dir` and runs the
+    /// recovery scan: stray temp files from writers that died
+    /// mid-install are deleted, and every entry whose header or
+    /// checksum does not validate is moved into `dir/quarantine/`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the directory cannot be created
+    /// or scanned at all.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DiskStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError(format!("create {dir:?}: {e}")))?;
+        let mut store = DiskStore {
+            dir,
+            quarantined: 0,
+        };
+        store.recover()?;
+        Ok(store)
+    }
+
+    /// The recovery scan (also safe to run on a live store).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the directory cannot be listed.
+    pub fn recover(&mut self) -> Result<(), StoreError> {
+        for name in self.dir_entries()? {
+            let path = self.dir.join(&name);
+            if name.contains(TMP_SUFFIX) {
+                // A writer died between write and rename: the entry was
+                // never installed, the temp file is garbage.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            let Some(stem) = name.strip_suffix(ENTRY_SUFFIX) else {
+                continue;
+            };
+            let valid =
+                stem.parse::<StoreKey>().is_ok() && matches!(read_entry_file(&path), Ok(Some(_)));
+            if !valid {
+                self.quarantine(&name);
+            }
+        }
+        Ok(())
+    }
+
+    fn dir_entries(&self) -> Result<Vec<String>, StoreError> {
+        let rd = fs::read_dir(&self.dir).map_err(|e| StoreError(format!("read dir: {e}")))?;
+        let mut names = Vec::new();
+        for entry in rd {
+            let entry = entry.map_err(|e| StoreError(format!("read dir entry: {e}")))?;
+            if entry.path().is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn entry_path(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(format!("{key}{ENTRY_SUFFIX}"))
+    }
+
+    /// Moves a corrupt entry out of the serving namespace (into
+    /// `quarantine/`) so it can be inspected but never served again;
+    /// falls back to deletion when even the move fails.
+    fn quarantine(&mut self, name: &str) {
+        self.quarantined += 1;
+        let from = self.dir.join(name);
+        let qdir = self.dir.join("quarantine");
+        let moved = fs::create_dir_all(&qdir)
+            .and_then(|()| fs::rename(&from, qdir.join(name)))
+            .is_ok();
+        if !moved {
+            let _ = fs::remove_file(&from);
+        }
+    }
+}
+
+/// Reads and validates one entry file: `Ok(Some(payload))` when intact,
+/// `Ok(None)` when structurally corrupt (bad magic, length mismatch,
+/// checksum mismatch), `Err` when unreadable.
+fn read_entry_file(path: &Path) -> Result<Option<Vec<u8>>, String> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("open {path:?}: {e}"))?;
+    // Bit-flip-on-read fault: media corruption between disk and reader.
+    #[cfg(feature = "fault-injection")]
+    if !bytes.is_empty() && take_store_fault(StoreOp::Get) == Some(StoreFault::BitFlipRead) {
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+    }
+    let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
+        return Ok(None);
+    };
+    let Ok(header) = std::str::from_utf8(&bytes[..nl]) else {
+        return Ok(None);
+    };
+    let mut parts = header.split(' ');
+    if parts.next() != Some(ENTRY_MAGIC) {
+        return Ok(None);
+    }
+    let (Some(len), Some(sum)) = (
+        parts.next().and_then(|v| v.parse::<usize>().ok()),
+        parts.next().and_then(|v| u64::from_str_radix(v, 16).ok()),
+    ) else {
+        return Ok(None);
+    };
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len || fnv1a(payload) != sum {
+        return Ok(None);
+    }
+    Ok(Some(payload.to_vec()))
+}
+
+impl CompiledStore for DiskStore {
+    fn backend(&self) -> &'static str {
+        "disk"
+    }
+
+    fn get(&mut self, key: &StoreKey) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.entry_path(key);
+        if !path.exists() {
+            return Ok(None);
+        }
+        match read_entry_file(&path) {
+            Ok(Some(payload)) => Ok(Some(payload)),
+            Ok(None) => {
+                // Corrupt: heal by quarantine + miss; the service
+                // recomputes and re-puts.
+                self.quarantine(&format!("{key}{ENTRY_SUFFIX}"));
+                Ok(None)
+            }
+            Err(e) => Err(StoreError(e)),
+        }
+    }
+
+    fn put(&mut self, key: &StoreKey, payload: &[u8]) -> Result<(), StoreError> {
+        #[cfg(feature = "fault-injection")]
+        let fault = take_store_fault(StoreOp::Put);
+        #[cfg(not(feature = "fault-injection"))]
+        let fault: Option<()> = None;
+
+        #[cfg(feature = "fault-injection")]
+        if fault == Some(StoreFault::Enospc) {
+            return Err(StoreError(
+                "no space left on device (injected ENOSPC)".into(),
+            ));
+        }
+
+        let mut file_bytes =
+            format!("{ENTRY_MAGIC} {} {:016x}\n", payload.len(), fnv1a(payload)).into_bytes();
+        file_bytes.extend_from_slice(payload);
+
+        // Torn write: the file is cut short mid-payload but still
+        // renamed into place — the checksum can no longer match, which
+        // is exactly what the read path must catch.
+        #[cfg(feature = "fault-injection")]
+        if fault == Some(StoreFault::TornWrite) {
+            file_bytes.truncate(file_bytes.len() - payload.len() / 2 - 1);
+        }
+
+        let tmp = self
+            .dir
+            .join(format!("{key}{TMP_SUFFIX}{}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&file_bytes)?;
+            f.sync_all()
+        };
+        write().map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError(format!("write {tmp:?}: {e}"))
+        })?;
+
+        // Kill-during-write: the writer dies after the temp file hits
+        // disk but before the atomic rename. Nobody observes an error
+        // (the process is gone); the entry simply never appears and the
+        // stray temp file waits for the next recovery scan.
+        #[cfg(feature = "fault-injection")]
+        if fault == Some(StoreFault::AbortBeforeRename) {
+            return Ok(());
+        }
+        let _ = fault; // non-fault builds: no injection sites
+
+        fs::rename(&tmp, self.entry_path(key)).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError(format!("rename into place: {e}"))
+        })
+    }
+
+    fn evict(&mut self, key: &StoreKey) -> Result<bool, StoreError> {
+        match fs::remove_file(self.entry_path(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError(format!("evict: {e}"))),
+        }
+    }
+
+    fn keys(&mut self) -> Result<Vec<StoreKey>, StoreError> {
+        let mut keys = Vec::new();
+        for name in self.dir_entries()? {
+            if let Some(stem) = name.strip_suffix(ENTRY_SUFFIX) {
+                if let Ok(key) = stem.parse::<StoreKey>() {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn health(&mut self) -> StoreHealth {
+        StoreHealth {
+            entries: self.keys().map_or(0, |k| k.len()),
+            quarantined: self.quarantined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dbds-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> StoreKey {
+        StoreKey {
+            graph: n,
+            config: n,
+        }
+    }
+
+    #[test]
+    fn disk_put_get_evict_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let mut s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap(), None);
+        s.put(&key(1), b"hello artifact").unwrap();
+        assert_eq!(
+            s.get(&key(1)).unwrap().as_deref(),
+            Some(&b"hello artifact"[..])
+        );
+        s.put(&key(1), b"replaced").unwrap();
+        assert_eq!(s.get(&key(1)).unwrap().as_deref(), Some(&b"replaced"[..]));
+        assert_eq!(s.keys().unwrap(), vec![key(1)]);
+        assert!(s.evict(&key(1)).unwrap());
+        assert!(!s.evict(&key(1)).unwrap());
+        assert_eq!(s.get(&key(1)).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_served() {
+        let dir = tmpdir("corrupt");
+        let mut s = DiskStore::open(&dir).unwrap();
+        s.put(&key(2), b"payload bytes").unwrap();
+        // Flip a payload byte behind the store's back.
+        let path = dir.join(format!("{}{ENTRY_SUFFIX}", key(2)));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(s.get(&key(2)).unwrap(), None, "corrupt entry served");
+        assert_eq!(s.health().quarantined, 1);
+        assert!(dir
+            .join("quarantine")
+            .join(format!("{}{ENTRY_SUFFIX}", key(2)))
+            .exists());
+        // Healed: a re-put serves again.
+        s.put(&key(2), b"payload bytes").unwrap();
+        assert!(s.get(&key(2)).unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_sweeps_tmp_files_and_quarantines_corrupt_entries() {
+        let dir = tmpdir("recover");
+        {
+            let mut s = DiskStore::open(&dir).unwrap();
+            s.put(&key(3), b"survives").unwrap();
+        }
+        // Crash leftovers: a stray temp file and a truncated entry.
+        fs::write(dir.join(format!("{}{TMP_SUFFIX}999", key(4))), b"partial").unwrap();
+        fs::write(
+            dir.join(format!("{}{ENTRY_SUFFIX}", key(5))),
+            b"dbds-store-entry-v1 99 0\ntrunc",
+        )
+        .unwrap();
+
+        let mut s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(&key(3)).unwrap().as_deref(), Some(&b"survives"[..]));
+        assert_eq!(s.get(&key(4)).unwrap(), None);
+        assert_eq!(s.get(&key(5)).unwrap(), None);
+        assert_eq!(s.health().quarantined, 1, "truncated entry quarantined");
+        assert_eq!(s.keys().unwrap(), vec![key(3)]);
+        assert!(!dir.join(format!("{}{TMP_SUFFIX}999", key(4))).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_dir_reports_errors_not_panics() {
+        let dir = tmpdir("dead");
+        let mut s = DiskStore::open(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(s.put(&key(6), b"x").is_err());
+        assert!(s.keys().is_err());
+        // A get of an absent entry is a clean miss even with the dir gone.
+        assert_eq!(s.get(&key(6)).unwrap(), None);
+    }
+
+    #[test]
+    fn mem_and_disk_agree_on_a_simple_script() {
+        let dir = tmpdir("agree");
+        let mut mem = MemStore::new();
+        let mut disk = DiskStore::open(&dir).unwrap();
+        for s in [&mut mem as &mut dyn CompiledStore, &mut disk] {
+            s.put(&key(7), b"a").unwrap();
+            s.put(&key(8), b"b").unwrap();
+            s.evict(&key(7)).unwrap();
+        }
+        assert_eq!(mem.keys().unwrap(), disk.keys().unwrap());
+        assert_eq!(mem.get(&key(8)).unwrap(), disk.get(&key(8)).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

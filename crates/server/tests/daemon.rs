@@ -1,0 +1,151 @@
+//! End-to-end daemon tests: a real listener, real sockets, the full
+//! frame protocol — covering the hit/miss path, typed errors, load
+//! shedding, status counters and clean shutdown.
+
+use dbds_core::OptLevel;
+use dbds_server::json::Json;
+use dbds_server::{
+    serve, Client, CompileRequest, CompileSource, ServerConfig, ServiceError, StoreChoice,
+};
+
+fn compile_req(name: &str) -> CompileRequest {
+    CompileRequest {
+        source: CompileSource::Workload(name.into()),
+        level: OptLevel::Dbds,
+        deadline_ms: None,
+    }
+}
+
+fn counter(status: &Json, name: &str) -> u64 {
+    status
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("status missing counter {name}: {status:?}"))
+}
+
+#[test]
+fn tcp_session_hit_miss_status_shutdown() {
+    let handle = serve(ServerConfig::default()).expect("serve");
+    let addr = handle.addr.clone();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let cold = client.compile(compile_req("wordcount")).expect("compile");
+    let warm = client.compile(compile_req("wordcount")).expect("compile");
+    let cold = cold.expect("cold request failed");
+    let warm = warm.expect("warm request failed");
+    assert!(!cold.cached, "first request must miss");
+    assert!(warm.cached, "second request must hit");
+    assert_eq!(
+        cold.artifact, warm.artifact,
+        "hit must serve identical bytes"
+    );
+    assert!(!warm.artifact.ir.is_empty());
+
+    // Typed errors: unknown workload, zero deadline.
+    let bad = client
+        .compile(compile_req("no-such-workload"))
+        .expect("rpc");
+    assert!(matches!(bad, Err(ServiceError::BadRequest(_))), "{bad:?}");
+    let mut speedy = compile_req("wordcount");
+    speedy.level = OptLevel::Dupalot; // distinct key: not already cached
+    speedy.deadline_ms = Some(0);
+    let timed_out = client.compile(speedy).expect("rpc");
+    assert_eq!(timed_out, Err(ServiceError::DeadlineExceeded));
+
+    // A second client sees the same daemon (and the cache).
+    let mut other = Client::connect(&addr).expect("connect 2");
+    let warm2 = other.compile(compile_req("wordcount")).expect("compile");
+    assert!(warm2.expect("request failed").cached);
+
+    let status = client.status().expect("status");
+    assert_eq!(
+        status.get("proto").and_then(Json::as_str),
+        Some(dbds_server::PROTO_VERSION)
+    );
+    assert_eq!(counter(&status, "hits"), 2);
+    assert_eq!(counter(&status, "misses"), 2); // wordcount cold + deadline try
+    assert_eq!(counter(&status, "bad_requests"), 1);
+    assert_eq!(counter(&status, "deadline_exceeded"), 1);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn unix_socket_transport_works() {
+    let path = std::env::temp_dir().join(format!("dbds-daemon-test-{}.sock", std::process::id()));
+    let handle = serve(ServerConfig {
+        listen: format!("unix:{}", path.display()),
+        ..ServerConfig::default()
+    })
+    .expect("serve");
+
+    let mut client = Client::connect(&handle.addr).expect("connect");
+    let served = client
+        .compile(CompileRequest {
+            source: CompileSource::IrText("func @u(v0: int) {\nb0:\n  return v0\n}\n".into()),
+            level: OptLevel::Baseline,
+            deadline_ms: None,
+        })
+        .expect("compile")
+        .expect("request failed");
+    assert!(!served.cached);
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn zero_queue_sheds_with_typed_overloaded() {
+    let handle = serve(ServerConfig {
+        max_queue: 0,
+        ..ServerConfig::default()
+    })
+    .expect("serve");
+
+    let mut client = Client::connect(&handle.addr).expect("connect");
+    let out = client.compile(compile_req("wordcount")).expect("rpc");
+    assert_eq!(out, Err(ServiceError::Overloaded));
+
+    // Status and shutdown are always admitted, and the shed shows up
+    // in the counters.
+    let status = client.status().expect("status");
+    assert_eq!(counter(&status, "shed"), 1);
+    assert_eq!(counter(&status, "requests"), 0);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn disk_store_persists_across_daemon_restarts() {
+    let dir = std::env::temp_dir().join(format!("dbds-daemon-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServerConfig {
+        store: StoreChoice::Disk(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let handle = serve(config()).expect("serve 1");
+    let mut client = Client::connect(&handle.addr).expect("connect");
+    let cold = client
+        .compile(compile_req("wordcount"))
+        .expect("rpc")
+        .expect("request failed");
+    assert!(!cold.cached);
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    // A fresh daemon over the same directory serves from the cache.
+    let handle = serve(config()).expect("serve 2");
+    let mut client = Client::connect(&handle.addr).expect("connect");
+    let warm = client
+        .compile(compile_req("wordcount"))
+        .expect("rpc")
+        .expect("request failed");
+    assert!(warm.cached, "restarted daemon must hit the on-disk cache");
+    assert_eq!(warm.artifact, cold.artifact);
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

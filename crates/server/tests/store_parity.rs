@@ -1,0 +1,121 @@
+//! Backend parity property tests: the in-memory and on-disk store
+//! backends must expose identical get/put/evict/keys semantics under
+//! arbitrary operation sequences — including after the on-disk backend
+//! is "crashed" (dropped with a stray temp file planted, as a writer
+//! dying mid-install would leave it) and reopened through its recovery
+//! scan.
+
+use dbds_server::{CompiledStore, DiskStore, MemStore, StoreKey};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One step of a random store script. Keys and payloads come from a
+/// small alphabet so collisions (overwrites, double evicts) actually
+/// happen.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u8, u8),
+    Get(u8),
+    Evict(u8),
+    Keys,
+    /// Crash the disk backend (drop it, plant a stray temp file) and
+    /// reopen it; the in-memory reference is untouched — installed
+    /// entries must survive, the stray temp must not surface.
+    CrashAndReopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // (discriminant, key, payload version) — the vendored proptest
+    // subset has no `prop_oneof`, so one mapped tuple picks the op.
+    (0u8..10, 0u8..6, 0u8..255).prop_map(|(which, k, v)| match which {
+        0..=3 => Op::Put(k, v),
+        4..=6 => Op::Get(k),
+        7 => Op::Evict(k),
+        8 => Op::Keys,
+        _ => Op::CrashAndReopen,
+    })
+}
+
+fn key(k: u8) -> StoreKey {
+    StoreKey {
+        graph: u64::from(k) + 1,
+        config: 0xC0FFEE,
+    }
+}
+
+fn payload(k: u8, v: u8) -> Vec<u8> {
+    format!("payload for key {k} version {v}\n").into_bytes()
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dbds-store-parity-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mem_and_disk_backends_agree(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let dir = fresh_dir();
+        let mut mem = MemStore::new();
+        let mut disk = DiskStore::open(&dir).expect("open disk store");
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Put(k, v) => {
+                    mem.put(&key(*k), &payload(*k, *v)).expect("mem put");
+                    disk.put(&key(*k), &payload(*k, *v)).expect("disk put");
+                }
+                Op::Get(k) => {
+                    let m = mem.get(&key(*k)).expect("mem get");
+                    let d = disk.get(&key(*k)).expect("disk get");
+                    prop_assert_eq!(m, d, "get({}) diverged at step {}", k, i);
+                }
+                Op::Evict(k) => {
+                    let m = mem.evict(&key(*k)).expect("mem evict");
+                    let d = disk.evict(&key(*k)).expect("disk evict");
+                    prop_assert_eq!(m, d, "evict({}) diverged at step {}", k, i);
+                }
+                Op::Keys => {
+                    prop_assert_eq!(
+                        mem.keys().expect("mem keys"),
+                        disk.keys().expect("disk keys"),
+                        "keys() diverged at step {}", i
+                    );
+                }
+                Op::CrashAndReopen => {
+                    drop(disk);
+                    // What a writer killed mid-install leaves behind.
+                    std::fs::write(
+                        dir.join(format!("{}.tmp4242", key(0))),
+                        b"torn half-written entry",
+                    )
+                    .expect("plant stray tmp");
+                    disk = DiskStore::open(&dir).expect("reopen disk store");
+                    prop_assert_eq!(
+                        disk.health().quarantined, 0,
+                        "recovery scan quarantined a healthy entry at step {}", i
+                    );
+                }
+            }
+        }
+        // Final state must agree in full.
+        prop_assert_eq!(mem.keys().expect("mem keys"), disk.keys().expect("disk keys"));
+        for k in 0u8..6 {
+            prop_assert_eq!(
+                mem.get(&key(k)).expect("mem get"),
+                disk.get(&key(k)).expect("disk get"),
+                "final get({}) diverged", k
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
