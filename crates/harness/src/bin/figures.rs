@@ -215,9 +215,9 @@ fn cache_session(choice: &str, cfg: &DbdsConfig) -> dbds_server::SessionReport {
             }
         }
     };
-    let mut svc = CompileService::new(store, cfg.clone(), dbds_server::ServiceConfig::default());
+    let svc = CompileService::new(store, cfg.clone(), dbds_server::ServiceConfig::default());
     run_session(
-        &mut svc,
+        &svc,
         &[OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot],
         2,
     )

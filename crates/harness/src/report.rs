@@ -183,6 +183,7 @@ pub fn format_json(
         Some(session) => {
             let _ = writeln!(out, "  \"store\": {{");
             let _ = writeln!(out, "    \"backend\": {},", json_str(&session.backend));
+            let _ = writeln!(out, "    \"evictions\": {},", session.evictions);
             let _ = writeln!(out, "    \"passes\": [");
             for (pi, pass) in session.passes.iter().enumerate() {
                 let _ = writeln!(out, "      {{");

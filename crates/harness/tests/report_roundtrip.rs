@@ -33,8 +33,8 @@ fn mem_session(unit_threads: usize) -> SessionReport {
         unit_threads,
         ..DbdsConfig::default()
     };
-    let mut svc = CompileService::new(Box::new(MemStore::new()), cfg, ServiceConfig::default());
-    run_session(&mut svc, &[OptLevel::Dbds], 2)
+    let svc = CompileService::new(Box::new(MemStore::new()), cfg, ServiceConfig::default());
+    run_session(&svc, &[OptLevel::Dbds], 2)
 }
 
 #[test]

@@ -5,9 +5,13 @@
 //! firing both on cold and warm store traffic), the micro suite is
 //! served twice through a [`CompileService`] over a fresh on-disk
 //! store, and every OK response is byte-compared against a fresh,
-//! fault-free compile of the same request. Two fault-free adversarial
+//! fault-free compile of the same request. The sweep then repeats
+//! shard-targeted over a four-shard store (every fault kind aimed at
+//! every shard the corpus actually occupies). Fault-free adversarial
 //! scenarios ride along: a store whose directory is deleted out from
-//! under it, and one whose directory is made read-only.
+//! under it, one whose directory is made read-only, a size-budgeted
+//! store squeezed hard enough that every pass evicts, and a tiered
+//! (mem-over-disk) store.
 //!
 //! The three guarantees checked (exit status is non-zero on any
 //! violation):
@@ -27,10 +31,11 @@
 use dbds_core::faultinject::{arm_store, disarm_store, StoreFaultPlan};
 use dbds_core::{DbdsConfig, OptLevel};
 use dbds_server::{
-    CompileOutcome, CompileRequest, CompileService, CompileSource, DiskStore, ServiceConfig,
+    BoundedStore, CompileOutcome, CompileRequest, CompileService, CompileSource, CompiledStore,
+    DiskStore, MemStore, ServiceConfig, TieredStore,
 };
 use dbds_workloads::Suite;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The request corpus: every micro-suite workload at the full DBDS
@@ -51,7 +56,7 @@ fn corpus() -> Vec<CompileRequest> {
 /// to the fault-free ground truth (typed errors are allowed, wrong
 /// bytes are not).
 fn check_pass(
-    svc: &mut CompileService,
+    svc: &CompileService,
     reqs: &[CompileRequest],
     truth: &[CompileOutcome],
 ) -> (u64, u64, u64) {
@@ -74,31 +79,101 @@ fn check_pass(
     (served, errors, wrong)
 }
 
+/// Runs two isolated passes of `reqs` through `svc`, returning the
+/// per-pass report lines plus `(wrong, panics)` totals.
+fn run_passes(
+    svc: &CompileService,
+    reqs: &[CompileRequest],
+    truth: &[CompileOutcome],
+) -> (Vec<String>, u64, u64) {
+    let mut lines = Vec::new();
+    let mut wrong = 0u64;
+    let mut panics = 0u64;
+    for pass in 1..=2 {
+        match dbds_core::isolate(|| check_pass(svc, reqs, truth)) {
+            Ok((served, errors, w)) => {
+                wrong += w;
+                lines.push(format!(
+                    "  pass {pass}: served={served} errors={errors} wrong={w}"
+                ));
+            }
+            Err(_) => {
+                panics += 1;
+                lines.push(format!("  pass {pass}: PANIC"));
+            }
+        }
+    }
+    (lines, wrong, panics)
+}
+
 fn fresh_store_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("dbds-servsim-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
 
-fn service_over(dir: &PathBuf) -> CompileService {
-    let store = DiskStore::open(dir).expect("open servsim store");
-    CompileService::new(
-        Box::new(store),
-        DbdsConfig::default(),
-        ServiceConfig {
-            // Keep injected-ENOSPC retries fast and deterministic.
-            store_backoff: std::time::Duration::from_millis(0),
-            ..ServiceConfig::default()
-        },
-    )
+/// A [`ServiceConfig`] with retries kept fast and deterministic.
+fn sim_config() -> ServiceConfig {
+    ServiceConfig {
+        // Keep injected-ENOSPC retries fast and deterministic.
+        store_backoff: std::time::Duration::from_millis(0),
+        ..ServiceConfig::default()
+    }
 }
 
-fn counter_line(svc: &mut CompileService) -> String {
+fn service_over(dir: &PathBuf) -> CompileService {
+    let store = DiskStore::open(dir).expect("open servsim store");
+    CompileService::new(Box::new(store), DbdsConfig::default(), sim_config())
+}
+
+/// A service over `shards` on-disk shards under `dir`, each optionally
+/// wrapped in a [`BoundedStore`] with a per-shard byte `budget`.
+fn sharded_service_over(dir: &Path, shards: u32, budget: Option<u64>) -> CompileService {
+    let stores = (0..shards)
+        .map(|i| {
+            let shard_dir = dir.join(format!("shard-{i}"));
+            let store: Box<dyn CompiledStore> =
+                Box::new(DiskStore::open_shard(&shard_dir, i).expect("open servsim shard"));
+            match budget {
+                Some(b) => Box::new(BoundedStore::new(store, b).expect("bound servsim shard")),
+                None => store,
+            }
+        })
+        .collect();
+    CompileService::with_shards(stores, DbdsConfig::default(), sim_config())
+}
+
+/// The shards of an `n`-shard store that the corpus actually touches.
+/// Targeting only these keeps the shard-targeted sweep's "every plan
+/// fires" gate meaningful.
+fn occupied_shards(reqs: &[CompileRequest], n: u32) -> Vec<u32> {
+    let probe = CompileService::with_shards(
+        (0..n)
+            .map(|_| Box::new(MemStore::new()) as Box<dyn CompiledStore>)
+            .collect(),
+        DbdsConfig::default(),
+        sim_config(),
+    );
+    let mut shards: Vec<u32> = reqs.iter().map(|r| probe.shard_for(r) as u32).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    shards
+}
+
+fn counter_line(svc: &CompileService) -> String {
     let c = svc.counters();
     let health = svc.store_health();
     format!(
-        "hits={} misses={} puts={} quarantined={} store_quarantined={} retries={} degraded={}",
-        c.hits, c.misses, c.puts, c.quarantined, health.quarantined, c.retries, c.degraded
+        "hits={} misses={} puts={} quarantined={} store_quarantined={} retries={} degraded={} \
+         evictions={}",
+        c.hits,
+        c.misses,
+        c.puts,
+        c.quarantined,
+        health.quarantined,
+        c.retries,
+        c.degraded,
+        health.evictions
     )
 }
 
@@ -117,8 +192,8 @@ fn main() -> ExitCode {
     // all (a memory store, discarded) — these artifacts are what every
     // faulted response must match byte-for-byte.
     let truth = {
-        let mut svc = CompileService::new(
-            Box::new(dbds_server::MemStore::new()),
+        let svc = CompileService::new(
+            Box::new(MemStore::new()),
             DbdsConfig::default(),
             ServiceConfig::default(),
         );
@@ -136,25 +211,11 @@ fn main() -> ExitCode {
 
     for (i, plan) in StoreFaultPlan::sweep(seed).into_iter().enumerate() {
         let dir = fresh_store_dir(&format!("plan{i}"));
-        let mut svc = service_over(&dir);
+        let svc = service_over(&dir);
         arm_store(plan.clone());
-        let mut pass_lines = Vec::new();
-        let mut panicked = false;
-        for pass in 1..=2 {
-            match dbds_core::isolate(|| check_pass(&mut svc, &reqs, &truth)) {
-                Ok((served, errors, wrong)) => {
-                    total_wrong += wrong;
-                    pass_lines.push(format!(
-                        "  pass {pass}: served={served} errors={errors} wrong={wrong}"
-                    ));
-                }
-                Err(_) => {
-                    panicked = true;
-                    total_panics += 1;
-                    pass_lines.push(format!("  pass {pass}: PANIC"));
-                }
-            }
-        }
+        let (pass_lines, wrong, panics) = run_passes(&svc, &reqs, &truth);
+        total_wrong += wrong;
+        total_panics += panics;
         let (_hits, fired) = disarm_store();
         if !fired {
             unfired += 1;
@@ -164,40 +225,66 @@ fn main() -> ExitCode {
             plan.kind.name(),
             plan.nth,
             fired,
-            panicked
+            panics > 0
         );
         for line in pass_lines {
             println!("{line}");
         }
-        println!("  {}", counter_line(&mut svc));
+        println!("  {}", counter_line(&svc));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Shard-targeted sweep: every fault kind aimed at every shard of a
+    // four-shard store that the corpus actually occupies. Occupancy is a
+    // pure function of the request keys, so the plan list (and stdout)
+    // is deterministic.
+    const SWEEP_SHARDS: u32 = 4;
+    let occupied = occupied_shards(&reqs, SWEEP_SHARDS);
+    println!(
+        "sharded sweep: {SWEEP_SHARDS} shards, occupied {:?}",
+        occupied
+    );
+    for (i, plan) in StoreFaultPlan::sweep_sharded(seed, &occupied)
+        .into_iter()
+        .enumerate()
+    {
+        let dir = fresh_store_dir(&format!("shardplan{i}"));
+        let svc = sharded_service_over(&dir, SWEEP_SHARDS, None);
+        arm_store(plan.clone());
+        let (pass_lines, wrong, panics) = run_passes(&svc, &reqs, &truth);
+        total_wrong += wrong;
+        total_panics += panics;
+        let (_hits, fired) = disarm_store();
+        if !fired {
+            unfired += 1;
+        }
+        println!(
+            "plan {} shard={} fired={} panicked={}",
+            plan.kind.name(),
+            plan.shard.unwrap_or(u32::MAX),
+            fired,
+            panics > 0
+        );
+        for line in pass_lines {
+            println!("{line}");
+        }
+        println!("  {}", counter_line(&svc));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     // Scenario: the store directory is deleted while the service runs.
     {
         let dir = fresh_store_dir("dead-dir");
-        let mut svc = service_over(&dir);
+        let svc = service_over(&dir);
         std::fs::remove_dir_all(&dir).expect("remove store dir");
-        let mut lines = Vec::new();
-        for pass in 1..=2 {
-            match dbds_core::isolate(|| check_pass(&mut svc, &reqs, &truth)) {
-                Ok((served, errors, wrong)) => {
-                    total_wrong += wrong;
-                    lines.push(format!(
-                        "  pass {pass}: served={served} errors={errors} wrong={wrong}"
-                    ));
-                }
-                Err(_) => {
-                    total_panics += 1;
-                    lines.push(format!("  pass {pass}: PANIC"));
-                }
-            }
-        }
+        let (lines, wrong, panics) = run_passes(&svc, &reqs, &truth);
+        total_wrong += wrong;
+        total_panics += panics;
         println!("scenario dead-store-dir");
         for line in lines {
             println!("{line}");
         }
-        println!("  {}", counter_line(&mut svc));
+        println!("  {}", counter_line(&svc));
         let degraded = svc.counters().degraded;
         if degraded == 0 {
             eprintln!("servsim: error: dead-dir scenario never degraded");
@@ -208,38 +295,75 @@ fn main() -> ExitCode {
     // Scenario: the store directory is read-only (puts fail forever).
     {
         let dir = fresh_store_dir("read-only");
-        let mut svc = service_over(&dir);
+        let svc = service_over(&dir);
         let mut perms = std::fs::metadata(&dir)
             .expect("stat store dir")
             .permissions();
         use std::os::unix::fs::PermissionsExt as _;
         perms.set_mode(0o555);
         std::fs::set_permissions(&dir, perms).expect("chmod store dir");
-        let mut lines = Vec::new();
-        for pass in 1..=2 {
-            match dbds_core::isolate(|| check_pass(&mut svc, &reqs, &truth)) {
-                Ok((served, errors, wrong)) => {
-                    total_wrong += wrong;
-                    lines.push(format!(
-                        "  pass {pass}: served={served} errors={errors} wrong={wrong}"
-                    ));
-                }
-                Err(_) => {
-                    total_panics += 1;
-                    lines.push(format!("  pass {pass}: PANIC"));
-                }
-            }
-        }
+        let (lines, wrong, panics) = run_passes(&svc, &reqs, &truth);
+        total_wrong += wrong;
+        total_panics += panics;
         println!("scenario read-only-store-dir");
         for line in lines {
             println!("{line}");
         }
-        println!("  {}", counter_line(&mut svc));
+        println!("  {}", counter_line(&svc));
         let mut perms = std::fs::metadata(&dir)
             .expect("stat store dir")
             .permissions();
         perms.set_mode(0o755);
         let _ = std::fs::set_permissions(&dir, perms);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Scenario: a budget squeezed far below the corpus footprint. Every
+    // put is admitted then swept, so the store churns constantly — the
+    // service must still serve only byte-correct artifacts, and the
+    // eviction counter must prove the policy actually ran.
+    {
+        let dir = fresh_store_dir("eviction-pressure");
+        let svc = sharded_service_over(&dir, SWEEP_SHARDS, Some(1));
+        let (lines, wrong, panics) = run_passes(&svc, &reqs, &truth);
+        total_wrong += wrong;
+        total_panics += panics;
+        println!("scenario eviction-pressure");
+        for line in lines {
+            println!("{line}");
+        }
+        println!("  {}", counter_line(&svc));
+        if svc.store_health().evictions == 0 {
+            eprintln!("servsim: error: eviction-pressure scenario never evicted");
+            total_wrong += 1;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Scenario: a tiered store (memory front over the disk back). The
+    // warm pass is served from the front; artifacts must stay
+    // byte-identical to the fault-free ground truth.
+    {
+        let dir = fresh_store_dir("tiered");
+        let disk = DiskStore::open(&dir).expect("open tiered back store");
+        let svc = CompileService::new(
+            Box::new(TieredStore::new(Box::new(disk))),
+            DbdsConfig::default(),
+            sim_config(),
+        );
+        let (lines, wrong, panics) = run_passes(&svc, &reqs, &truth);
+        total_wrong += wrong;
+        total_panics += panics;
+        println!("scenario tiered-store");
+        for line in lines {
+            println!("{line}");
+        }
+        println!("  {}", counter_line(&svc));
+        let warm_hits = svc.counters().hits;
+        if warm_hits < reqs.len() as u64 {
+            eprintln!("servsim: error: tiered scenario warm pass missed the cache");
+            total_wrong += 1;
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,26 +1,40 @@
 //! The `dbds-server` daemon: socket listeners, a bounded admission
-//! queue with load shedding, and a single dispatcher thread that owns
-//! the [`CompileService`].
+//! queue with load shedding, and N dispatcher threads over the sharded
+//! [`CompileService`].
 //!
-//! Architecture: connection threads only parse frames and enqueue
-//! jobs; every store access and compilation happens on the dispatcher,
-//! which drains the queue in batches (so concurrent clients still get
-//! the unit-level parallel fan-out of
-//! [`CompileService::compile_batch`]). When the queue is full, the
-//! connection thread answers `overloaded` immediately — admission
-//! control is the one decision made off the dispatcher, which is why
-//! the shed counter is a shared atomic folded into the status report.
+//! Architecture: connection threads parse frames, answer status
+//! directly (it only locks shards, briefly, in order), and route each
+//! compile job to the dispatcher that owns its shard
+//! (`dispatcher = key.shard(shards) % dispatchers`). Every store
+//! access and compilation happens on a dispatcher, which drains its
+//! queue in batches (so concurrent clients still get the unit-level
+//! parallel fan-out of [`CompileService::compile_batch`]).
+//!
+//! Determinism: a request's shard is a pure function of its key, every
+//! shard is owned by exactly one dispatcher, and a dispatcher drains
+//! its queue in arrival order — so each shard observes its requests in
+//! submission order whatever the dispatcher count, and the summed
+//! status counters are byte-identical across `DBDS_DISPATCHERS`
+//! (gated in CI).
+//!
+//! Admission control is a single atomic reserve-or-shed
+//! ([`try_admit`]): the queue slot is reserved by the same
+//! compare-and-swap that checks the bound, so concurrent clients can
+//! never overshoot `max_queue` (the old check-then-enqueue pattern
+//! could, between the load and the increment).
 
 use crate::json::Json;
-use crate::proto::{error_json, read_frame, response_json, write_frame, Request, PROTO_VERSION};
+use crate::proto::{
+    error_json, read_frame, response_json, write_frame, FrameError, Request, PROTO_VERSION,
+};
 use crate::service::{CompileService, ServiceConfig, ServiceError};
-use crate::store::{CompiledStore, DiskStore, MemStore, StoreError};
+use crate::store::{BoundedStore, CompiledStore, DiskStore, MemStore, StoreError, TieredStore};
 use dbds_core::DbdsConfig;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 
@@ -34,9 +48,10 @@ pub enum StoreChoice {
 }
 
 impl StoreChoice {
-    /// Opens the chosen backend. A store directory that cannot be
-    /// opened degrades to the in-memory backend with a warning on
-    /// stderr — a broken cache must not prevent serving.
+    /// Opens the chosen backend, unsharded and unwrapped. A store
+    /// directory that cannot be opened degrades to the in-memory
+    /// backend with a warning on stderr — a broken cache must not
+    /// prevent serving.
     pub fn open(&self) -> Box<dyn CompiledStore> {
         match self {
             StoreChoice::Mem => Box::new(MemStore::new()),
@@ -51,6 +66,69 @@ impl StoreChoice {
                     Box::new(MemStore::new())
                 }
             },
+        }
+    }
+
+    /// Opens `shards` backends for a sharded service. Disk shards live
+    /// in `dir/shard-<i>/` subdirectories and carry their shard id to
+    /// the fault-injection sites; a `budget` is split evenly across
+    /// shards and enforced per shard by a [`BoundedStore`]; `tiered`
+    /// puts a write-through in-memory front in front of each disk
+    /// shard. Any shard that cannot be opened degrades to in-memory,
+    /// like [`StoreChoice::open`].
+    pub fn open_shards(
+        &self,
+        shards: usize,
+        budget: Option<u64>,
+        tiered: bool,
+    ) -> Vec<Box<dyn CompiledStore>> {
+        let shards = shards.max(1);
+        (0..shards)
+            .map(|i| {
+                let mut store: Box<dyn CompiledStore> = match self {
+                    StoreChoice::Mem => Box::new(MemStore::new()),
+                    StoreChoice::Disk(dir) => {
+                        let shard_dir = dir.join(format!("shard-{i}"));
+                        match DiskStore::open_shard(&shard_dir, i as u32) {
+                            Ok(s) => Box::new(s),
+                            Err(StoreError(e)) => {
+                                eprintln!(
+                                    "dbds-server: warning: store shard {} unusable ({e}); \
+                                     falling back to in-memory cache",
+                                    shard_dir.display()
+                                );
+                                Box::new(MemStore::new())
+                            }
+                        }
+                    }
+                };
+                if tiered {
+                    store = Box::new(TieredStore::new(store));
+                }
+                if let Some(total) = budget {
+                    match BoundedStore::new(store, total / shards as u64) {
+                        Ok(bounded) => store = Box::new(bounded),
+                        Err(StoreError(e)) => {
+                            eprintln!("dbds-server: warning: shard {i} budget not enforced ({e})");
+                            store = match self {
+                                StoreChoice::Mem => Box::new(MemStore::new()),
+                                StoreChoice::Disk(dir) => {
+                                    self.reopen_unbounded(&dir.join(format!("shard-{i}")), i as u32)
+                                }
+                            };
+                        }
+                    }
+                }
+                store
+            })
+            .collect()
+    }
+
+    /// Fallback when wrapping a shard failed: reopen it plain.
+    fn reopen_unbounded(&self, dir: &PathBuf, shard: u32) -> Box<dyn CompiledStore> {
+        match DiskStore::open_shard(dir, shard) {
+            Ok(s) => Box::new(s),
+            Err(_) => Box::new(MemStore::new()),
         }
     }
 }
@@ -71,6 +149,22 @@ pub struct ServerConfig {
     /// Admission-queue bound: jobs beyond this many waiting are shed
     /// with a typed `overloaded` response.
     pub max_queue: usize,
+    /// Store shard count. Part of the store layout (disk shards live
+    /// in `shard-<i>/` subdirectories), not of the execution plan:
+    /// counters and results are invariant in it, but changing it on an
+    /// existing store re-routes keys to cold shards.
+    pub shards: usize,
+    /// Dispatcher thread count (defaults to `DBDS_DISPATCHERS` or 1).
+    /// Purely an execution knob: status counters are byte-identical
+    /// across dispatcher counts.
+    pub dispatchers: usize,
+    /// Total store byte budget, split evenly across shards and
+    /// enforced by second-chance eviction; `None` = unbounded.
+    pub store_budget: Option<u64>,
+    /// Put a write-through in-memory front in front of each disk
+    /// shard. Off by default: the front masks on-disk corruption until
+    /// restart, which the heal-path e2e exercises against.
+    pub tiered: bool,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +175,14 @@ impl Default for ServerConfig {
             base_cfg: DbdsConfig::default(),
             service: ServiceConfig::default(),
             max_queue: 128,
+            shards: 8,
+            dispatchers: std::env::var("DBDS_DISPATCHERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1),
+            store_budget: None,
+            tiered: false,
         }
     }
 }
@@ -128,9 +230,6 @@ enum Job {
         req: crate::service::CompileRequest,
         reply: mpsc::Sender<Json>,
     },
-    Status {
-        reply: mpsc::Sender<Json>,
-    },
     Shutdown {
         reply: mpsc::Sender<Json>,
     },
@@ -144,15 +243,18 @@ pub struct ServerHandle {
     /// `unix:<path>`), useful when the config asked for port 0.
     pub addr: String,
     shutdown: Arc<AtomicBool>,
+    peak_depth: Arc<AtomicUsize>,
     accept_thread: thread::JoinHandle<()>,
-    dispatcher_thread: thread::JoinHandle<()>,
+    dispatcher_threads: Vec<thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// Blocks until the daemon has shut down (a client sent
     /// `shutdown`, or [`ServerHandle::stop`] was called).
     pub fn join(self) {
-        let _ = self.dispatcher_thread.join();
+        for t in self.dispatcher_threads {
+            let _ = t.join();
+        }
         let _ = self.accept_thread.join();
     }
 
@@ -164,6 +266,25 @@ impl ServerHandle {
         let _ = crate::client::Client::connect(&self.addr);
         self.join();
     }
+
+    /// The highest admission-queue depth observed so far. The
+    /// reserve-or-shed admission guarantees this never exceeds
+    /// `max_queue` (gated by the multi-client daemon test).
+    pub fn peak_queue(&self) -> usize {
+        self.peak_depth.load(Ordering::SeqCst)
+    }
+}
+
+/// Reserve-or-shed admission: atomically takes a queue slot iff the
+/// depth is under `max`. The check and the reservation are one
+/// compare-and-swap, so the bound holds under any number of concurrent
+/// connection threads.
+fn try_admit(depth: &AtomicUsize, max: usize) -> bool {
+    depth
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| {
+            (d < max).then_some(d + 1)
+        })
+        .is_ok()
 }
 
 /// Binds the listener and starts the accept + dispatcher threads.
@@ -172,36 +293,42 @@ impl ServerHandle {
 ///
 /// Returns a message when the listen address cannot be parsed or
 /// bound. Store problems do *not* fail startup (see
-/// [`StoreChoice::open`]).
+/// [`StoreChoice::open_shards`]).
 pub fn serve(cfg: ServerConfig) -> Result<ServerHandle, String> {
     let (listener, addr) = bind(&cfg.listen)?;
-    let service = CompileService::new(cfg.store.open(), cfg.base_cfg.clone(), cfg.service.clone());
+    let service = Arc::new(CompileService::with_shards(
+        cfg.store
+            .open_shards(cfg.shards, cfg.store_budget, cfg.tiered),
+        cfg.base_cfg.clone(),
+        cfg.service.clone(),
+    ));
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let depth = Arc::new(AtomicUsize::new(0));
-    let shed = Arc::new(AtomicU64::new(0));
-    let (tx, rx) = mpsc::channel::<Job>();
+    let peak_depth = Arc::new(AtomicUsize::new(0));
+    let n_dispatchers = cfg.dispatchers.max(1);
 
-    let dispatcher_thread = {
-        let shutdown = Arc::clone(&shutdown);
+    let mut senders = Vec::with_capacity(n_dispatchers);
+    let mut dispatcher_threads = Vec::with_capacity(n_dispatchers);
+    for d in 0..n_dispatchers {
+        let (tx, rx) = mpsc::channel::<Job>();
+        senders.push(tx);
+        let service = Arc::clone(&service);
         let depth = Arc::clone(&depth);
-        let shed = Arc::clone(&shed);
-        let addr = addr.clone();
-        thread::Builder::new()
-            .name("dbds-dispatcher".into())
-            .spawn(move || {
-                dispatcher(service, &rx, &shutdown, &depth, &shed);
-                // Nudge the accept loop out of its blocking `accept()`
-                // so `join()` completes after a client-driven shutdown.
-                let _ = crate::client::Client::connect(&addr);
-            })
-            .map_err(|e| format!("spawn dispatcher: {e}"))?
-    };
+        dispatcher_threads.push(
+            thread::Builder::new()
+                .name(format!("dbds-dispatch-{d}"))
+                .spawn(move || dispatcher(&service, &rx, &depth))
+                .map_err(|e| format!("spawn dispatcher {d}: {e}"))?,
+        );
+    }
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
         let depth = Arc::clone(&depth);
-        let shed = Arc::clone(&shed);
+        let peak_depth = Arc::clone(&peak_depth);
+        let senders = senders.clone();
+        let addr = addr.clone();
         let max_queue = cfg.max_queue;
         thread::Builder::new()
             .name("dbds-accept".into())
@@ -214,16 +341,21 @@ pub fn serve(cfg: ServerConfig) -> Result<ServerHandle, String> {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    let tx = tx.clone();
-                    let shutdown = Arc::clone(&shutdown);
-                    let depth = Arc::clone(&depth);
-                    let shed = Arc::clone(&shed);
+                    let conn = Conn {
+                        service: Arc::clone(&service),
+                        senders: senders.clone(),
+                        shutdown: Arc::clone(&shutdown),
+                        depth: Arc::clone(&depth),
+                        peak_depth: Arc::clone(&peak_depth),
+                        max_queue,
+                        addr: addr.clone(),
+                    };
                     let _ = thread::Builder::new()
                         .name("dbds-conn".into())
-                        .spawn(move || {
-                            connection(stream, &tx, &shutdown, &depth, &shed, max_queue);
-                        });
+                        .spawn(move || connection(stream, &conn));
                 }
+                // Dropping `senders` here closes every dispatcher
+                // queue once the last connection thread exits too.
             })
             .map_err(|e| format!("spawn accept loop: {e}"))?
     };
@@ -231,8 +363,9 @@ pub fn serve(cfg: ServerConfig) -> Result<ServerHandle, String> {
     Ok(ServerHandle {
         addr,
         shutdown,
+        peak_depth,
         accept_thread,
-        dispatcher_thread,
+        dispatcher_threads,
     })
 }
 
@@ -260,14 +393,11 @@ impl Listener {
     }
 }
 
-/// The dispatcher: drains the queue in batches, owns the service.
-fn dispatcher(
-    mut service: CompileService,
-    rx: &mpsc::Receiver<Job>,
-    shutdown: &AtomicBool,
-    depth: &AtomicUsize,
-    shed: &AtomicU64,
-) {
+/// One dispatcher: drains its queue in batches. Every job in this
+/// queue routes to a shard this dispatcher owns, so batches touch
+/// disjoint shard sets across dispatchers and each shard sees its
+/// requests in arrival order.
+fn dispatcher(service: &CompileService, rx: &mpsc::Receiver<Job>, depth: &AtomicUsize) {
     while let Ok(first) = rx.recv() {
         // Batch: everything already waiting rides along with the job
         // that woke us, so a burst of clients compiles in one parallel
@@ -276,28 +406,20 @@ fn dispatcher(
         while let Ok(job) = rx.try_recv() {
             jobs.push(job);
         }
-        depth.fetch_sub(jobs.len(), Ordering::SeqCst);
-
-        service.record_shed(shed.swap(0, Ordering::SeqCst));
 
         let mut compile_jobs = Vec::new();
         let mut stop = false;
         for job in jobs {
             match job {
                 Job::Compile { req, reply } => compile_jobs.push((req, reply)),
-                Job::Status { reply } => {
-                    let mut status = service.status_json();
-                    if let Json::Obj(pairs) = &mut status {
-                        pairs.insert(0, ("proto".into(), Json::str(PROTO_VERSION)));
-                    }
-                    let _ = reply.send(status);
-                }
                 Job::Shutdown { reply } => {
                     let _ = reply.send(Json::Obj(vec![("ok".into(), Json::Bool(true))]));
                     stop = true;
                 }
             }
         }
+        // Only compile jobs hold admission slots.
+        depth.fetch_sub(compile_jobs.len(), Ordering::SeqCst);
 
         let reqs: Vec<_> = compile_jobs.iter().map(|(r, _)| r.clone()).collect();
         let outcomes = service.compile_batch(&reqs);
@@ -306,21 +428,39 @@ fn dispatcher(
         }
 
         if stop {
-            shutdown.store(true, Ordering::SeqCst);
             return;
         }
     }
 }
 
-/// One client connection: read frames, enqueue, relay replies.
-fn connection(
-    mut stream: Stream,
-    tx: &mpsc::Sender<Job>,
-    shutdown: &AtomicBool,
-    depth: &AtomicUsize,
-    shed: &AtomicU64,
+/// Everything a connection thread needs, bundled to keep the spawn
+/// site readable.
+struct Conn {
+    service: Arc<CompileService>,
+    senders: Vec<mpsc::Sender<Job>>,
+    shutdown: Arc<AtomicBool>,
+    depth: Arc<AtomicUsize>,
+    peak_depth: Arc<AtomicUsize>,
     max_queue: usize,
-) {
+    addr: String,
+}
+
+/// Writes a response frame; an oversized payload is replaced by the
+/// typed `frame-too-large` error on the still-intact stream. Returns
+/// `false` when the connection is dead.
+fn write_response(stream: &mut Stream, v: &Json) -> bool {
+    match write_frame(stream, v) {
+        Ok(()) => true,
+        Err(FrameError::TooLarge(_)) => {
+            write_frame(stream, &error_json(&ServiceError::FrameTooLarge)).is_ok()
+        }
+        Err(FrameError::Io(_)) => false,
+    }
+}
+
+/// One client connection: read frames, route compile jobs to their
+/// shard's dispatcher, answer status inline, relay replies.
+fn connection(mut stream: Stream, conn: &Conn) {
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(Some(v)) => v,
@@ -330,45 +470,84 @@ fn connection(
         let request = match Request::from_json(&frame) {
             Ok(r) => r,
             Err(msg) => {
-                let _ = write_frame(&mut stream, &error_json(&ServiceError::BadRequest(msg)));
+                if !write_response(&mut stream, &error_json(&ServiceError::BadRequest(msg))) {
+                    return;
+                }
                 continue;
             }
         };
 
-        // Admission control: compile jobs respect the queue bound;
-        // status/shutdown are tiny and always admitted.
-        if matches!(request, Request::Compile(_)) && depth.load(Ordering::SeqCst) >= max_queue {
-            shed.fetch_add(1, Ordering::SeqCst);
-            let _ = write_frame(&mut stream, &error_json(&ServiceError::Overloaded));
-            continue;
-        }
-        if shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
-            let _ = write_frame(&mut stream, &error_json(&ServiceError::Overloaded));
+        if conn.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+            let _ = write_response(&mut stream, &error_json(&ServiceError::Overloaded));
             continue;
         }
 
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let job = match request {
-            Request::Compile(req) => Job::Compile {
-                req,
-                reply: reply_tx,
-            },
-            Request::Status => Job::Status { reply: reply_tx },
-            Request::Shutdown => Job::Shutdown { reply: reply_tx },
-        };
-        depth.fetch_add(1, Ordering::SeqCst);
-        if tx.send(job).is_err() {
-            // Dispatcher is gone (shutdown raced us).
-            let _ = write_frame(&mut stream, &error_json(&ServiceError::Overloaded));
-            return;
-        }
-        match reply_rx.recv() {
-            Ok(json) => {
-                if write_frame(&mut stream, &json).is_err() {
+        match request {
+            Request::Status => {
+                // Served inline: status only locks shards (in shard
+                // order), it never compiles, so it needs no queue slot
+                // and cannot jump ahead of a shard's compile order —
+                // shard locks serialize it against in-flight work.
+                let mut status = conn.service.status_json();
+                if let Json::Obj(pairs) = &mut status {
+                    pairs.insert(0, ("proto".into(), Json::str(PROTO_VERSION)));
+                }
+                if !write_response(&mut stream, &status) {
                     return;
                 }
             }
-            Err(_) => return,
+            Request::Shutdown => {
+                conn.shutdown.store(true, Ordering::SeqCst);
+                let (reply_tx, reply_rx) = mpsc::channel();
+                for tx in &conn.senders {
+                    let _ = tx.send(Job::Shutdown {
+                        reply: reply_tx.clone(),
+                    });
+                }
+                drop(reply_tx);
+                let ok = reply_rx
+                    .recv()
+                    .unwrap_or_else(|_| Json::Obj(vec![("ok".into(), Json::Bool(true))]));
+                let _ = write_response(&mut stream, &ok);
+                // Nudge the accept loop out of its blocking accept()
+                // so it observes the flag and drops its senders.
+                let _ = crate::client::Client::connect(&conn.addr);
+                return;
+            }
+            Request::Compile(req) => {
+                // Admission control: one atomic reserve-or-shed.
+                if !try_admit(&conn.depth, conn.max_queue) {
+                    conn.service.record_shed(1);
+                    if !write_response(&mut stream, &error_json(&ServiceError::Overloaded)) {
+                        return;
+                    }
+                    continue;
+                }
+                conn.peak_depth
+                    .fetch_max(conn.depth.load(Ordering::SeqCst), Ordering::SeqCst);
+
+                let shard = conn.service.shard_for(&req);
+                let dispatcher = shard % conn.senders.len();
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let job = Job::Compile {
+                    req,
+                    reply: reply_tx,
+                };
+                if conn.senders[dispatcher].send(job).is_err() {
+                    // Dispatcher is gone (shutdown raced us).
+                    conn.depth.fetch_sub(1, Ordering::SeqCst);
+                    let _ = write_response(&mut stream, &error_json(&ServiceError::Overloaded));
+                    return;
+                }
+                match reply_rx.recv() {
+                    Ok(json) => {
+                        if !write_response(&mut stream, &json) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
         }
     }
 }

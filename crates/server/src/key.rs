@@ -27,6 +27,19 @@ impl StoreKey {
             config: cfg.fingerprint(level),
         }
     }
+
+    /// The shard this key routes to in an `n`-shard store, derived from
+    /// the top bits of the graph hash (the key prefix). Stable for a
+    /// given `n`, so the same key always lands on the same shard, lock
+    /// and dispatcher. `n = 0` is treated as a single shard.
+    pub fn shard(&self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        // Multiply-shift over the top bits: uniform even when graph
+        // hashes cluster in low bits, and independent of n's alignment.
+        (((self.graph >> 32) * n as u64) >> 32) as usize
+    }
 }
 
 impl fmt::Display for StoreKey {
@@ -43,14 +56,27 @@ impl FromStr for StoreKey {
         let (g, c) = s.split_once('-').ok_or_else(err)?;
         let g = g.strip_prefix('g').ok_or_else(err)?;
         let c = c.strip_prefix('c').ok_or_else(err)?;
-        if g.len() != 16 || c.len() != 16 {
-            return Err(err());
-        }
         Ok(StoreKey {
-            graph: u64::from_str_radix(g, 16).map_err(|_| err())?,
-            config: u64::from_str_radix(c, 16).map_err(|_| err())?,
+            graph: parse_canonical_hex(g).ok_or_else(err)?,
+            config: parse_canonical_hex(c).ok_or_else(err)?,
         })
     }
+}
+
+/// Parses exactly 16 lowercase hex digits. `u64::from_str_radix` is too
+/// permissive here: it accepts a `+` sign and uppercase digits, so
+/// non-canonical on-disk filenames (`g+00…`, `gDEAD…`) would alias the
+/// canonical entry and let one key shadow another. Only the exact
+/// [`fmt::Display`] form round-trips.
+fn parse_canonical_hex(s: &str) -> Option<u64> {
+    if s.len() != 16
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
 }
 
 #[cfg(test)]
@@ -87,6 +113,48 @@ mod tests {
         ] {
             assert!(bad.parse::<StoreKey>().is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn rejects_non_canonical_hex() {
+        // Each of these would alias g00000000deadbeef-c00000000000000ff
+        // under a plain from_str_radix parse: a `+` sign keeps the
+        // value intact, and uppercase digits parse to the same value.
+        for bad in [
+            "g+0000000deadbeef-c00000000000000ff",
+            "g00000000DEADBEEF-c00000000000000ff",
+            "g00000000deadbeef-c+000000000000ff",
+            "g00000000deadbeef-c0000000000000 ff",
+        ] {
+            assert!(bad.parse::<StoreKey>().is_err(), "{bad} must not parse");
+        }
+        // The canonical form still round-trips.
+        let k = "g00000000deadbeef-c00000000000000ff"
+            .parse::<StoreKey>()
+            .unwrap();
+        assert_eq!(k.graph, 0xdead_beef);
+        assert_eq!(k.config, 0xff);
+    }
+
+    #[test]
+    fn shard_is_stable_in_range_and_spreads() {
+        let keys: Vec<StoreKey> = (0..64u64)
+            .map(|i| StoreKey {
+                graph: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                config: 7,
+            })
+            .collect();
+        for n in [1usize, 2, 3, 4, 8, 16] {
+            let mut hit = vec![false; n];
+            for k in &keys {
+                let s = k.shard(n);
+                assert!(s < n, "shard {s} out of range for n={n}");
+                assert_eq!(s, k.shard(n), "shard must be stable");
+                hit[s] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "all {n} shards used: {hit:?}");
+        }
+        assert_eq!(keys[5].shard(0), 0, "n=0 behaves as one shard");
     }
 
     #[test]

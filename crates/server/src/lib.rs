@@ -66,9 +66,13 @@ pub use artifact::{ArtifactCounters, ArtifactError, CompiledArtifact, ARTIFACT_M
 pub use client::Client;
 pub use daemon::{serve, ServerConfig, ServerHandle, StoreChoice};
 pub use key::StoreKey;
+pub use proto::FrameError;
 pub use proto::{level_from_name, Request, MAX_FRAME, PROTO_VERSION};
 pub use service::{
     run_session, CompileOutcome, CompileRequest, CompileService, CompileSource, ServedResult,
     ServiceConfig, ServiceCounters, ServiceError, SessionPass, SessionReport,
 };
-pub use store::{CompiledStore, DiskStore, MemStore, StoreError, StoreHealth};
+pub use store::{
+    BoundedStore, CompiledStore, DiskStore, MemStore, ShardedStore, StoreError, StoreHealth,
+    TieredStore,
+};

@@ -12,6 +12,7 @@
 use crate::json::{parse, Json};
 use crate::service::{CompileOutcome, CompileRequest, CompileSource, ServedResult, ServiceError};
 use dbds_core::OptLevel;
+use std::fmt;
 use std::io::{Read, Write};
 
 /// Protocol version tag, included in status responses.
@@ -175,6 +176,7 @@ pub fn parse_response(v: &Json) -> Result<CompileOutcome, String> {
             "overloaded" => ServiceError::Overloaded,
             "deadline-exceeded" => ServiceError::DeadlineExceeded,
             "bad-request" => ServiceError::BadRequest(msg),
+            "frame-too-large" => ServiceError::FrameTooLarge,
             other => return Err(format!("unknown error kind `{other}`")),
         }));
     }
@@ -202,23 +204,62 @@ pub fn parse_response(v: &Json) -> Result<CompileOutcome, String> {
     }))
 }
 
+/// Why a frame could not be written: the caller must distinguish an
+/// oversized payload (the stream is still intact — a typed error
+/// response can go out in its place) from a dead connection.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The encoded payload exceeds [`MAX_FRAME`]; nothing was written,
+    /// the stream is still usable. Carries the offending payload size.
+    TooLarge(usize),
+    /// The underlying stream failed mid-write; the connection is gone.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "frame write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for std::io::Error {
+    fn from(e: FrameError) -> std::io::Error {
+        match e {
+            FrameError::TooLarge(_) => {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            }
+            FrameError::Io(io) => io,
+        }
+    }
+}
+
 /// Writes one frame: 4-byte big-endian length, then the compact JSON.
+///
+/// The cap is enforced *before* the length prefix goes out: an
+/// oversized payload must never truncate the 4-byte prefix mid-stream
+/// (`payload.len() as u32` would silently wrap) and corrupt every
+/// following frame.
 ///
 /// # Errors
 ///
-/// Returns the underlying I/O error, or an error for a frame larger
-/// than [`MAX_FRAME`].
-pub fn write_frame(w: &mut impl Write, v: &Json) -> std::io::Result<()> {
+/// [`FrameError::TooLarge`] for a frame over [`MAX_FRAME`] (stream
+/// untouched), [`FrameError::Io`] for an underlying write failure.
+pub fn write_frame(w: &mut impl Write, v: &Json) -> Result<(), FrameError> {
     let payload = v.compact().into_bytes();
     if payload.len() > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {} bytes exceeds cap", payload.len()),
-        ));
+        return Err(FrameError::TooLarge(payload.len()));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(&payload)?;
-    w.flush()
+    w.write_all(&(payload.len() as u32).to_be_bytes())
+        .map_err(FrameError::Io)?;
+    w.write_all(&payload).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
 }
 
 /// Reads one frame; `Ok(None)` on clean EOF before the length prefix.
@@ -311,6 +352,7 @@ mod tests {
             ServiceError::Overloaded,
             ServiceError::DeadlineExceeded,
             ServiceError::BadRequest("nope".into()),
+            ServiceError::FrameTooLarge,
         ] {
             let parsed = parse_response(&error_json(&e)).unwrap();
             assert_eq!(parsed, Err(e));
@@ -329,5 +371,30 @@ mod tests {
         let mut bad = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
         bad.extend_from_slice(b"xx");
         assert!(read_frame(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_write_is_typed_and_leaves_the_stream_clean() {
+        // A payload just over the cap: the JSON string body alone
+        // exceeds MAX_FRAME once quoted.
+        let huge = Json::str("x".repeat(MAX_FRAME));
+        let mut buf = Vec::new();
+        match write_frame(&mut buf, &huge) {
+            Err(FrameError::TooLarge(len)) => assert!(len > MAX_FRAME, "{len}"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert!(
+            buf.is_empty(),
+            "an oversized frame must not emit a length prefix: a \
+             truncated `len as u32` would corrupt every following frame"
+        );
+        // The stream is still usable: a typed error goes out in place
+        // of the oversized response.
+        write_frame(&mut buf, &error_json(&ServiceError::FrameTooLarge)).unwrap();
+        let parsed = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(
+            parse_response(&parsed),
+            Ok(Err(ServiceError::FrameTooLarge))
+        );
     }
 }

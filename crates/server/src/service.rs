@@ -37,6 +37,8 @@ use dbds_ir::Graph;
 use dbds_workloads::{all_workloads, Workload};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 /// What a request asks the service to compile.
@@ -74,6 +76,10 @@ pub enum ServiceError {
     /// The request itself was malformed (unknown workload, unparsable
     /// IR, unknown level); the payload is a user-facing message.
     BadRequest(String),
+    /// The response was produced but does not fit in one protocol
+    /// frame ([`crate::proto::MAX_FRAME`]); the client should split the
+    /// request or raise the cap, the stream itself stays intact.
+    FrameTooLarge,
 }
 
 impl ServiceError {
@@ -83,6 +89,7 @@ impl ServiceError {
             ServiceError::Overloaded => "overloaded",
             ServiceError::DeadlineExceeded => "deadline-exceeded",
             ServiceError::BadRequest(_) => "bad-request",
+            ServiceError::FrameTooLarge => "frame-too-large",
         }
     }
 }
@@ -93,6 +100,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Overloaded => write!(f, "server overloaded, retry later"),
             ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::FrameTooLarge => {
+                write!(f, "response exceeds the protocol frame cap")
+            }
         }
     }
 }
@@ -182,6 +192,23 @@ impl ServiceCounters {
         }
     }
 
+    /// Field-wise `self + other`; used to total per-shard counters.
+    #[must_use]
+    pub fn sum(&self, other: &ServiceCounters) -> ServiceCounters {
+        ServiceCounters {
+            requests: self.requests + other.requests,
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            puts: self.puts + other.puts,
+            quarantined: self.quarantined + other.quarantined,
+            shed: self.shed + other.shed,
+            retries: self.retries + other.retries,
+            degraded: self.degraded + other.degraded,
+            deadline_exceeded: self.deadline_exceeded + other.deadline_exceeded,
+            bad_requests: self.bad_requests + other.bad_requests,
+        }
+    }
+
     /// The counters in stable report order.
     pub fn fields(&self) -> [(&'static str, u64); 10] {
         [
@@ -209,35 +236,86 @@ impl ServiceCounters {
     }
 }
 
-/// The compilation service: one store, one cost model, one base
-/// configuration, and the built-in workload table.
-pub struct CompileService {
+/// One shard of the service: a store slice and the counters for the
+/// requests routed to it, guarded together by one lock so a shard's
+/// counters are always consistent with its store.
+struct Shard {
     store: Box<dyn CompiledStore>,
+    counters: ServiceCounters,
+}
+
+/// Linear backoff steps are capped here so the sleep can never
+/// overflow (`Duration × u32` panics on overflow) and a misconfigured
+/// retry count cannot stall a dispatcher for minutes.
+const BACKOFF_CAP_STEPS: u32 = 8;
+
+/// The backoff before retry number `attempt` (1-based): linear in the
+/// attempt, clamped to `[1, BACKOFF_CAP_STEPS]` steps, saturating
+/// instead of panicking on overflow.
+fn retry_backoff(step: Duration, attempt: u32) -> Duration {
+    step.saturating_mul(attempt.clamp(1, BACKOFF_CAP_STEPS))
+}
+
+/// The compilation service: the store sharded by key prefix (each
+/// shard with its own lock and counters), one cost model, one base
+/// configuration, and the built-in workload table.
+///
+/// All entry points take `&self`: a request only ever locks the one
+/// shard its key routes to, so requests on different shards proceed
+/// concurrently while each shard observes its own requests strictly in
+/// submission order — which is what keeps the (summed) counters
+/// byte-identical however many dispatcher threads drive the service.
+pub struct CompileService {
+    shards: Vec<Mutex<Shard>>,
+    /// Requests shed by admission control before reaching any shard.
+    shed: AtomicU64,
     model: CostModel,
     base_cfg: DbdsConfig,
     cfg: ServiceConfig,
-    counters: ServiceCounters,
     workloads: BTreeMap<String, Workload>,
 }
 
 impl fmt::Debug for CompileService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CompileService")
-            .field("backend", &self.store.backend())
-            .field("counters", &self.counters)
+            .field("backend", &self.backend())
+            .field("shards", &self.shards.len())
+            .field("counters", &self.counters())
             .finish_non_exhaustive()
     }
 }
 
 impl CompileService {
-    /// Builds a service over `store` compiling with `base_cfg`.
+    /// Builds an unsharded (single-shard) service over `store`
+    /// compiling with `base_cfg`.
     pub fn new(store: Box<dyn CompiledStore>, base_cfg: DbdsConfig, cfg: ServiceConfig) -> Self {
+        CompileService::with_shards(vec![store], base_cfg, cfg)
+    }
+
+    /// Builds a service over one store per shard (at least one);
+    /// requests route to `key.shard(stores.len())`. The shard count is
+    /// part of the store layout, not of the execution plan: it must
+    /// not change with thread or dispatcher counts.
+    pub fn with_shards(
+        stores: Vec<Box<dyn CompiledStore>>,
+        base_cfg: DbdsConfig,
+        cfg: ServiceConfig,
+    ) -> Self {
+        assert!(!stores.is_empty(), "the service needs >= 1 store shard");
         CompileService {
-            store,
+            shards: stores
+                .into_iter()
+                .map(|store| {
+                    Mutex::new(Shard {
+                        store,
+                        counters: ServiceCounters::default(),
+                    })
+                })
+                .collect(),
+            shed: AtomicU64::new(0),
             model: CostModel::new(),
             base_cfg,
             cfg,
-            counters: ServiceCounters::default(),
             workloads: all_workloads()
                 .into_iter()
                 .map(|w| (w.name.clone(), w))
@@ -245,55 +323,107 @@ impl CompileService {
         }
     }
 
-    /// Current counters snapshot.
+    /// Locks shard `i`; a poisoned lock is taken over as-is (counters
+    /// and store are always left internally consistent).
+    fn shard(&self, i: usize) -> MutexGuard<'_, Shard> {
+        self.shards[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Number of store shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Backend name of the underlying store (shard 0 is
+    /// representative: all shards share one backend kind).
+    pub fn backend(&self) -> &'static str {
+        self.shard(0).store.backend()
+    }
+
+    /// The shard (and thus dispatcher queue) `req` routes to: the
+    /// shard of its store key, computable before any compilation
+    /// because the key fingerprint excludes the deadline and thread
+    /// counts. Unroutable (malformed) requests go to shard 0 so their
+    /// `bad_requests` tick lands deterministically.
+    pub fn shard_for(&self, req: &CompileRequest) -> usize {
+        match self.resolve(&req.source) {
+            Ok(graph) => {
+                StoreKey::compute(&graph, &self.base_cfg, req.level).shard(self.shards.len())
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Current counters snapshot, summed over shards in shard order.
     pub fn counters(&self) -> ServiceCounters {
-        self.counters
+        let mut total = ServiceCounters::default();
+        for i in 0..self.shards.len() {
+            total = total.sum(&self.shard(i).counters);
+        }
+        total.shed += self.shed.load(Ordering::SeqCst);
+        total
     }
 
     /// Records `n` requests shed by the admission queue.
-    pub fn record_shed(&mut self, n: u64) {
-        self.counters.shed += n;
+    pub fn record_shed(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::SeqCst);
     }
 
-    /// Health snapshot of the underlying store (entry count plus
-    /// store-internal checksum quarantines, which are distinct from
-    /// the service-level verify quarantines in
-    /// [`ServiceCounters::quarantined`]).
-    pub fn store_health(&mut self) -> crate::store::StoreHealth {
-        self.store.health()
+    /// Health snapshot of the underlying store, summed over shards
+    /// (entry count plus store-internal checksum quarantines — which
+    /// are distinct from the service-level verify quarantines in
+    /// [`ServiceCounters::quarantined`] — plus budget evictions).
+    pub fn store_health(&self) -> crate::store::StoreHealth {
+        let mut total = crate::store::StoreHealth::default();
+        for i in 0..self.shards.len() {
+            let health = self.shard(i).store.health();
+            total.entries += health.entries;
+            total.quarantined += health.quarantined;
+            total.evictions += health.evictions;
+        }
+        total
     }
 
     /// The status report: counters plus store health, as served to
-    /// `dbds_client status` and embedded in harness reports.
-    pub fn status_json(&mut self) -> Json {
-        let health = self.store.health();
+    /// `dbds_client status` and embedded in harness reports. Shards
+    /// are locked in shard order; the shape deliberately excludes the
+    /// dispatcher count, so quiescent status output is byte-identical
+    /// across `DBDS_DISPATCHERS` (gated in CI).
+    pub fn status_json(&self) -> Json {
+        let health = self.store_health();
         Json::Obj(vec![
-            ("backend".into(), Json::str(self.store.backend())),
-            ("counters".into(), self.counters.to_json()),
+            ("backend".into(), Json::str(self.backend())),
+            ("shards".into(), Json::num(self.shards.len() as u64)),
+            ("counters".into(), self.counters().to_json()),
             (
                 "store".into(),
                 Json::Obj(vec![
                     ("entries".into(), Json::num(health.entries as u64)),
                     ("quarantined".into(), Json::num(health.quarantined)),
+                    ("evictions".into(), Json::num(health.evictions)),
                 ]),
             ),
         ])
     }
 
-    /// Runs a store operation with bounded retry + linear backoff
-    /// (rung 3); `Err` means the ladder fell through to rung 4.
+    /// Runs a store operation on one (locked) shard with bounded retry
+    /// plus clamped linear backoff (rung 3); `Err` means the ladder
+    /// fell through to rung 4.
     fn with_retry<T>(
-        &mut self,
+        cfg: &ServiceConfig,
+        shard: &mut Shard,
         mut op: impl FnMut(&mut dyn CompiledStore) -> Result<T, StoreError>,
     ) -> Result<T, StoreError> {
         let mut attempt = 0;
         loop {
-            match op(self.store.as_mut()) {
+            match op(shard.store.as_mut()) {
                 Ok(v) => return Ok(v),
-                Err(_) if attempt < self.cfg.store_retries => {
+                Err(_) if attempt < cfg.store_retries => {
                     attempt += 1;
-                    self.counters.retries += 1;
-                    std::thread::sleep(self.cfg.store_backoff * attempt);
+                    shard.counters.retries += 1;
+                    std::thread::sleep(retry_backoff(cfg.store_backoff, attempt));
                 }
                 Err(e) => return Err(e),
             }
@@ -325,23 +455,29 @@ impl CompileService {
 
     /// Serves a batch of requests.
     ///
-    /// Store lookups and installs run sequentially in submission order
-    /// (this is what makes the counters deterministic); the fresh
-    /// compiles of all misses fan out together on the
-    /// [`dbds_core::par`] unit pool and are committed back in
-    /// submission order.
-    pub fn compile_batch(&mut self, reqs: &[CompileRequest]) -> Vec<CompileOutcome> {
-        self.counters.requests += reqs.len() as u64;
+    /// Per shard, store lookups and installs run sequentially in
+    /// submission order (this is what makes the counters
+    /// deterministic: a request's counter effects depend only on its
+    /// own shard's request subsequence, never on interleaving with
+    /// other shards); the fresh compiles of all misses fan out
+    /// together on the [`dbds_core::par`] unit pool and are committed
+    /// back in submission order, locking only each miss's shard.
+    pub fn compile_batch(&self, reqs: &[CompileRequest]) -> Vec<CompileOutcome> {
+        let shard_count = self.shards.len();
 
         // Rungs 1–2, sequentially per request: resolve, key, probe the
         // store, verify anything it returns.
         let mut outcomes: Vec<Option<CompileOutcome>> = Vec::with_capacity(reqs.len());
-        let mut misses: Vec<(usize, Graph, StoreKey, DbdsConfig, OptLevel)> = Vec::new();
+        let mut misses: Vec<(usize, Graph, StoreKey, DbdsConfig, OptLevel, usize)> = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
-            let graph = match self.resolve(&req.source) {
+            let resolved = self.resolve(&req.source);
+            let graph = match resolved {
                 Ok(g) => g,
                 Err(e) => {
-                    self.counters.bad_requests += 1;
+                    // Unroutable: accounted to shard 0, like shard_for.
+                    let mut shard = self.shard(0);
+                    shard.counters.requests += 1;
+                    shard.counters.bad_requests += 1;
                     outcomes.push(Some(Err(e)));
                     continue;
                 }
@@ -349,18 +485,21 @@ impl CompileService {
             let mut cfg = self.base_cfg.clone();
             cfg.guard.deadline = req.deadline_ms.map(Duration::from_millis);
             let key = StoreKey::compute(&graph, &cfg, req.level);
-            match self.lookup_verified(&key) {
+            let shard_idx = key.shard(shard_count);
+            let mut shard = self.shard(shard_idx);
+            shard.counters.requests += 1;
+            match Self::lookup_verified(&self.cfg, &mut shard, &key) {
                 Some(artifact) => {
-                    self.counters.hits += 1;
+                    shard.counters.hits += 1;
                     outcomes.push(Some(Ok(ServedResult {
                         artifact,
                         cached: true,
                     })));
                 }
                 None => {
-                    self.counters.misses += 1;
+                    shard.counters.misses += 1;
                     outcomes.push(None);
-                    misses.push((i, graph, key, cfg, req.level));
+                    misses.push((i, graph, key, cfg, req.level, shard_idx));
                 }
             }
         }
@@ -372,8 +511,10 @@ impl CompileService {
         let (threads, pool_plan) = self.base_cfg.unit_plan(misses.len());
         let force_seq_sim = pool_plan.sim_threads == 1 && threads > 1;
         let model = &self.model;
-        let (compiled, _loads, _ns) =
-            dbds_core::par::run_units(threads, &misses, |_i, (_idx, graph, _key, cfg, level)| {
+        let (compiled, _loads, _ns) = dbds_core::par::run_units(
+            threads,
+            &misses,
+            |_i, (_idx, graph, _key, cfg, level, _shard)| {
                 let mut g = graph.clone();
                 let mut unit_cfg = cfg.clone();
                 unit_cfg.unit_threads = 1;
@@ -382,12 +523,16 @@ impl CompileService {
                 }
                 let stats = compile(&mut g, model, *level, &unit_cfg);
                 (g, stats)
-            });
+            },
+        );
 
         // Commit in submission order: reject deadline-truncated
         // results, install the rest (rungs 3–4 for the put).
-        for ((idx, _graph, key, _cfg, level), (g, stats)) in misses.into_iter().zip(compiled) {
-            let outcome = self.commit_fresh(key, level, &g, &stats);
+        for ((idx, _graph, key, _cfg, level, shard_idx), (g, stats)) in
+            misses.into_iter().zip(compiled)
+        {
+            let mut shard = self.shard(shard_idx);
+            let outcome = Self::commit_fresh(&self.cfg, &mut shard, key, level, &g, &stats);
             outcomes[idx] = Some(outcome);
         }
 
@@ -397,15 +542,20 @@ impl CompileService {
             .collect()
     }
 
-    /// Rungs 1–2: probe the store for `key` and fully verify whatever
-    /// comes back. Any failure heals to a miss, never to an error.
-    fn lookup_verified(&mut self, key: &StoreKey) -> Option<CompiledArtifact> {
-        let payload = match self.with_retry(|s| s.get(key)) {
+    /// Rungs 1–2: probe the shard's store for `key` and fully verify
+    /// whatever comes back. Any failure heals to a miss, never to an
+    /// error.
+    fn lookup_verified(
+        cfg: &ServiceConfig,
+        shard: &mut Shard,
+        key: &StoreKey,
+    ) -> Option<CompiledArtifact> {
+        let payload = match Self::with_retry(cfg, shard, |s| s.get(key)) {
             Ok(p) => p?,
             Err(_) => {
                 // Rung 4: the store cannot even answer reads — compile
                 // fresh, uncached.
-                self.counters.degraded += 1;
+                shard.counters.degraded += 1;
                 return None;
             }
         };
@@ -416,32 +566,34 @@ impl CompileService {
         if ok.is_none() {
             // Rung 2: structurally intact on disk (the checksum passed)
             // but semantically bad — evict and recompute.
-            self.counters.quarantined += 1;
-            if self.with_retry(|s| s.evict(key)).is_err() {
-                self.counters.degraded += 1;
+            shard.counters.quarantined += 1;
+            if Self::with_retry(cfg, shard, |s| s.evict(key)).is_err() {
+                shard.counters.degraded += 1;
             }
         }
         ok
     }
 
     /// Turns one fresh compilation into an outcome: reject it if a
-    /// deadline cut it short, otherwise serve it and try to install it.
+    /// deadline cut it short, otherwise serve it and try to install it
+    /// into its shard.
     fn commit_fresh(
-        &mut self,
+        cfg: &ServiceConfig,
+        shard: &mut Shard,
         key: StoreKey,
         level: OptLevel,
         g: &Graph,
         stats: &PhaseStats,
     ) -> CompileOutcome {
         if stats.hit_deadline() {
-            self.counters.deadline_exceeded += 1;
+            shard.counters.deadline_exceeded += 1;
             return Err(ServiceError::DeadlineExceeded);
         }
         let artifact = CompiledArtifact::from_compiled(key, level, g, stats);
         if stats.stopped_early().is_none() {
-            match self.with_retry(|s| s.put(&key, &artifact.serialize())) {
-                Ok(()) => self.counters.puts += 1,
-                Err(_) => self.counters.degraded += 1,
+            match Self::with_retry(cfg, shard, |s| s.put(&key, &artifact.serialize())) {
+                Ok(()) => shard.counters.puts += 1,
+                Err(_) => shard.counters.degraded += 1,
             }
         }
         // Non-deadline early stops (e.g. fuel exhaustion) are
@@ -473,6 +625,9 @@ pub struct SessionReport {
     pub passes: Vec<SessionPass>,
     /// Final cumulative counters.
     pub totals: ServiceCounters,
+    /// Budget evictions performed by the store over the session (0 for
+    /// unbounded stores).
+    pub evictions: u64,
 }
 
 impl SessionReport {
@@ -492,7 +647,7 @@ impl SessionReport {
 /// every `level`, `passes` times over. The first pass populates the
 /// store; later passes measure its effectiveness (the acceptance gate
 /// asserts a >90% second-pass hit rate).
-pub fn run_session(svc: &mut CompileService, levels: &[OptLevel], passes: usize) -> SessionReport {
+pub fn run_session(svc: &CompileService, levels: &[OptLevel], passes: usize) -> SessionReport {
     let reqs: Vec<CompileRequest> = all_workloads()
         .iter()
         .flat_map(|w| {
@@ -504,7 +659,7 @@ pub fn run_session(svc: &mut CompileService, levels: &[OptLevel], passes: usize)
         })
         .collect();
     let mut report = SessionReport {
-        backend: svc.store.backend().to_string(),
+        backend: svc.backend().to_string(),
         ..SessionReport::default()
     };
     for _ in 0..passes {
@@ -517,6 +672,7 @@ pub fn run_session(svc: &mut CompileService, levels: &[OptLevel], passes: usize)
         });
     }
     report.totals = svc.counters();
+    report.evictions = svc.store_health().evictions;
     report
 }
 
@@ -543,7 +699,7 @@ mod tests {
 
     #[test]
     fn second_request_hits_and_is_byte_identical() {
-        let mut svc = service();
+        let svc = service();
         let r = req("wordcount", OptLevel::Dbds);
         let first = svc.compile_batch(std::slice::from_ref(&r));
         let second = svc.compile_batch(std::slice::from_ref(&r));
@@ -558,7 +714,7 @@ mod tests {
 
     #[test]
     fn unknown_workload_is_a_typed_bad_request() {
-        let mut svc = service();
+        let svc = service();
         let out = svc.compile_batch(&[req("no-such-benchmark", OptLevel::Dbds)]);
         match &out[0] {
             Err(ServiceError::BadRequest(msg)) => assert!(msg.contains("no-such-benchmark")),
@@ -569,7 +725,7 @@ mod tests {
 
     #[test]
     fn zero_deadline_is_a_typed_error_and_never_cached() {
-        let mut svc = service();
+        let svc = service();
         let mut r = req("wordcount", OptLevel::Dbds);
         r.deadline_ms = Some(0);
         let out = svc.compile_batch(std::slice::from_ref(&r));
@@ -586,7 +742,7 @@ mod tests {
     #[test]
     fn ir_text_source_compiles_and_hits() {
         let ir = "func @tiny(v0: int) {\nb0:\n  return v0\n}\n";
-        let mut svc = service();
+        let svc = service();
         let r = CompileRequest {
             source: CompileSource::IrText(ir.into()),
             level: OptLevel::Baseline,
@@ -609,9 +765,54 @@ mod tests {
     }
 
     #[test]
+    fn retry_backoff_is_linear_clamped_and_never_panics() {
+        let step = Duration::from_millis(5);
+        // The ladder starts at one step — attempt 0 (out of contract)
+        // clamps up rather than sleeping zero.
+        assert_eq!(retry_backoff(step, 0), step);
+        assert_eq!(retry_backoff(step, 1), step);
+        assert_eq!(retry_backoff(step, 2), step * 2);
+        assert_eq!(retry_backoff(step, 3), step * 3);
+        // ...and is capped: a huge attempt number stays bounded.
+        assert_eq!(retry_backoff(step, 1000), step * BACKOFF_CAP_STEPS);
+        assert_eq!(retry_backoff(step, u32::MAX), step * BACKOFF_CAP_STEPS);
+        // `Duration::MAX * 2` would panic; saturating_mul must not.
+        assert_eq!(retry_backoff(Duration::MAX, u32::MAX), Duration::MAX);
+    }
+
+    #[test]
+    fn sharded_service_counters_match_single_shard() {
+        let single = service();
+        let sharded = CompileService::with_shards(
+            (0..4)
+                .map(|_| Box::new(MemStore::new()) as Box<dyn CompiledStore>)
+                .collect(),
+            DbdsConfig::default(),
+            ServiceConfig::default(),
+        );
+        let reqs = [
+            req("wordcount", OptLevel::Dbds),
+            req("wordcount", OptLevel::Dupalot),
+            req("charcount", OptLevel::Dbds),
+            req("no-such-benchmark", OptLevel::Dbds),
+            req("wordcount", OptLevel::Dbds),
+        ];
+        let a: Vec<_> = single.compile_batch(&reqs);
+        let b: Vec<_> = sharded.compile_batch(&reqs);
+        assert_eq!(a, b, "outcomes must not depend on the shard count");
+        assert_eq!(
+            single.counters(),
+            sharded.counters(),
+            "summed counters must not depend on the shard count"
+        );
+        let again = sharded.compile_batch(&reqs[..3]);
+        assert!(again.iter().all(|o| o.as_ref().is_ok_and(|s| s.cached)));
+    }
+
+    #[test]
     fn session_second_pass_hits_everything() {
-        let mut svc = service();
-        let report = run_session(&mut svc, &[OptLevel::Dbds], 2);
+        let svc = service();
+        let report = run_session(&svc, &[OptLevel::Dbds], 2);
         assert_eq!(report.passes.len(), 2);
         assert_eq!(report.hit_rate(0), 0.0);
         assert!(

@@ -57,6 +57,9 @@ pub struct StoreHealth {
     /// Entries quarantined since the backend was opened (recovery scan
     /// plus read-time checksum failures).
     pub quarantined: u64,
+    /// Entries evicted by a size budget (see [`BoundedStore`]) since
+    /// the backend was opened. Explicit `evict` calls do not count.
+    pub evictions: u64,
 }
 
 /// The swappable persistence layer of the compilation service.
@@ -151,6 +154,7 @@ impl CompiledStore for MemStore {
         StoreHealth {
             entries: self.entries.len(),
             quarantined: 0,
+            evictions: 0,
         }
     }
 }
@@ -162,6 +166,10 @@ impl CompiledStore for MemStore {
 pub struct DiskStore {
     dir: PathBuf,
     quarantined: u64,
+    /// The shard this backend serves in a sharded store (0 for
+    /// unsharded stores); identifies the backend to the shard-targeted
+    /// fault-injection sites.
+    shard: u32,
 }
 
 impl DiskStore {
@@ -175,11 +183,23 @@ impl DiskStore {
     /// Returns a [`StoreError`] when the directory cannot be created
     /// or scanned at all.
     pub fn open(dir: impl Into<PathBuf>) -> Result<DiskStore, StoreError> {
+        DiskStore::open_shard(dir, 0)
+    }
+
+    /// [`DiskStore::open`] for shard `shard` of a sharded store: same
+    /// behaviour, but store-fault injection sites see the shard id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the directory cannot be created
+    /// or scanned at all.
+    pub fn open_shard(dir: impl Into<PathBuf>, shard: u32) -> Result<DiskStore, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| StoreError(format!("create {dir:?}: {e}")))?;
         let mut store = DiskStore {
             dir,
             quarantined: 0,
+            shard,
         };
         store.recover()?;
         Ok(store)
@@ -202,8 +222,8 @@ impl DiskStore {
             let Some(stem) = name.strip_suffix(ENTRY_SUFFIX) else {
                 continue;
             };
-            let valid =
-                stem.parse::<StoreKey>().is_ok() && matches!(read_entry_file(&path), Ok(Some(_)));
+            let valid = stem.parse::<StoreKey>().is_ok()
+                && matches!(read_entry_file(&path, self.shard), Ok(Some(_)));
             if !valid {
                 self.quarantine(&name);
             }
@@ -247,14 +267,16 @@ impl DiskStore {
 /// Reads and validates one entry file: `Ok(Some(payload))` when intact,
 /// `Ok(None)` when structurally corrupt (bad magic, length mismatch,
 /// checksum mismatch), `Err` when unreadable.
-fn read_entry_file(path: &Path) -> Result<Option<Vec<u8>>, String> {
+fn read_entry_file(path: &Path, shard: u32) -> Result<Option<Vec<u8>>, String> {
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = shard;
     let mut bytes = Vec::new();
     fs::File::open(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
         .map_err(|e| format!("open {path:?}: {e}"))?;
     // Bit-flip-on-read fault: media corruption between disk and reader.
     #[cfg(feature = "fault-injection")]
-    if !bytes.is_empty() && take_store_fault(StoreOp::Get) == Some(StoreFault::BitFlipRead) {
+    if !bytes.is_empty() && take_store_fault(StoreOp::Get, shard) == Some(StoreFault::BitFlipRead) {
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
     }
@@ -291,7 +313,7 @@ impl CompiledStore for DiskStore {
         if !path.exists() {
             return Ok(None);
         }
-        match read_entry_file(&path) {
+        match read_entry_file(&path, self.shard) {
             Ok(Some(payload)) => Ok(Some(payload)),
             Ok(None) => {
                 // Corrupt: heal by quarantine + miss; the service
@@ -305,7 +327,7 @@ impl CompiledStore for DiskStore {
 
     fn put(&mut self, key: &StoreKey, payload: &[u8]) -> Result<(), StoreError> {
         #[cfg(feature = "fault-injection")]
-        let fault = take_store_fault(StoreOp::Put);
+        let fault = take_store_fault(StoreOp::Put, self.shard);
         #[cfg(not(feature = "fault-injection"))]
         let fault: Option<()> = None;
 
@@ -382,7 +404,307 @@ impl CompiledStore for DiskStore {
         StoreHealth {
             entries: self.keys().map_or(0, |k| k.len()),
             quarantined: self.quarantined,
+            evictions: 0,
         }
+    }
+}
+
+/// A size-budgeted wrapper around any backend: keeps the sum of stored
+/// payload bytes at or below `budget` by evicting entries with a
+/// second-chance (clock) sweep over per-entry last-hit bits.
+///
+/// Determinism: the clock ring is ordered by insertion, seeded from the
+/// inner backend's *sorted* key list on open, and advanced only by
+/// get/put calls — so the eviction sequence is a pure function of the
+/// operation sequence, independent of wall-clock time or thread count.
+/// The budget is strict: an entry larger than the whole budget is
+/// admitted durably and then evicted by the very next sweep, which
+/// keeps the arithmetic simple and still bounds the steady state.
+///
+/// Like every store, the wrapper is advisory: when the inner backend
+/// cannot evict (e.g. a read-only directory), the sweep stops and the
+/// store temporarily exceeds its budget rather than failing requests.
+pub struct BoundedStore {
+    inner: Box<dyn CompiledStore>,
+    budget: u64,
+    /// Clock ring in insertion order; `hand` indexes the next victim
+    /// candidate.
+    ring: Vec<StoreKey>,
+    hand: usize,
+    /// Payload size and second-chance bit per live entry.
+    tracked: BTreeMap<StoreKey, (u64, bool)>,
+    total: u64,
+    evictions: u64,
+}
+
+impl BoundedStore {
+    /// Wraps `inner` under a byte `budget`, seeding the clock from the
+    /// inner store's current (sorted) keys and immediately enforcing
+    /// the budget against pre-existing entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the inner store cannot list or
+    /// read its entries during seeding.
+    pub fn new(inner: Box<dyn CompiledStore>, budget: u64) -> Result<BoundedStore, StoreError> {
+        let mut store = BoundedStore {
+            inner,
+            budget,
+            ring: Vec::new(),
+            hand: 0,
+            tracked: BTreeMap::new(),
+            total: 0,
+            evictions: 0,
+        };
+        for key in store.inner.keys()? {
+            if let Some(payload) = store.inner.get(&key)? {
+                store.track(key, payload.len() as u64);
+            }
+        }
+        store.enforce();
+        Ok(store)
+    }
+
+    fn track(&mut self, key: StoreKey, size: u64) {
+        match self.tracked.insert(key, (size, false)) {
+            Some((old, _)) => self.total = self.total - old + size,
+            None => {
+                self.total += size;
+                self.ring.push(key);
+            }
+        }
+    }
+
+    fn untrack(&mut self, key: &StoreKey) {
+        if let Some((size, _)) = self.tracked.remove(key) {
+            self.total -= size;
+            if let Some(pos) = self.ring.iter().position(|k| k == key) {
+                self.ring.remove(pos);
+                if pos < self.hand {
+                    self.hand -= 1;
+                }
+            }
+        }
+    }
+
+    /// The clock sweep: while over budget, clear-and-skip referenced
+    /// entries, evict unreferenced ones. Every visit either clears a
+    /// bit or removes an entry, so the sweep terminates.
+    fn enforce(&mut self) {
+        while self.total > self.budget && !self.ring.is_empty() {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand];
+            let referenced = self
+                .tracked
+                .get_mut(&key)
+                .map(|entry| std::mem::take(&mut entry.1))
+                .unwrap_or(false);
+            if referenced {
+                self.hand += 1;
+            } else if self.inner.evict(&key).is_ok() {
+                self.evictions += 1;
+                self.untrack(&key);
+            } else {
+                // Advisory: the backend cannot evict right now; stop
+                // rather than fail the request that triggered us.
+                break;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BoundedStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundedStore")
+            .field("backend", &self.inner.backend())
+            .field("budget", &self.budget)
+            .field("total", &self.total)
+            .field("evictions", &self.evictions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledStore for BoundedStore {
+    fn backend(&self) -> &'static str {
+        self.inner.backend()
+    }
+
+    fn get(&mut self, key: &StoreKey) -> Result<Option<Vec<u8>>, StoreError> {
+        let out = self.inner.get(key)?;
+        match &out {
+            Some(payload) => match self.tracked.get_mut(key) {
+                Some(entry) => entry.1 = true,
+                // An entry appeared behind our back (shared dir):
+                // adopt it so the budget stays honest.
+                None => {
+                    self.track(*key, payload.len() as u64);
+                    self.enforce();
+                }
+            },
+            // The inner store lost the entry (e.g. quarantined it on
+            // this read): release its budget share.
+            None => self.untrack(key),
+        }
+        Ok(out)
+    }
+
+    fn put(&mut self, key: &StoreKey, payload: &[u8]) -> Result<(), StoreError> {
+        self.inner.put(key, payload)?;
+        self.track(*key, payload.len() as u64);
+        self.enforce();
+        Ok(())
+    }
+
+    fn evict(&mut self, key: &StoreKey) -> Result<bool, StoreError> {
+        let existed = self.inner.evict(key)?;
+        self.untrack(key);
+        Ok(existed)
+    }
+
+    fn keys(&mut self) -> Result<Vec<StoreKey>, StoreError> {
+        self.inner.keys()
+    }
+
+    fn health(&mut self) -> StoreHealth {
+        let mut health = self.inner.health();
+        health.evictions += self.evictions;
+        health
+    }
+}
+
+/// A tiered read path: an in-memory front cache over a durable back
+/// store. Writes go through to the back first (durability), then fill
+/// the front; reads hit the front and fall back to the back, filling
+/// the front on the way out. The back's heal path is untouched — the
+/// front only ever holds bytes the back served intact, so the front is
+/// always a subset of the back's live entries.
+pub struct TieredStore {
+    front: MemStore,
+    back: Box<dyn CompiledStore>,
+}
+
+impl TieredStore {
+    /// Puts a fresh in-memory front in front of `back`.
+    pub fn new(back: Box<dyn CompiledStore>) -> TieredStore {
+        TieredStore {
+            front: MemStore::new(),
+            back,
+        }
+    }
+}
+
+impl fmt::Debug for TieredStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TieredStore")
+            .field("front", &self.front)
+            .field("back", &self.back.backend())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledStore for TieredStore {
+    fn backend(&self) -> &'static str {
+        "tiered"
+    }
+
+    fn get(&mut self, key: &StoreKey) -> Result<Option<Vec<u8>>, StoreError> {
+        if let Some(payload) = self.front.get(key)? {
+            return Ok(Some(payload));
+        }
+        let out = self.back.get(key)?;
+        if let Some(payload) = &out {
+            self.front.put(key, payload)?;
+        }
+        Ok(out)
+    }
+
+    fn put(&mut self, key: &StoreKey, payload: &[u8]) -> Result<(), StoreError> {
+        self.back.put(key, payload)?;
+        self.front.put(key, payload)
+    }
+
+    fn evict(&mut self, key: &StoreKey) -> Result<bool, StoreError> {
+        let in_front = self.front.evict(key)?;
+        Ok(self.back.evict(key)? || in_front)
+    }
+
+    fn keys(&mut self) -> Result<Vec<StoreKey>, StoreError> {
+        self.back.keys()
+    }
+
+    fn health(&mut self) -> StoreHealth {
+        self.back.health()
+    }
+}
+
+/// A key-prefix-routed composite: requests go to the shard chosen by
+/// [`StoreKey::shard`], so each underlying backend serves a disjoint,
+/// stable slice of the key space. With any shard count the composite is
+/// observably identical to a single store fed the same operations
+/// (gated by `tests/shard_parity.rs`) — the shards only partition the
+/// data, they never change what a get observes.
+pub struct ShardedStore {
+    shards: Vec<Box<dyn CompiledStore>>,
+}
+
+impl ShardedStore {
+    /// Builds the composite over `shards` backends (at least one).
+    pub fn new(shards: Vec<Box<dyn CompiledStore>>) -> ShardedStore {
+        assert!(!shards.is_empty(), "a sharded store needs >= 1 shard");
+        ShardedStore { shards }
+    }
+
+    fn route(&mut self, key: &StoreKey) -> &mut Box<dyn CompiledStore> {
+        let i = key.shard(self.shards.len());
+        &mut self.shards[i]
+    }
+}
+
+impl fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledStore for ShardedStore {
+    fn backend(&self) -> &'static str {
+        self.shards[0].backend()
+    }
+
+    fn get(&mut self, key: &StoreKey) -> Result<Option<Vec<u8>>, StoreError> {
+        self.route(key).get(key)
+    }
+
+    fn put(&mut self, key: &StoreKey, payload: &[u8]) -> Result<(), StoreError> {
+        self.route(key).put(key, payload)
+    }
+
+    fn evict(&mut self, key: &StoreKey) -> Result<bool, StoreError> {
+        self.route(key).evict(key)
+    }
+
+    fn keys(&mut self) -> Result<Vec<StoreKey>, StoreError> {
+        let mut keys = Vec::new();
+        for shard in &mut self.shards {
+            keys.extend(shard.keys()?);
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn health(&mut self) -> StoreHealth {
+        let mut total = StoreHealth::default();
+        for shard in &mut self.shards {
+            let health = shard.health();
+            total.entries += health.entries;
+            total.quarantined += health.quarantined;
+            total.evictions += health.evictions;
+        }
+        total
     }
 }
 
@@ -481,6 +803,106 @@ mod tests {
         assert!(s.keys().is_err());
         // A get of an absent entry is a clean miss even with the dir gone.
         assert_eq!(s.get(&key(6)).unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_quarantines_non_canonically_named_entries() {
+        let dir = tmpdir("noncanon");
+        {
+            let mut s = DiskStore::open(&dir).unwrap();
+            s.put(&key(0xbeef), b"canonical").unwrap();
+        }
+        // Plant a structurally valid entry under a non-canonical
+        // filename: uppercase hex and a `+`-padded field both parse
+        // under from_str_radix and would alias a canonical key.
+        let body = b"dbds-store-entry-v1 4 c4bcadba8e631b86\nname";
+        fs::write(dir.join("g000000000000BEEF-c0000000000000001.entry"), body).unwrap();
+        fs::write(dir.join("g+00000000000beef-c0000000000000001.entry"), body).unwrap();
+
+        let mut s = DiskStore::open(&dir).unwrap();
+        assert_eq!(
+            s.health().quarantined,
+            2,
+            "both non-canonical names quarantined"
+        );
+        assert_eq!(s.keys().unwrap(), vec![key(0xbeef)]);
+        assert!(dir
+            .join("quarantine")
+            .join("g000000000000BEEF-c0000000000000001.entry")
+            .exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_store_evicts_by_second_chance_clock() {
+        let mut s = BoundedStore::new(Box::new(MemStore::new()), 8).unwrap();
+        s.put(&key(1), b"aaaa").unwrap(); // 4 bytes
+        s.put(&key(2), b"bbbb").unwrap(); // 8 bytes total: at budget
+        assert_eq!(s.health().evictions, 0);
+
+        // Touch key(1): its second-chance bit protects it from the
+        // next sweep, so the third put evicts key(2) instead.
+        assert!(s.get(&key(1)).unwrap().is_some());
+        s.put(&key(3), b"cccc").unwrap();
+        assert_eq!(s.health().evictions, 1);
+        assert_eq!(s.keys().unwrap(), vec![key(1), key(3)]);
+
+        // The hand rests where the sweep stopped and key(1)'s bit was
+        // consumed: the next pressure evicts key(3), still unreferenced.
+        s.put(&key(4), b"dddd").unwrap();
+        assert_eq!(s.keys().unwrap(), vec![key(1), key(4)]);
+        assert_eq!(s.health().evictions, 2);
+        assert_eq!(s.health().entries, 2);
+    }
+
+    #[test]
+    fn bounded_store_admits_then_evicts_oversized_entries() {
+        let mut s = BoundedStore::new(Box::new(MemStore::new()), 4).unwrap();
+        s.put(&key(1), b"way too large for the budget").unwrap();
+        assert_eq!(s.keys().unwrap(), vec![], "over-budget entry swept");
+        assert_eq!(s.health().evictions, 1);
+    }
+
+    #[test]
+    fn bounded_store_seeds_clock_from_reopened_backend() {
+        let dir = tmpdir("bounded-reopen");
+        {
+            let mut s = DiskStore::open(&dir).unwrap();
+            s.put(&key(1), b"aaaa").unwrap();
+            s.put(&key(2), b"bbbb").unwrap();
+        }
+        // Reopening under a tighter budget enforces it immediately, in
+        // sorted-key ring order.
+        let mut s = BoundedStore::new(Box::new(DiskStore::open(&dir).unwrap()), 4).unwrap();
+        assert_eq!(s.keys().unwrap(), vec![key(2)]);
+        assert_eq!(s.health().evictions, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiered_store_fills_front_and_writes_through() {
+        let dir = tmpdir("tiered");
+        let mut s = TieredStore::new(Box::new(DiskStore::open(&dir).unwrap()));
+        s.put(&key(1), b"payload").unwrap();
+        // The write went through to disk: delete the file behind the
+        // store's back and the front still serves.
+        let path = dir.join(format!("{}{ENTRY_SUFFIX}", key(1)));
+        assert!(path.exists(), "write-through must hit disk");
+        fs::remove_file(&path).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap().as_deref(), Some(&b"payload"[..]));
+
+        // A fresh tier over the same dir starts cold and falls back to
+        // the disk copy, filling the front on the way out.
+        let mut s = TieredStore::new(Box::new(DiskStore::open(&dir).unwrap()));
+        s.put(&key(2), b"warm me").unwrap();
+        let mut cold = TieredStore::new(Box::new(DiskStore::open(&dir).unwrap()));
+        assert_eq!(cold.get(&key(2)).unwrap().as_deref(), Some(&b"warm me"[..]));
+        assert_eq!(
+            cold.front.get(&key(2)).unwrap().as_deref(),
+            Some(&b"warm me"[..])
+        );
+        assert!(s.evict(&key(2)).unwrap());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

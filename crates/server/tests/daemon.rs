@@ -117,6 +117,83 @@ fn zero_queue_sheds_with_typed_overloaded() {
     handle.join();
 }
 
+/// Regression for the check-then-increment admission race: with many
+/// clients racing, the old two-step admission could admit more jobs
+/// than `max_queue`. The daemon tracks the high-water mark of the queue
+/// depth, so the bound is checked directly — and every request must be
+/// either served or shed with the typed error, never dropped.
+#[test]
+fn concurrent_clients_never_exceed_the_admission_bound() {
+    const CLIENTS: usize = 8;
+    const REQS_PER_CLIENT: usize = 3;
+    let handle = serve(ServerConfig {
+        max_queue: 2,
+        ..ServerConfig::default()
+    })
+    .expect("serve");
+    let addr = handle.addr.clone();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut served = 0u64;
+                let mut shed = 0u64;
+                for _ in 0..REQS_PER_CLIENT {
+                    match client.compile(compile_req("wordcount")).expect("rpc") {
+                        Ok(_) => served += 1,
+                        Err(ServiceError::Overloaded) => shed += 1,
+                        Err(other) => panic!("unexpected error: {other:?}"),
+                    }
+                }
+                (served, shed)
+            })
+        })
+        .collect();
+    let (mut served, mut shed) = (0u64, 0u64);
+    for worker in workers {
+        let (s, d) = worker.join().expect("client thread");
+        served += s;
+        shed += d;
+    }
+
+    assert_eq!(served + shed, (CLIENTS * REQS_PER_CLIENT) as u64);
+    assert!(
+        handle.peak_queue() <= 2,
+        "admission bound breached: peak queue depth {} > 2",
+        handle.peak_queue()
+    );
+    let mut client = Client::connect(&addr).expect("connect");
+    let status = client.status().expect("status");
+    assert_eq!(counter(&status, "requests"), served);
+    assert_eq!(counter(&status, "shed"), shed);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// The same request sequence must produce byte-identical status output
+/// whether one dispatcher owns every shard or four split them.
+#[test]
+fn status_is_identical_across_dispatcher_counts() {
+    let status_with = |dispatchers: usize| {
+        let handle = serve(ServerConfig {
+            dispatchers,
+            ..ServerConfig::default()
+        })
+        .expect("serve");
+        let mut client = Client::connect(&handle.addr).expect("connect");
+        for name in ["wordcount", "charcount", "wordcount", "no-such-workload"] {
+            let _ = client.compile(compile_req(name)).expect("rpc");
+        }
+        let status = client.status().expect("status").pretty();
+        client.shutdown().expect("shutdown");
+        handle.join();
+        status
+    };
+    assert_eq!(status_with(1), status_with(4));
+}
+
 #[test]
 fn disk_store_persists_across_daemon_restarts() {
     let dir = std::env::temp_dir().join(format!("dbds-daemon-store-{}", std::process::id()));

@@ -1,0 +1,250 @@
+//! Sharding parity property tests: a [`ShardedStore`] must be
+//! observably identical to an unsharded store fed the same operation
+//! sequence — sharding partitions the data, it never changes what a
+//! get/evict/keys observes. The bounded variant must likewise match N
+//! independent per-shard [`BoundedStore`]s fed the shard-routed
+//! subsequences, eviction order included, across crash-and-reopen
+//! cycles (the clock reseeds from sorted keys on both sides).
+
+use dbds_server::{BoundedStore, CompiledStore, DiskStore, MemStore, ShardedStore, StoreKey};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARDS: u32 = 3;
+
+/// One step of a random store script. Keys and payloads come from a
+/// small alphabet so collisions (overwrites, double evicts) actually
+/// happen.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u8, u8),
+    Get(u8),
+    Evict(u8),
+    Keys,
+    /// Crash every disk shard (drop, plant a stray temp file in shard
+    /// 0) and reopen the composite; installed entries must survive and
+    /// the stray temp must not surface.
+    CrashAndReopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // (discriminant, key, payload version) — the vendored proptest
+    // subset has no `prop_oneof`, so one mapped tuple picks the op.
+    (0u8..10, 0u8..6, 0u8..255).prop_map(|(which, k, v)| match which {
+        0..=3 => Op::Put(k, v),
+        4..=6 => Op::Get(k),
+        7 => Op::Evict(k),
+        8 => Op::Keys,
+        _ => Op::CrashAndReopen,
+    })
+}
+
+/// Keys with spread in the high graph bits — [`StoreKey::shard`] is a
+/// multiply-shift over `graph >> 32`, so low-entropy fixtures would all
+/// land on shard 0 and prove nothing.
+fn key(k: u8) -> StoreKey {
+    StoreKey {
+        graph: (u64::from(k) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        config: 0xC0FFEE,
+    }
+}
+
+fn payload(k: u8, v: u8) -> Vec<u8> {
+    format!("payload for key {k} version {v}\n").into_bytes()
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dbds-shard-parity-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_sharded_disk(dir: &Path) -> ShardedStore {
+    ShardedStore::new(
+        (0..SHARDS)
+            .map(|i| {
+                Box::new(
+                    DiskStore::open_shard(dir.join(format!("shard-{i}")), i)
+                        .expect("open disk shard"),
+                ) as Box<dyn CompiledStore>
+            })
+            .collect(),
+    )
+}
+
+/// N independent bounded disk shards under `dir` — the reference model
+/// for the bounded composite (ops are routed to them by hand).
+fn open_bounded_shards(dir: &Path, budget: u64) -> Vec<BoundedStore> {
+    (0..SHARDS)
+        .map(|i| {
+            let disk =
+                DiskStore::open_shard(dir.join(format!("shard-{i}")), i).expect("open disk shard");
+            BoundedStore::new(Box::new(disk), budget).expect("bound disk shard")
+        })
+        .collect()
+}
+
+fn open_bounded_sharded(dir: &Path, budget: u64) -> ShardedStore {
+    ShardedStore::new(
+        open_bounded_shards(dir, budget)
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn CompiledStore>)
+            .collect(),
+    )
+}
+
+fn plant_stray_tmp(dir: &Path) {
+    std::fs::create_dir_all(dir.join("shard-0")).expect("shard dir");
+    std::fs::write(
+        dir.join("shard-0").join(format!("{}.tmp4242", key(0))),
+        b"torn half-written entry",
+    )
+    .expect("plant stray tmp");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ShardedStore over N disk shards ≡ one unsharded in-memory store.
+    #[test]
+    fn sharded_disk_matches_unsharded_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let dir = fresh_dir("disk");
+        let mut reference = MemStore::new();
+        let mut sharded = open_sharded_disk(&dir);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Put(k, v) => {
+                    reference.put(&key(*k), &payload(*k, *v)).expect("reference put");
+                    sharded.put(&key(*k), &payload(*k, *v)).expect("sharded put");
+                }
+                Op::Get(k) => {
+                    let want = reference.get(&key(*k)).expect("reference get");
+                    let got = sharded.get(&key(*k)).expect("sharded get");
+                    prop_assert_eq!(want, got, "get({}) diverged at step {}", k, i);
+                }
+                Op::Evict(k) => {
+                    let want = reference.evict(&key(*k)).expect("reference evict");
+                    let got = sharded.evict(&key(*k)).expect("sharded evict");
+                    prop_assert_eq!(want, got, "evict({}) diverged at step {}", k, i);
+                }
+                Op::Keys => {
+                    prop_assert_eq!(
+                        reference.keys().expect("reference keys"),
+                        sharded.keys().expect("sharded keys"),
+                        "keys() diverged at step {}", i
+                    );
+                }
+                Op::CrashAndReopen => {
+                    drop(sharded);
+                    plant_stray_tmp(&dir);
+                    sharded = open_sharded_disk(&dir);
+                    prop_assert_eq!(
+                        sharded.health().quarantined, 0,
+                        "recovery scan quarantined a healthy entry at step {}", i
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(
+            reference.keys().expect("reference keys"),
+            sharded.keys().expect("sharded keys")
+        );
+        for k in 0u8..6 {
+            prop_assert_eq!(
+                reference.get(&key(k)).expect("reference get"),
+                sharded.get(&key(k)).expect("sharded get"),
+                "final get({}) diverged", k
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Bounded ShardedStore ≡ N independent bounded shards fed the
+    /// shard-routed subsequences — same hits, same victims, same
+    /// eviction totals, including across crash-and-reopen cycles.
+    #[test]
+    fn bounded_sharded_matches_independent_bounded_shards(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        // ~27-byte payloads, so two entries fit per shard and puts
+        // under pressure actually trigger the clock.
+        const BUDGET: u64 = 60;
+        let dir_sharded = fresh_dir("bounded-sharded");
+        let dir_reference = fresh_dir("bounded-reference");
+        let mut sharded = open_bounded_sharded(&dir_sharded, BUDGET);
+        let mut reference = open_bounded_shards(&dir_reference, BUDGET);
+        let route = |k: u8| key(k).shard(SHARDS as usize);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Put(k, v) => {
+                    reference[route(*k)].put(&key(*k), &payload(*k, *v)).expect("reference put");
+                    sharded.put(&key(*k), &payload(*k, *v)).expect("sharded put");
+                }
+                Op::Get(k) => {
+                    let want = reference[route(*k)].get(&key(*k)).expect("reference get");
+                    let got = sharded.get(&key(*k)).expect("sharded get");
+                    prop_assert_eq!(want, got, "get({}) diverged at step {}", k, i);
+                }
+                Op::Evict(k) => {
+                    let want = reference[route(*k)].evict(&key(*k)).expect("reference evict");
+                    let got = sharded.evict(&key(*k)).expect("sharded evict");
+                    prop_assert_eq!(want, got, "evict({}) diverged at step {}", k, i);
+                }
+                Op::Keys => {
+                    let mut want = Vec::new();
+                    for shard in &mut reference {
+                        want.extend(shard.keys().expect("reference keys"));
+                    }
+                    want.sort();
+                    prop_assert_eq!(
+                        want,
+                        sharded.keys().expect("sharded keys"),
+                        "keys() diverged at step {}", i
+                    );
+                }
+                Op::CrashAndReopen => {
+                    drop(sharded);
+                    drop(std::mem::take(&mut reference));
+                    plant_stray_tmp(&dir_sharded);
+                    plant_stray_tmp(&dir_reference);
+                    sharded = open_bounded_sharded(&dir_sharded, BUDGET);
+                    reference = open_bounded_shards(&dir_reference, BUDGET);
+                    prop_assert_eq!(
+                        sharded.health().quarantined, 0,
+                        "recovery scan quarantined a healthy entry at step {}", i
+                    );
+                }
+            }
+        }
+        // Same surviving keys, same bytes, same eviction totals. Note
+        // eviction counters reset on reopen on both sides, so they stay
+        // comparable across crashes too.
+        let mut want_keys = Vec::new();
+        let mut want_evictions = 0;
+        for shard in &mut reference {
+            want_keys.extend(shard.keys().expect("reference keys"));
+            want_evictions += shard.health().evictions;
+        }
+        want_keys.sort();
+        prop_assert_eq!(want_keys, sharded.keys().expect("sharded keys"));
+        prop_assert_eq!(want_evictions, sharded.health().evictions);
+        for k in 0u8..6 {
+            prop_assert_eq!(
+                reference[route(k)].get(&key(k)).expect("reference get"),
+                sharded.get(&key(k)).expect("sharded get"),
+                "final get({}) diverged", k
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir_sharded);
+        let _ = std::fs::remove_dir_all(&dir_reference);
+    }
+}
