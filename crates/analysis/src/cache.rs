@@ -2,13 +2,14 @@
 //! `AnalysisManager` and Graal's cached `cfg.dominatorTree` (§5.1 of the
 //! paper).
 //!
-//! An [`AnalysisCache`] memoizes the three CFG-level analyses — dominator
-//! tree, loop forest, block frequencies — keyed by the graph's
+//! An [`AnalysisCache`] memoizes the six CFG-level analyses — dominator
+//! tree, loop forest, block frequencies, post-dominator tree, dominance
+//! frontiers and the control-dependence graph — keyed by the graph's
 //! [`cfg_version`](dbds_ir::Graph::cfg_version) mutation epoch. A lookup on
 //! an unchanged graph is a pointer clone; the first lookup after a
 //! structural mutation recomputes and replaces the stale entry. Pure
 //! value rewrites (constant folding, use replacement) leave `cfg_version`
-//! untouched, so all three analyses survive them.
+//! untouched, so all entries survive them.
 //!
 //! Entries are returned as [`Arc`]s so callers can hold several analyses
 //! at once (the simulation walk needs dominators *and* frequencies) while
@@ -37,24 +38,34 @@
 //! # Ok::<(), dbds_ir::ParseError>(())
 //! ```
 
-use crate::{BlockFrequencies, DomTree, LoopForest};
+use crate::{BlockFrequencies, ControlDepGraph, DomFrontiers, DomTree, LoopForest, PostDomTree};
 use dbds_ir::lint::{Diagnostic, LintId};
 use dbds_ir::Graph;
 use std::sync::Arc;
 
 /// Hit/miss/invalidation counters of an [`AnalysisCache`].
 ///
-/// Aggregated over all three analyses. Every lookup is either a hit or a
-/// miss; `invalidations` counts the misses that discarded a stale entry
-/// (as opposed to cold-start misses on an empty slot).
+/// The forward analyses (dominator tree, loops, frequencies) aggregate
+/// into `hits`/`misses`/`invalidations`; the reverse-CFG analyses
+/// (post-dominators, frontiers, control dependence) keep their own
+/// `rev_*` counters so the long-standing forward-counter pins stay
+/// meaningful. Every lookup is either a hit or a miss; invalidations
+/// count the misses that discarded a stale entry (as opposed to
+/// cold-start misses on an empty slot).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from a still-valid entry.
+    /// Forward-analysis lookups served from a still-valid entry.
     pub hits: u64,
-    /// Lookups that had to (re)compute the analysis.
+    /// Forward-analysis lookups that had to (re)compute.
     pub misses: u64,
-    /// Stale entries discarded because the graph's CFG epoch moved on.
+    /// Forward entries discarded because the CFG epoch moved on.
     pub invalidations: u64,
+    /// Reverse-CFG-analysis lookups served from a still-valid entry.
+    pub rev_hits: u64,
+    /// Reverse-CFG-analysis lookups that had to (re)compute.
+    pub rev_misses: u64,
+    /// Reverse-CFG entries discarded because the CFG epoch moved on.
+    pub rev_invalidations: u64,
 }
 
 impl CacheStats {
@@ -63,6 +74,9 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.invalidations += other.invalidations;
+        self.rev_hits += other.rev_hits;
+        self.rev_misses += other.rev_misses;
+        self.rev_invalidations += other.rev_invalidations;
     }
 }
 
@@ -86,7 +100,32 @@ pub struct AnalysisCache {
     domtree: Option<Slot<DomTree>>,
     loops: Option<Slot<LoopForest>>,
     frequencies: Option<Slot<BlockFrequencies>>,
+    postdom: Option<Slot<PostDomTree>>,
+    frontiers: Option<Slot<DomFrontiers>>,
+    controldep: Option<Slot<ControlDepGraph>>,
     stats: CacheStats,
+}
+
+/// Looks up `$slot` under the stamp discipline, recomputing with `$make`
+/// on a miss and charging `$hits`/`$misses`/`$invals`.
+macro_rules! cached {
+    ($self:ident, $g:ident, $slot:ident, $hits:ident, $misses:ident, $invals:ident, $make:expr) => {{
+        let version = $g.cfg_version();
+        if let Some(slot) = &$self.$slot {
+            if slot.version == version {
+                $self.stats.$hits += 1;
+                return Arc::clone(&slot.value);
+            }
+            $self.stats.$invals += 1;
+        }
+        $self.stats.$misses += 1;
+        let value = Arc::new($make);
+        $self.$slot = Some(Slot {
+            version,
+            value: Arc::clone(&value),
+        });
+        value
+    }};
 }
 
 impl AnalysisCache {
@@ -98,65 +137,85 @@ impl AnalysisCache {
     /// The dominator tree of `g`, recomputing only if the CFG changed
     /// since the last lookup.
     pub fn domtree(&mut self, g: &Graph) -> Arc<DomTree> {
-        let version = g.cfg_version();
-        if let Some(slot) = &self.domtree {
-            if slot.version == version {
-                self.stats.hits += 1;
-                return Arc::clone(&slot.value);
-            }
-            self.stats.invalidations += 1;
-        }
-        self.stats.misses += 1;
-        let value = Arc::new(DomTree::compute(g));
-        self.domtree = Some(Slot {
-            version,
-            value: Arc::clone(&value),
-        });
-        value
+        cached!(
+            self,
+            g,
+            domtree,
+            hits,
+            misses,
+            invalidations,
+            DomTree::compute(g)
+        )
     }
 
     /// The loop forest of `g`, recomputing only if the CFG changed since
     /// the last lookup. Pulls the dominator tree through the cache.
     pub fn loops(&mut self, g: &Graph) -> Arc<LoopForest> {
-        let version = g.cfg_version();
-        if let Some(slot) = &self.loops {
-            if slot.version == version {
-                self.stats.hits += 1;
-                return Arc::clone(&slot.value);
-            }
-            self.stats.invalidations += 1;
-        }
-        self.stats.misses += 1;
-        let dt = self.domtree(g);
-        let value = Arc::new(LoopForest::compute(g, &dt));
-        self.loops = Some(Slot {
-            version,
-            value: Arc::clone(&value),
-        });
-        value
+        cached!(self, g, loops, hits, misses, invalidations, {
+            let dt = self.domtree(g);
+            LoopForest::compute(g, &dt)
+        })
     }
 
     /// The block execution frequencies of `g`, recomputing only if the
     /// CFG (including branch probabilities) changed since the last
     /// lookup. Pulls dominators and loops through the cache.
     pub fn frequencies(&mut self, g: &Graph) -> Arc<BlockFrequencies> {
-        let version = g.cfg_version();
-        if let Some(slot) = &self.frequencies {
-            if slot.version == version {
-                self.stats.hits += 1;
-                return Arc::clone(&slot.value);
+        cached!(self, g, frequencies, hits, misses, invalidations, {
+            let dt = self.domtree(g);
+            let loops = self.loops(g);
+            BlockFrequencies::compute(g, &dt, &loops)
+        })
+    }
+
+    /// The post-dominator tree of `g`, recomputing only if the CFG
+    /// changed since the last lookup. Counted under the `rev_*` stats.
+    pub fn postdom(&mut self, g: &Graph) -> Arc<PostDomTree> {
+        cached!(
+            self,
+            g,
+            postdom,
+            rev_hits,
+            rev_misses,
+            rev_invalidations,
+            PostDomTree::compute(g)
+        )
+    }
+
+    /// The dominance and post-dominance frontiers of `g`. Pulls the
+    /// dominator and post-dominator trees through the cache; counted
+    /// under the `rev_*` stats.
+    pub fn frontiers(&mut self, g: &Graph) -> Arc<DomFrontiers> {
+        cached!(
+            self,
+            g,
+            frontiers,
+            rev_hits,
+            rev_misses,
+            rev_invalidations,
+            {
+                let dt = self.domtree(g);
+                let pd = self.postdom(g);
+                DomFrontiers::compute(g, &dt, &pd)
             }
-            self.stats.invalidations += 1;
-        }
-        self.stats.misses += 1;
-        let dt = self.domtree(g);
-        let loops = self.loops(g);
-        let value = Arc::new(BlockFrequencies::compute(g, &dt, &loops));
-        self.frequencies = Some(Slot {
-            version,
-            value: Arc::clone(&value),
-        });
-        value
+        )
+    }
+
+    /// The control-dependence graph of `g`. Pulls the post-dominator
+    /// tree through the cache; counted under the `rev_*` stats.
+    pub fn control_dep(&mut self, g: &Graph) -> Arc<ControlDepGraph> {
+        cached!(
+            self,
+            g,
+            controldep,
+            rev_hits,
+            rev_misses,
+            rev_invalidations,
+            {
+                let pd = self.postdom(g);
+                ControlDepGraph::compute(g, &pd)
+            }
+        )
     }
 
     /// The counters accumulated so far.
@@ -170,6 +229,9 @@ impl AnalysisCache {
         self.domtree = None;
         self.loops = None;
         self.frequencies = None;
+        self.postdom = None;
+        self.frontiers = None;
+        self.controldep = None;
     }
 
     /// Audits every entry that claims to describe the current graph state
@@ -183,91 +245,271 @@ impl AnalysisCache {
     /// entries (stamp ≠ current version) are skipped: they are invalid by
     /// contract and the next lookup replaces them anyway.
     ///
+    /// The audit is driven by [`AUDIT_REGISTRY`], one entry per memoized
+    /// analysis, sharing fresh base analyses lazily — adding a slot
+    /// without registering an auditor fails the registry meta-test.
+    ///
     /// Read-only: the audit never touches the slots or the counters.
     pub fn audit(&self, g: &Graph) -> Vec<Diagnostic> {
-        let version = g.cfg_version();
         let mut out = Vec::new();
-        let current = |v: u64| v == version;
-
-        let any_current = self.domtree.as_ref().is_some_and(|s| current(s.version))
-            || self.loops.as_ref().is_some_and(|s| current(s.version))
-            || self
-                .frequencies
-                .as_ref()
-                .is_some_and(|s| current(s.version));
-        if !any_current {
-            return out; // empty / all-stale cache audits for free
-        }
-        // One fresh recomputation shared across the three diffs.
-        let fresh_dt = DomTree::compute(g);
-
-        if let Some(slot) = self.domtree.as_ref().filter(|s| current(s.version)) {
-            let fresh = &fresh_dt;
-            for b in g.blocks() {
-                if slot.value.idom(b) != fresh.idom(b) {
-                    out.push(Diagnostic::new(
-                        LintId::StaleAnalysis,
-                        Some(b),
-                        None,
-                        format!(
-                            "cached domtree stamped current disagrees at {b}: idom {:?} vs recomputed {:?}",
-                            slot.value.idom(b),
-                            fresh.idom(b)
-                        ),
-                    ));
-                }
-            }
-            if slot.value.reverse_postorder() != fresh.reverse_postorder() {
-                out.push(Diagnostic::new(
-                    LintId::StaleAnalysis,
-                    None,
-                    None,
-                    "cached domtree stamped current has a divergent reverse postorder".to_string(),
-                ));
-            }
-        }
-        if let Some(slot) = self.loops.as_ref().filter(|s| current(s.version)) {
-            let fresh = LoopForest::compute(g, &fresh_dt);
-            for b in g.blocks() {
-                if slot.value.depth(b) != fresh.depth(b)
-                    || slot.value.is_header(b) != fresh.is_header(b)
-                {
-                    out.push(Diagnostic::new(
-                        LintId::StaleAnalysis,
-                        Some(b),
-                        None,
-                        format!(
-                            "cached loop forest stamped current disagrees at {b}: depth {} header {} vs recomputed depth {} header {}",
-                            slot.value.depth(b),
-                            slot.value.is_header(b),
-                            fresh.depth(b),
-                            fresh.is_header(b)
-                        ),
-                    ));
-                }
-            }
-        }
-        if let Some(slot) = self.frequencies.as_ref().filter(|s| current(s.version)) {
-            let fresh_loops = LoopForest::compute(g, &fresh_dt);
-            let fresh = BlockFrequencies::compute(g, &fresh_dt, &fresh_loops);
-            // Exact comparison is deliberate: recomputing the same input
-            // is deterministic, so any difference is a staleness bug.
-            for b in g.blocks() {
-                if slot.value.freq(b).to_bits() != fresh.freq(b).to_bits() {
-                    out.push(Diagnostic::new(
-                        LintId::StaleAnalysis,
-                        Some(b),
-                        None,
-                        format!(
-                            "cached frequencies stamped current disagree at {b}: {} vs recomputed {}",
-                            slot.value.freq(b),
-                            fresh.freq(b)
-                        ),
-                    ));
-                }
-            }
+        let mut fresh = FreshAnalyses::new(g);
+        for &(_, audit) in AUDIT_REGISTRY {
+            audit(self, &mut fresh, &mut out);
         }
         out
+    }
+}
+
+/// Lazily computed fresh analyses shared by the audit registry, so the
+/// base analyses are recomputed at most once per audit no matter how many
+/// registered auditors need them.
+struct FreshAnalyses<'g> {
+    g: &'g Graph,
+    version: u64,
+    dt: Option<DomTree>,
+    loops: Option<LoopForest>,
+    pd: Option<PostDomTree>,
+}
+
+impl<'g> FreshAnalyses<'g> {
+    fn new(g: &'g Graph) -> Self {
+        FreshAnalyses {
+            g,
+            version: g.cfg_version(),
+            dt: None,
+            loops: None,
+            pd: None,
+        }
+    }
+
+    fn dt(&mut self) -> &DomTree {
+        if self.dt.is_none() {
+            self.dt = Some(DomTree::compute(self.g));
+        }
+        self.dt.as_ref().expect("just computed")
+    }
+
+    fn loops(&mut self) -> &LoopForest {
+        if self.loops.is_none() {
+            self.dt();
+            let dt = self.dt.as_ref().expect("just computed");
+            self.loops = Some(LoopForest::compute(self.g, dt));
+        }
+        self.loops.as_ref().expect("just computed")
+    }
+
+    fn pd(&mut self) -> &PostDomTree {
+        if self.pd.is_none() {
+            self.pd = Some(PostDomTree::compute(self.g));
+        }
+        self.pd.as_ref().expect("just computed")
+    }
+}
+
+/// One registered auditor: diffs a cached slot (when stamped current)
+/// against fresh recomputation.
+type AuditFn = fn(&AnalysisCache, &mut FreshAnalyses<'_>, &mut Vec<Diagnostic>);
+
+/// The audit registry: every memoized analysis of [`AnalysisCache`] with
+/// its divergence check. Keep in sync with the cache's slots — the
+/// `registry_covers_every_slot` meta-test destructures the cache so a new
+/// slot cannot be added without updating both.
+const AUDIT_REGISTRY: &[(&str, AuditFn)] = &[
+    ("domtree", audit_domtree),
+    ("loops", audit_loops),
+    ("frequencies", audit_frequencies),
+    ("postdom", audit_postdom),
+    ("frontiers", audit_frontiers),
+    ("controldep", audit_controldep),
+];
+
+fn stale_at(b: Option<dbds_ir::BlockId>, message: String) -> Diagnostic {
+    Diagnostic::new(LintId::StaleAnalysis, b, None, message)
+}
+
+fn audit_domtree(cache: &AnalysisCache, fresh: &mut FreshAnalyses<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(slot) = cache
+        .domtree
+        .as_ref()
+        .filter(|s| s.version == fresh.version)
+    else {
+        return;
+    };
+    let g = fresh.g;
+    let fresh = fresh.dt();
+    for b in g.blocks() {
+        if slot.value.idom(b) != fresh.idom(b) {
+            out.push(stale_at(
+                Some(b),
+                format!(
+                    "cached domtree stamped current disagrees at {b}: idom {:?} vs recomputed {:?}",
+                    slot.value.idom(b),
+                    fresh.idom(b)
+                ),
+            ));
+        }
+    }
+    if slot.value.reverse_postorder() != fresh.reverse_postorder() {
+        out.push(stale_at(
+            None,
+            "cached domtree stamped current has a divergent reverse postorder".to_string(),
+        ));
+    }
+}
+
+fn audit_loops(cache: &AnalysisCache, fresh: &mut FreshAnalyses<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(slot) = cache.loops.as_ref().filter(|s| s.version == fresh.version) else {
+        return;
+    };
+    let g = fresh.g;
+    let fresh = fresh.loops();
+    for b in g.blocks() {
+        if slot.value.depth(b) != fresh.depth(b) || slot.value.is_header(b) != fresh.is_header(b) {
+            out.push(stale_at(
+                Some(b),
+                format!(
+                    "cached loop forest stamped current disagrees at {b}: depth {} header {} vs recomputed depth {} header {}",
+                    slot.value.depth(b),
+                    slot.value.is_header(b),
+                    fresh.depth(b),
+                    fresh.is_header(b)
+                ),
+            ));
+        }
+    }
+}
+
+fn audit_frequencies(
+    cache: &AnalysisCache,
+    fresh: &mut FreshAnalyses<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(slot) = cache
+        .frequencies
+        .as_ref()
+        .filter(|s| s.version == fresh.version)
+    else {
+        return;
+    };
+    let g = fresh.g;
+    fresh.loops();
+    let (dt, loops) = (
+        fresh.dt.as_ref().expect("just computed"),
+        fresh.loops.as_ref().expect("just computed"),
+    );
+    let recomputed = BlockFrequencies::compute(g, dt, loops);
+    // Exact comparison is deliberate: recomputing the same input is
+    // deterministic, so any difference is a staleness bug.
+    for b in g.blocks() {
+        if slot.value.freq(b).to_bits() != recomputed.freq(b).to_bits() {
+            out.push(stale_at(
+                Some(b),
+                format!(
+                    "cached frequencies stamped current disagree at {b}: {} vs recomputed {}",
+                    slot.value.freq(b),
+                    recomputed.freq(b)
+                ),
+            ));
+        }
+    }
+}
+
+fn audit_postdom(cache: &AnalysisCache, fresh: &mut FreshAnalyses<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(slot) = cache
+        .postdom
+        .as_ref()
+        .filter(|s| s.version == fresh.version)
+    else {
+        return;
+    };
+    let g = fresh.g;
+    let fresh = fresh.pd();
+    for b in g.blocks() {
+        if slot.value.ipdom(b) != fresh.ipdom(b)
+            || slot.value.is_root(b) != fresh.is_root(b)
+            || slot.value.in_domain(b) != fresh.in_domain(b)
+        {
+            out.push(stale_at(
+                Some(b),
+                format!(
+                    "cached postdom stamped current disagrees at {b}: ipdom {:?} vs recomputed {:?}",
+                    slot.value.ipdom(b),
+                    fresh.ipdom(b)
+                ),
+            ));
+        }
+    }
+    if slot.value.roots() != fresh.roots() {
+        out.push(stale_at(
+            None,
+            "cached postdom stamped current has divergent virtual-exit roots".to_string(),
+        ));
+    }
+}
+
+fn audit_frontiers(
+    cache: &AnalysisCache,
+    fresh: &mut FreshAnalyses<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(slot) = cache
+        .frontiers
+        .as_ref()
+        .filter(|s| s.version == fresh.version)
+    else {
+        return;
+    };
+    let g = fresh.g;
+    fresh.dt();
+    fresh.pd();
+    let (dt, pd) = (
+        fresh.dt.as_ref().expect("just computed"),
+        fresh.pd.as_ref().expect("just computed"),
+    );
+    let recomputed = DomFrontiers::compute(g, dt, pd);
+    for b in g.blocks() {
+        if slot.value.df(b) != recomputed.df(b) || slot.value.pdf(b) != recomputed.pdf(b) {
+            out.push(stale_at(
+                Some(b),
+                format!(
+                    "cached frontiers stamped current disagree at {b}: df {:?}/pdf {:?} vs recomputed df {:?}/pdf {:?}",
+                    slot.value.df(b),
+                    slot.value.pdf(b),
+                    recomputed.df(b),
+                    recomputed.pdf(b)
+                ),
+            ));
+        }
+    }
+}
+
+fn audit_controldep(
+    cache: &AnalysisCache,
+    fresh: &mut FreshAnalyses<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(slot) = cache
+        .controldep
+        .as_ref()
+        .filter(|s| s.version == fresh.version)
+    else {
+        return;
+    };
+    let g = fresh.g;
+    let recomputed = ControlDepGraph::compute(g, fresh.pd());
+    for b in g.blocks() {
+        if slot.value.dependents(b) != recomputed.dependents(b)
+            || slot.value.controllers(b) != recomputed.controllers(b)
+        {
+            out.push(stale_at(
+                Some(b),
+                format!(
+                    "cached control-dependence stamped current disagrees at {b}: dependents {:?} vs recomputed {:?}",
+                    slot.value.dependents(b),
+                    recomputed.dependents(b)
+                ),
+            ));
+        }
     }
 }
 
@@ -305,15 +547,43 @@ mod tests {
     }
 
     #[test]
+    fn reverse_analyses_hit_under_their_own_counters() {
+        let g = diamond();
+        let mut cache = AnalysisCache::new();
+        cache.frequencies(&g);
+        let before = cache.stats();
+        let cd1 = cache.control_dep(&g);
+        let f1 = cache.frontiers(&g);
+        // control_dep misses + pulls postdom (miss); frontiers misses +
+        // hits postdom, and pulls the already-warm domtree as a forward
+        // hit. No forward misses.
+        assert_eq!(cache.stats().rev_misses, 3);
+        assert_eq!(cache.stats().rev_hits, 1);
+        assert_eq!(cache.stats().misses, before.misses);
+        let cd2 = cache.control_dep(&g);
+        let f2 = cache.frontiers(&g);
+        assert!(Arc::ptr_eq(&cd1, &cd2));
+        assert!(Arc::ptr_eq(&f1, &f2));
+        assert_eq!(cache.stats().rev_hits, 3);
+        assert_eq!(cache.stats().rev_misses, 3);
+        assert_eq!(cache.stats().rev_invalidations, 0);
+    }
+
+    #[test]
     fn cfg_mutation_invalidates() {
         let mut g = diamond();
         let mut cache = AnalysisCache::new();
         let d1 = cache.domtree(&g);
+        let p1 = cache.postdom(&g);
         g.add_block();
         let d2 = cache.domtree(&g);
+        let p2 = cache.postdom(&g);
         assert!(!Arc::ptr_eq(&d1, &d2));
+        assert!(!Arc::ptr_eq(&p1, &p2));
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().rev_misses, 2);
+        assert_eq!(cache.stats().rev_invalidations, 1);
     }
 
     #[test]
@@ -321,13 +591,18 @@ mod tests {
         let mut g = diamond();
         let mut cache = AnalysisCache::new();
         let d1 = cache.domtree(&g);
+        let c1 = cache.control_dep(&g);
         let entry = g.entry();
         use dbds_ir::{ConstValue, Inst, Type};
         g.append_inst(entry, Inst::Const(ConstValue::Int(7)), Type::Int);
         let d2 = cache.domtree(&g);
+        let c2 = cache.control_dep(&g);
         assert!(Arc::ptr_eq(&d1, &d2));
+        assert!(Arc::ptr_eq(&c1, &c2));
         assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().rev_hits, 1);
         assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().rev_invalidations, 0);
     }
 
     #[test]
@@ -356,6 +631,8 @@ mod tests {
         let g = diamond();
         let mut cache = AnalysisCache::new();
         cache.frequencies(&g);
+        cache.frontiers(&g);
+        cache.control_dep(&g);
         assert!(cache.audit(&g).is_empty());
         // An empty cache is trivially consistent too.
         assert!(AnalysisCache::new().audit(&g).is_empty());
@@ -368,6 +645,7 @@ mod tests {
         let mut g = diamond();
         let mut cache = AnalysisCache::new();
         cache.domtree(&g);
+        cache.postdom(&g);
         g.add_block();
         assert!(cache.audit(&g).is_empty());
     }
@@ -404,13 +682,79 @@ mod tests {
     }
 
     #[test]
+    fn audit_detects_forged_reverse_entries() {
+        // The same forgery through the registry's reverse-CFG auditors:
+        // retargeting bf to bt changes post-dominance, frontiers and
+        // control dependence; a forged stamp on each slot must surface.
+        let mut g = diamond();
+        let mut cache = AnalysisCache::new();
+        cache.frontiers(&g);
+        cache.control_dep(&g);
+        use dbds_ir::Terminator;
+        let bt = g.blocks().nth(1).unwrap();
+        let bf = g.blocks().nth(2).unwrap();
+        g.set_terminator(bf, Terminator::Jump { target: bt });
+        let forged_version = g.cfg_version();
+        for v in [
+            &mut cache.postdom.as_mut().unwrap().version,
+            &mut cache.frontiers.as_mut().unwrap().version,
+            &mut cache.controldep.as_mut().unwrap().version,
+        ] {
+            *v = forged_version;
+        }
+        let findings = cache.audit(&g);
+        assert!(
+            !findings.is_empty(),
+            "forged reverse-analysis stamps must surface as StaleAnalysis"
+        );
+        assert!(findings
+            .iter()
+            .all(|d| d.lint == dbds_ir::LintId::StaleAnalysis));
+    }
+
+    #[test]
+    fn registry_covers_every_slot() {
+        // Destructure so adding a slot without touching this test (and
+        // the registry) is a compile error.
+        let AnalysisCache {
+            domtree,
+            loops,
+            frequencies,
+            postdom,
+            frontiers,
+            controldep,
+            stats: _,
+        } = AnalysisCache::new();
+        let slots = [
+            ("domtree", domtree.is_none()),
+            ("loops", loops.is_none()),
+            ("frequencies", frequencies.is_none()),
+            ("postdom", postdom.is_none()),
+            ("frontiers", frontiers.is_none()),
+            ("controldep", controldep.is_none()),
+        ];
+        assert_eq!(
+            slots.len(),
+            AUDIT_REGISTRY.len(),
+            "every memoized slot needs a registered auditor"
+        );
+        for ((slot, _), (audit, _)) in slots.iter().zip(AUDIT_REGISTRY) {
+            assert_eq!(slot, audit, "registry order must mirror the slots");
+        }
+    }
+
+    #[test]
     fn clear_forces_cold_misses() {
         let g = diamond();
         let mut cache = AnalysisCache::new();
         cache.domtree(&g);
+        cache.postdom(&g);
         cache.clear();
         cache.domtree(&g);
+        cache.postdom(&g);
         assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().rev_misses, 2);
         assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().rev_invalidations, 0);
     }
 }

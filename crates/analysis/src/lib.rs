@@ -6,6 +6,11 @@
 //! block execution frequencies ([`BlockFrequencies`], the `p` of the
 //! `shouldDuplicate` heuristic), and value [`Stamp`]s with the refinement
 //! rules conditional elimination applies along dominating conditions.
+//! The reverse-CFG structure is equally first-class: post-dominator
+//! trees ([`PostDomTree`], over the reversed CFG with a virtual exit),
+//! dominance/post-dominance frontiers ([`DomFrontiers`]) and the
+//! control-dependence graph ([`ControlDepGraph`]) drive the
+//! branch-splitting candidates and the reverse-CFG lints.
 //!
 //! # Examples
 //!
@@ -32,15 +37,21 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cache;
+mod controldep;
+mod domfrontier;
 mod domtree;
 mod frequency;
 mod loops;
+mod postdom;
 mod stamps;
 
 pub use cache::{AnalysisCache, CacheStats};
+pub use controldep::ControlDepGraph;
+pub use domfrontier::DomFrontiers;
 pub use domtree::{reverse_postorder, DomTree};
 pub use frequency::{edge_probability, BlockFrequencies, LOOP_FACTOR, MAX_FREQUENCY};
 pub use loops::{LoopForest, LoopInfo};
+pub use postdom::PostDomTree;
 pub use stamps::{
     initial_stamp, refine_by_cmp, refine_by_instanceof, try_fold_cmp, try_fold_instanceof,
     IntRange, Nullness, RefStamp, Stamp,

@@ -1,8 +1,11 @@
-//! Property test: the Cooper–Harvey–Kennedy dominator tree agrees with
+//! Property tests: the Cooper–Harvey–Kennedy dominator tree agrees with
 //! the *definition* of dominance — `a` dominates `b` iff every entry→`b`
-//! path passes through `a`, i.e. removing `a` makes `b` unreachable.
+//! path passes through `a`, i.e. removing `a` makes `b` unreachable —
+//! and the reverse-CFG analyses agree with their definitions: the
+//! post-dominator tree with path-to-exit cuts, and the control-dependence
+//! graph with the naive Ferrante–Ottenstein–Warren edge scan.
 
-use dbds_analysis::DomTree;
+use dbds_analysis::{ControlDepGraph, DomTree, PostDomTree};
 use dbds_ir::{BlockId, ClassTable, Graph, Terminator, Type};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -70,6 +73,32 @@ fn reachable(g: &Graph, blocked: Option<BlockId>) -> Vec<BlockId> {
     out
 }
 
+/// Whether `b` can reach any block in `exits` on a path avoiding
+/// `blocked`. The exit set is the implementation's own (real exits plus
+/// the deterministically chosen pseudo-exits of infinite regions), so the
+/// definition below quantifies over exactly the paths the virtual exit
+/// sees.
+fn reaches_exit_avoiding(g: &Graph, from: BlockId, exits: &[BlockId], blocked: BlockId) -> bool {
+    if from == blocked {
+        return false;
+    }
+    let mut seen = vec![false; g.block_count()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(b) = stack.pop() {
+        if exits.contains(&b) {
+            return true;
+        }
+        for s in g.succs(b) {
+            if s != blocked && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -105,6 +134,66 @@ proptest! {
                         prop_assert!(dt.dominates(a, idom), "{a} sdom {b} but not dom {idom}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn postdom_matches_definition(n in 2usize..10, choices in proptest::collection::vec(0u8..8, 10)) {
+        let g = random_cfg(n, &choices);
+        let pd = PostDomTree::compute(&g);
+        // The virtual exit's children: real exits plus the pseudo-exits
+        // the implementation attached for infinite regions.
+        let exits: Vec<BlockId> = g
+            .blocks()
+            .filter(|&b| pd.in_domain(b) && g.succs(b).is_empty())
+            .chain(pd.pseudo_exits().iter().copied())
+            .collect();
+        for a in g.blocks() {
+            for b in g.blocks() {
+                let by_definition = pd.in_domain(a)
+                    && pd.in_domain(b)
+                    && !reaches_exit_avoiding(&g, b, &exits, a);
+                prop_assert_eq!(
+                    pd.post_dominates(a, b),
+                    by_definition,
+                    "{} pdom {} disagrees on graph:\n{}",
+                    a,
+                    b,
+                    g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_deps_match_the_naive_edge_scan(n in 2usize..10, choices in proptest::collection::vec(0u8..8, 10)) {
+        // Ferrante–Ottenstein–Warren: `b` is control-dependent on `a`
+        // iff some edge `a -> s` exists with `b` post-dominating `s` but
+        // not strictly post-dominating `a`. Like the implementation, the
+        // scan covers real branch blocks only — a pseudo-exit's implicit
+        // virtual-exit edge is an analysis artifact, not a decision.
+        let g = random_cfg(n, &choices);
+        let pd = PostDomTree::compute(&g);
+        let cdg = ControlDepGraph::compute(&g, &pd);
+        for a in g.blocks() {
+            for b in g.blocks() {
+                let naive = pd.in_domain(a)
+                    && pd.in_domain(b)
+                    && g.succs(a).len() >= 2
+                    && g.succs(a).into_iter().any(|s| {
+                        pd.in_domain(s)
+                            && pd.post_dominates(b, s)
+                            && !pd.strictly_post_dominates(b, a)
+                    });
+                prop_assert_eq!(
+                    cdg.depends_on(b, a),
+                    naive,
+                    "{} cdep {} disagrees on graph:\n{}",
+                    b,
+                    a,
+                    g
+                );
             }
         }
     }

@@ -26,12 +26,17 @@ fn pre_txn_entries_revalidate_as_pure_hits_after_rollback() {
     let (mut g, a) = straight_line();
     let mut cache = AnalysisCache::new();
 
-    // Populate every analysis against the pre-txn stamps.
+    // Populate every analysis — forward and reverse — against the
+    // pre-txn stamps.
     let dom_before = cache.domtree(&g);
     cache.loops(&g);
     cache.frequencies(&g);
+    let pd_before = cache.postdom(&g);
+    cache.frontiers(&g);
+    cache.control_dep(&g);
     let warm = cache.stats();
-    assert_eq!(warm.misses, 3, "three cold computes expected");
+    assert_eq!(warm.misses, 3, "three forward cold computes expected");
+    assert_eq!(warm.rev_misses, 3, "three reverse cold computes expected");
 
     // Structural mutation inside a transaction, with no cache lookups in
     // between: the cache never observes the diverged state.
@@ -48,6 +53,9 @@ fn pre_txn_entries_revalidate_as_pure_hits_after_rollback() {
     let dom_after = cache.domtree(&g);
     cache.loops(&g);
     cache.frequencies(&g);
+    let pd_after = cache.postdom(&g);
+    cache.frontiers(&g);
+    cache.control_dep(&g);
     let replayed = cache.stats();
     assert_eq!(
         replayed.hits,
@@ -55,9 +63,22 @@ fn pre_txn_entries_revalidate_as_pure_hits_after_rollback() {
         "rollback must restore validity"
     );
     assert_eq!(replayed.misses, warm.misses, "no recompute after rollback");
+    assert_eq!(
+        replayed.rev_hits,
+        warm.rev_hits + 3,
+        "rollback must restore reverse-entry validity"
+    );
+    assert_eq!(
+        replayed.rev_misses, warm.rev_misses,
+        "no reverse recompute after rollback"
+    );
     assert!(
         Arc::ptr_eq(&dom_before, &dom_after),
         "same cached entry served"
+    );
+    assert!(
+        Arc::ptr_eq(&pd_before, &pd_after),
+        "same cached reverse entry served"
     );
     assert!(cache.audit(&g).is_empty(), "audit clean after rollback");
 }
@@ -67,24 +88,34 @@ fn mid_txn_entries_are_superseded_and_audit_stays_clean() {
     let (mut g, a) = straight_line();
     let mut cache = AnalysisCache::new();
     cache.domtree(&g);
+    cache.control_dep(&g);
     let warm = cache.stats();
 
     // This time the cache *does* observe the in-transaction state: the
-    // entry it holds afterwards is keyed on the diverged stamp.
+    // entries it holds afterwards are keyed on the diverged stamp.
     g.begin_txn();
     let spare = g.blocks().nth(2).expect("spare block exists");
     g.set_terminator(a, Terminator::Jump { target: spare });
     cache.domtree(&g);
+    cache.control_dep(&g);
     g.rollback_txn();
 
     // The mid-txn stamp is dead forever (stamps are never reused), so
-    // the lookup recomputes against the rolled-back graph and the audit
+    // the lookups recompute against the rolled-back graph and the audit
     // finds nothing stale.
     cache.domtree(&g);
+    cache.control_dep(&g);
     assert_eq!(
         cache.stats().misses,
         warm.misses + 2,
         "mid-txn entry superseded"
+    );
+    // Each cold `control_dep` pulls `postdom` through the cache, so a
+    // superseded round costs two reverse misses.
+    assert_eq!(
+        cache.stats().rev_misses,
+        warm.rev_misses + 4,
+        "mid-txn reverse entries superseded"
     );
     assert!(cache.audit(&g).is_empty(), "audit clean after recompute");
 }

@@ -59,6 +59,7 @@ fn bench_simulation_tier(c: &mut Criterion) {
                         1,
                         &Budget::unlimited(),
                         threads,
+                        dbds_core::BRANCH_SPLIT_DEFAULT,
                     );
                     black_box(out.results.len())
                 })

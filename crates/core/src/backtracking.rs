@@ -76,6 +76,9 @@ impl From<BacktrackStats> for PhaseStats {
             cache: Default::default(),
             mispredictions: 0,
             stale_skips: 0,
+            split_candidates: 0,
+            split_applied: 0,
+            frontier_violations: 0,
             bailouts: b.bailouts,
         }
     }

@@ -103,12 +103,13 @@ pub use backtracking::{run_backtracking, BacktrackStats};
 pub use bailout::{
     checkpoint, isolate, transact, BailoutReason, BailoutRecord, Budget, GuardConfig, Tier,
 };
-pub use lint::lint_simulation;
+pub use lint::{lint_frontier, lint_simulation};
 pub use par::WorkerLoad;
 pub use phase::{compile, run_dbds, DbdsConfig, OptLevel, PhaseStats};
 pub use simulation::{
     audit_opportunities, count_mispredictions, simulate, simulate_paths, simulate_paths_budgeted,
-    simulate_paths_parallel, Opportunity, SimulationOutcome, SimulationResult,
+    simulate_paths_parallel, CandidateKind, Opportunity, SimulationOutcome, SimulationResult,
+    BRANCH_SPLIT_DEFAULT,
 };
 pub use tradeoff::{
     select, select_with_rejections, select_with_rejections_parallel, should_duplicate,

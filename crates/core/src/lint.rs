@@ -9,9 +9,19 @@
 //! graph, emitting [`LintId::NonFiniteBenefit`] and
 //! [`LintId::NegativeAccruedSize`] diagnostics for the harness's
 //! `figures --lint` sweep and the CI gate.
+//!
+//! [`lint_frontier`] is the post-duplication structural check
+//! ([`LintId::FrontierViolation`]): the fresh copy's and its source
+//! merge's dominance frontiers must match a definition-based
+//! recomputation over the forward edges, and — whenever neither block
+//! dominates the other — must be equal to each other. The phase driver
+//! runs it after every applied duplication and rolls the transaction
+//! back on a violation.
 
 use crate::simulation::SimulationResult;
+use dbds_analysis::{DomFrontiers, DomTree, PostDomTree};
 use dbds_ir::lint::{Diagnostic, LintId};
+use dbds_ir::{BlockId, Graph};
 
 /// Audits a batch of simulation results for cost-model sanity.
 ///
@@ -85,10 +95,95 @@ pub fn lint_simulation(results: &[SimulationResult], current_size: u64) -> Vec<D
     out
 }
 
+/// The dominance frontier of `b` recomputed straight from the
+/// definition — `DF(b) = { y : ∃ q ∈ preds(y), b dom q, b !sdom y }` —
+/// but discovered by walking the *forward* edges of every block `b`
+/// dominates. The Cytron-style [`DomFrontiers`] construction walks idom
+/// chains from each join's *predecessor* list, so comparing the two
+/// cross-checks the pred/succ mirrors the CFG repair must keep in sync.
+/// Like the join-driven construction, only genuine joins (two or more
+/// predecessors) enter a frontier.
+fn definition_frontier(g: &Graph, dt: &DomTree, b: BlockId) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    for i in 0..g.block_count() {
+        let q = BlockId(i as u32);
+        if !dt.is_reachable(q) || !dt.dominates(b, q) {
+            continue;
+        }
+        for y in g.succs(q) {
+            if g.preds(y).len() >= 2 && !dt.strictly_dominates(b, y) {
+                out.push(y);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The post-duplication dominance-frontier invariant
+/// ([`LintId::FrontierViolation`]), in two layers:
+///
+/// 1. **Consistency**: for both the fresh copy and its source merge,
+///    the [`DomFrontiers`] result (built from predecessor lists) must
+///    match [`definition_frontier`] (built from successor lists). A
+///    divergence means the CFG/SSA repair left the edge mirrors or the
+///    dominator inputs inconsistent.
+/// 2. **Equality**: immediately after a tail duplication the copy's
+///    terminator is a verbatim copy of the merge's, so when *neither
+///    block dominates the other* each dominates only itself and both
+///    frontiers are exactly the shared successor set — they must be
+///    equal. When one dominates the other (duplicating a loop header
+///    into an in-loop predecessor re-roots the loop's dominance), the
+///    frontiers legitimately diverge and only layer 1 applies.
+///
+/// Returns `None` when the invariant holds, and also when `merge` has
+/// become unreachable (it then has no frontier to compare; a real
+/// duplication never strands a reachable merge, so that case only
+/// arises on hand-mutated graphs).
+pub fn lint_frontier(g: &Graph, copy: BlockId, merge: BlockId) -> Option<Diagnostic> {
+    let dt = DomTree::compute(g);
+    let pd = PostDomTree::compute(g);
+    let df = DomFrontiers::compute(g, &dt, &pd);
+    // An unreachable merge has an empty frontier by construction, not
+    // by defect.
+    if !dt.is_reachable(merge) {
+        return None;
+    }
+    for b in [copy, merge] {
+        let reference = definition_frontier(g, &dt, b);
+        if reference != df.df(b) {
+            return Some(Diagnostic::new(
+                LintId::FrontierViolation,
+                Some(copy),
+                None,
+                format!(
+                    "frontier-violation: {b} has dominance frontier {:?} but the edge mirrors say {:?}",
+                    df.df(b),
+                    reference
+                ),
+            ));
+        }
+    }
+    if !dt.dominates(copy, merge) && !dt.dominates(merge, copy) && df.df(copy) != df.df(merge) {
+        return Some(Diagnostic::new(
+            LintId::FrontierViolation,
+            Some(copy),
+            None,
+            format!(
+                "frontier-violation: copy {copy} of {merge} has dominance frontier {:?} but the merge has {:?}",
+                df.df(copy),
+                df.df(merge)
+            ),
+        ));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulation::SimulationResult;
+    use crate::simulation::{CandidateKind, SimulationResult};
     use dbds_ir::BlockId;
 
     fn result(probability: f64, cycles_saved: f64, size_cost: i64) -> SimulationResult {
@@ -100,6 +195,7 @@ mod tests {
             cycles_saved,
             size_cost,
             opportunities: Vec::new(),
+            kind: CandidateKind::MergeDup,
         }
     }
 
@@ -127,6 +223,80 @@ mod tests {
         let results = vec![result(0.5, f64::NAN, 0)];
         let out = lint_simulation(&results, 100);
         assert!(out.iter().any(|d| d.lint == LintId::NonFiniteBenefit));
+    }
+
+    fn diamond() -> (Graph, BlockId, BlockId, BlockId) {
+        use dbds_ir::{ClassTable, CmpOp, GraphBuilder, Type};
+        let mut b = GraphBuilder::new("d", &[Type::Int], std::sync::Arc::new(ClassTable::new()));
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![x, zero], Type::Int);
+        let two = b.iconst(2);
+        let sum = b.add(two, phi);
+        b.ret(Some(sum));
+        (b.finish(), bt, bf, bm)
+    }
+
+    #[test]
+    fn frontier_violation_fires_on_mismatched_pair() {
+        // Fail-first for LintId::FrontierViolation: bt (frontier {bm})
+        // and bm (frontier {}) are not a copy/merge pair, so the check
+        // must flag them.
+        let (g, bt, _bf, bm) = diamond();
+        let d = lint_frontier(&g, bt, bm).expect("mismatched frontiers must be flagged");
+        assert_eq!(d.lint, LintId::FrontierViolation);
+        assert!(d.message.starts_with("frontier-violation"), "{}", d.message);
+    }
+
+    #[test]
+    fn genuine_duplication_satisfies_the_frontier_invariant() {
+        let (mut g, bt, _bf, bm) = diamond();
+        let dup = crate::transform::duplicate(&mut g, bt, bm);
+        assert!(lint_frontier(&g, dup.copy, dup.merge).is_none());
+    }
+
+    #[test]
+    fn loop_header_duplication_is_exempt_from_the_equality_layer() {
+        // Duplicating a loop header into its back-edge predecessor
+        // re-roots the loop's dominance: the copy and the old header end
+        // up with genuinely different frontiers, and only the
+        // consistency layer applies.
+        use dbds_ir::{ClassTable, CmpOp, GraphBuilder, Type};
+        let mut b = GraphBuilder::new("l", &[Type::Int], std::sync::Arc::new(ClassTable::new()));
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi(vec![zero, zero], Type::Int);
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit, 0.9);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut g = b.finish();
+        let dup = crate::transform::duplicate(&mut g, body, header);
+        assert!(lint_frontier(&g, dup.copy, dup.merge).is_none());
+    }
+
+    #[test]
+    fn unreachable_merge_is_exempt() {
+        // Orphan block with a diverging frontier: reachability exempts it.
+        let (mut g, bt, _bf, _bm) = diamond();
+        let orphan = g.add_block();
+        g.set_terminator(orphan, dbds_ir::Terminator::Return { value: None });
+        assert!(lint_frontier(&g, bt, orphan).is_none());
     }
 
     #[test]

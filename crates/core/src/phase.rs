@@ -14,7 +14,7 @@ use crate::bailout::{
 use crate::faultinject::fault_point;
 use crate::simulation::{
     audit_opportunities, count_mispredictions, dominator_chain, simulate_paths_parallel,
-    SimulationResult,
+    CandidateKind, SimulationResult,
 };
 use crate::tradeoff::{select_with_rejections_parallel, SelectionMode, TradeoffConfig};
 use crate::transform::{duplicate, try_duplicate, Duplication};
@@ -87,6 +87,15 @@ pub struct DbdsConfig {
     /// submission order, so reports are byte-identical for every value.
     /// The default honors `DBDS_UNIT_THREADS` and falls back to 1.
     pub unit_threads: usize,
+    /// Whether the simulation tier may continue a DST *through* a branch
+    /// terminator it decided statically, producing
+    /// [`CandidateKind::BranchSplit`] candidates (conditional elimination
+    /// through duplication). Priced by the same `shouldDuplicate` tier
+    /// and applied through the same transactional machinery as classic
+    /// merge duplication. The default honors `DBDS_BRANCH_SPLIT`
+    /// (`0`/`false` disables) and falls back to
+    /// [`BRANCH_SPLIT_DEFAULT`](crate::BRANCH_SPLIT_DEFAULT).
+    pub enable_branch_splitting: bool,
 }
 
 /// The `sim_threads` default: `DBDS_SIM_THREADS` when set to a number,
@@ -107,6 +116,17 @@ fn unit_threads_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// The `enable_branch_splitting` default: `DBDS_BRANCH_SPLIT` when set
+/// to a recognizable boolean, else
+/// [`BRANCH_SPLIT_DEFAULT`](crate::BRANCH_SPLIT_DEFAULT).
+fn branch_split_from_env() -> bool {
+    match std::env::var("DBDS_BRANCH_SPLIT").as_deref().map(str::trim) {
+        Ok("0") | Ok("false") | Ok("off") => false,
+        Ok("1") | Ok("true") | Ok("on") => true,
+        _ => crate::simulation::BRANCH_SPLIT_DEFAULT,
+    }
+}
+
 impl Default for DbdsConfig {
     fn default() -> Self {
         DbdsConfig {
@@ -120,6 +140,7 @@ impl Default for DbdsConfig {
             guard: GuardConfig::default(),
             sim_threads: sim_threads_from_env(),
             unit_threads: unit_threads_from_env(),
+            enable_branch_splitting: branch_split_from_env(),
         }
     }
 }
@@ -167,7 +188,7 @@ impl DbdsConfig {
     /// deadline cut short, see [`PhaseStats::stopped_early`]).
     pub fn fingerprint(&self, level: OptLevel) -> u64 {
         let mut h = dbds_ir::Fnv64::new();
-        h.write_str("dbds-config-fingerprint-v1");
+        h.write_str("dbds-config-fingerprint-v2");
         h.write_str(level.name());
         h.write_u64(self.tradeoff.benefit_scale.to_bits());
         h.write_u64(self.tradeoff.size_increase_budget.to_bits());
@@ -177,6 +198,7 @@ impl DbdsConfig {
         h.write_u64(self.max_path_length as u64);
         h.write_u64(self.guard.fuel.map_or(u64::MAX, |f| f));
         h.write_u64(u64::from(self.guard.checkpoints));
+        h.write_u64(u64::from(self.enable_branch_splitting));
         h.finish()
     }
 }
@@ -253,6 +275,17 @@ pub struct PhaseStats {
     /// recorded facts. Ordinary intra-round staleness, not a contract
     /// violation: the next iteration re-simulates them with fresh facts.
     pub stale_skips: usize,
+    /// [`CandidateKind::BranchSplit`] candidates the simulation tier
+    /// produced, across iterations (whether or not selected).
+    pub split_candidates: usize,
+    /// Accepted branch-split candidates actually applied (the merge
+    /// duplication plus the hop through the statically-decided branch).
+    pub split_applied: usize,
+    /// Post-duplication dominance-frontier invariant violations: a fresh
+    /// copy and its source merge whose frontiers diverged immediately
+    /// after the transform. Each one rolled its transaction back; a
+    /// nonzero count is an alarm on the SSA/CFG repair.
+    pub frontier_violations: usize,
     /// Every bailout incident of this compilation, in order.
     pub bailouts: Vec<BailoutRecord>,
 }
@@ -288,6 +321,9 @@ impl PhaseStats {
             hits: now.hits - base.hits,
             misses: now.misses - base.misses,
             invalidations: now.invalidations - base.invalidations,
+            rev_hits: now.rev_hits - base.rev_hits,
+            rev_misses: now.rev_misses - base.rev_misses,
+            rev_invalidations: now.rev_invalidations - base.rev_invalidations,
         };
     }
 }
@@ -351,6 +387,15 @@ pub fn run_dbds(
 
     for _ in 0..cfg.max_iterations {
         stats.iterations += 1;
+        if cfg.enable_branch_splitting {
+            // Pre-warm the reverse-CFG analyses at the exact graph
+            // version the DSTs are about to analyze: the control-
+            // dependence cross-check and the interference frontiers
+            // below then revalidate as pure cache hits.
+            cache.postdom(g);
+            cache.frontiers(g);
+            cache.control_dep(g);
+        }
         let t = Instant::now();
         let sim = simulate_paths_parallel(
             g,
@@ -359,11 +404,17 @@ pub fn run_dbds(
             cfg.max_path_length,
             &budget,
             cfg.sim_threads,
+            cfg.enable_branch_splitting,
         );
         stats.sim_ns += t.elapsed().as_nanos();
         stats.par_ns += sim.par_ns;
         stats.sim_threads = sim.threads;
         stats.candidates += sim.results.len();
+        stats.split_candidates += sim
+            .results
+            .iter()
+            .filter(|r| r.kind == CandidateKind::BranchSplit)
+            .count();
         stats.work += g.live_inst_count() as u64 * 2; // simulation visit
         for (pred, merge, msg) in sim.panicked {
             stats.bailouts.push(BailoutRecord {
@@ -406,8 +457,36 @@ pub fn run_dbds(
             });
         }
         // The transform invalidates the borrow of `sim.results`; take
-        // owned copies of what we need.
-        let plan: Vec<SimulationResult> = selection.accepted.into_iter().cloned().collect();
+        // owned copies of what we need. Branch-split candidates carry a
+        // simulation-time claim — "the final path element is selected by
+        // the branch we are about to fold" — that must agree with the
+        // control-dependence graph of the exact graph the DSTs analyzed
+        // (a pure cache hit after the pre-warm above). A disagreement
+        // means the fold would not eliminate a real control dependence;
+        // the candidate is dropped as a recovered bailout.
+        let mut plan: Vec<SimulationResult> = Vec::with_capacity(selection.accepted.len());
+        for s in selection.accepted {
+            if s.kind == CandidateKind::BranchSplit {
+                let agreed = s.path.len() >= 2 && {
+                    let taken = s.path[s.path.len() - 1];
+                    let split = s.path[s.path.len() - 2];
+                    cache.control_dep(g).depends_on(taken, split)
+                };
+                if !agreed {
+                    stats.bailouts.push(BailoutRecord {
+                        reason: BailoutReason::VerifierRejected(format!(
+                            "control-dependence cross-check rejected branch-split ({} -> {})",
+                            s.pred, s.merge
+                        )),
+                        tier: Tier::Tradeoff,
+                        candidate: Some((s.pred, s.merge)),
+                        recovered: true,
+                    });
+                    continue;
+                }
+            }
+            plan.push(s.clone());
+        }
         if plan.is_empty() {
             break;
         }
@@ -421,6 +500,18 @@ pub fn run_dbds(
             .iter()
             .map(|s| dominator_chain(g, cache, s.pred))
             .collect();
+        // Dominance frontiers of the accepted merges, still at the pre-
+        // mutation version (pure cache hits after the pre-warm): a
+        // duplication's SSA repair can insert φs anywhere in DF(merge),
+        // so those blocks join the round's interference footprint once
+        // the candidate is applied.
+        let plan_frontiers: Vec<Vec<BlockId>> = if cfg.enable_branch_splitting {
+            plan.iter()
+                .map(|s| cache.frontiers(g).df(s.merge).to_vec())
+                .collect()
+        } else {
+            vec![Vec::new(); plan.len()]
+        };
         let mut cumulative = 0.0;
         let t = Instant::now();
         let mut guard_here: u128 = 0;
@@ -442,7 +533,7 @@ pub fn run_dbds(
         // interference footprint the prediction audit classifies failed
         // re-checks against.
         let mut mutated: HashSet<BlockId> = HashSet::new();
-        for (s, sim_chain) in plan.iter().zip(&plan_chains) {
+        for (i, (s, sim_chain)) in plan.iter().zip(&plan_chains).enumerate() {
             // Re-validate: earlier duplications this round may have
             // restructured the pair.
             if !g.is_merge(s.merge) || !g.succs(s.pred).contains(&s.merge) {
@@ -505,7 +596,11 @@ pub fn run_dbds(
                     stats.duplications += chain.duplications;
                     stats.work += chain.work;
                     mutated.extend(chain.touched.iter().copied());
+                    mutated.extend(plan_frontiers[i].iter().copied());
                     visited.extend(chain.visited);
+                    if s.kind == CandidateKind::BranchSplit {
+                        stats.split_applied += 1;
+                    }
                     cumulative += s.weighted_benefit();
                     for o in &s.opportunities {
                         *stats.opportunities.entry(o.kind).or_insert(0) += 1;
@@ -525,6 +620,11 @@ pub fn run_dbds(
                     // Contained failure: `apply_chain`'s transaction
                     // already rolled the graph back to the last verified
                     // state; move on to the next candidate.
+                    if matches!(&reason, BailoutReason::VerifierRejected(m)
+                        if m.starts_with("frontier-violation"))
+                    {
+                        stats.frontier_violations += 1;
+                    }
                     stats.bailouts.push(BailoutRecord {
                         reason,
                         tier: Tier::Optimization,
@@ -672,9 +772,18 @@ fn apply_chain(
     }
     let mut guard: u128 = 0;
     let (result, txn_ns) = transact(g, |g| {
-        let verified = |g: &Graph, guard: &mut u128| {
+        let verified = |g: &Graph, dup: &Duplication, guard: &mut u128| {
             let tg = Instant::now();
-            let ck = checkpoint(g);
+            let ck = checkpoint(g).and_then(|()| {
+                // Structural frontier check on top of the verifier: the
+                // copy's and merge's dominance frontiers must be
+                // consistent with the edge mirrors, and equal whenever
+                // neither block dominates the other (see `lint_frontier`).
+                match crate::lint::lint_frontier(g, dup.copy, dup.merge) {
+                    Some(d) => Err(BailoutReason::VerifierRejected(d.message)),
+                    None => Ok(()),
+                }
+            });
             *guard += tg.elapsed().as_nanos();
             ck
         };
@@ -683,16 +792,20 @@ fn apply_chain(
         let mut out = ChainOutcome::default();
         let mut dup = try_duplicate(g, s.pred, s.merge).map_err(reject)?;
         record_step(&mut out, g, &dup);
-        verified(g, &mut guard)?;
+        verified(g, &dup, &mut guard)?;
         // Path-based extension: duplicate the remaining merges of the
-        // accepted path into the freshly created copies.
+        // accepted path into the freshly created copies. For a
+        // branch-split candidate the last path element is the successor
+        // selected by the copy's statically-decided branch — it became a
+        // merge the moment the copy's terminator targeted it, so the
+        // same guard and transform handle the hop.
         for &m in &s.path[1..] {
             if !g.is_merge(m) || !g.succs(dup.copy).contains(&m) {
                 break;
             }
             dup = try_duplicate(g, dup.copy, m).map_err(reject)?;
             record_step(&mut out, g, &dup);
-            verified(g, &mut guard)?;
+            verified(g, &dup, &mut guard)?;
         }
         Ok(out)
     });
@@ -1119,6 +1232,118 @@ mod tests {
                 execute(&reference, &[Value::Int(v)]).outcome,
             );
         }
+    }
+
+    /// Listing 1 shaped so the cold path decides the second conditional:
+    /// on the `bf` edge the merge's φ is the constant 13, so `13 > 12`
+    /// folds and the DST continues through the decided branch into
+    /// `b12` — a branch-split candidate.
+    fn split_listing() -> Graph {
+        let mut b = GraphBuilder::new("split", &[Type::Int], empty_table());
+        let i = b.param(0);
+        let zero = b.iconst(0);
+        let thirteen = b.iconst(13);
+        let twelve = b.iconst(12);
+        let one = b.iconst(1);
+        let c = b.cmp(CmpOp::Gt, i, zero);
+        let (bt, bf, bm, b12, bi) = (
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+        );
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let p = b.phi(vec![i, thirteen], Type::Int);
+        let c2 = b.cmp(CmpOp::Gt, p, twelve);
+        b.branch(c2, b12, bi, 0.5);
+        b.switch_to(b12);
+        let q = b.add(p, one);
+        b.ret(Some(q));
+        b.switch_to(bi);
+        b.ret(Some(i));
+        b.finish()
+    }
+
+    #[test]
+    fn branch_splitting_eliminates_the_decided_conditional() {
+        let mut g = split_listing();
+        let reference = split_listing();
+        let model = CostModel::new();
+        let cfg = DbdsConfig::default();
+        let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+        assert!(stats.split_candidates > 0, "stats: {stats:?}");
+        assert!(stats.split_applied >= 1, "stats: {stats:?}");
+        assert_eq!(stats.frontier_violations, 0, "stats: {stats:?}");
+        checkpoint(&g).unwrap();
+        for v in [-7i64, 0, 1, 12, 13, 100] {
+            assert_eq!(
+                execute(&g, &[Value::Int(v)]).outcome,
+                execute(&reference, &[Value::Int(v)]).outcome,
+                "input {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_only_ablation_is_dominated_on_split_shapes() {
+        let model = CostModel::new();
+        let measure = |enable: bool| {
+            let cfg = DbdsConfig {
+                enable_branch_splitting: enable,
+                ..DbdsConfig::default()
+            };
+            let mut g = split_listing();
+            let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+            let cycles = model.weighted_cycles(&g, &mut AnalysisCache::new());
+            (stats, cycles)
+        };
+        let (combined, combined_cycles) = measure(true);
+        let (merge_only, merge_only_cycles) = measure(false);
+        assert_eq!(merge_only.split_candidates, 0);
+        assert_eq!(merge_only.split_applied, 0);
+        assert!(combined.split_applied >= 1, "stats: {combined:?}");
+        assert!(
+            combined_cycles <= merge_only_cycles,
+            "combined ({combined_cycles}) must not lose to merge-only ({merge_only_cycles})"
+        );
+    }
+
+    #[test]
+    fn reverse_analyses_hit_the_cache_during_the_phase() {
+        // The pre-warm computes postdom/frontiers/control-dep once per
+        // iteration; the CDG cross-check and the interference frontiers
+        // then revalidate as pure hits at the same version.
+        let mut g = split_listing();
+        let stats = compile(
+            &mut g,
+            &CostModel::new(),
+            OptLevel::Dbds,
+            &DbdsConfig::default(),
+        );
+        assert!(stats.cache.rev_misses > 0, "stats: {stats:?}");
+        assert!(stats.cache.rev_hits > 0, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_branch_splitting() {
+        let on = DbdsConfig {
+            enable_branch_splitting: true,
+            ..DbdsConfig::default()
+        };
+        let off = DbdsConfig {
+            enable_branch_splitting: false,
+            ..DbdsConfig::default()
+        };
+        assert_ne!(
+            on.fingerprint(OptLevel::Dbds),
+            off.fingerprint(OptLevel::Dbds)
+        );
     }
 
     #[test]

@@ -64,6 +64,32 @@ pub struct Opportunity {
     pub size_delta: i64,
 }
 
+/// How a candidate's duplication path was formed, and therefore which
+/// transform sequence the optimization tier applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CandidateKind {
+    /// Classic DBDS tail duplication: the path covers merge blocks
+    /// connected by unconditional jumps.
+    MergeDup,
+    /// Branch splitting (Breitner-style conditional elimination through
+    /// duplication): the DST continued *through* a branch terminator it
+    /// decided statically on this path, so the final path element is the
+    /// statically-taken successor rather than a jump target. Applying it
+    /// duplicates the merge into the predecessor and then threads the
+    /// copy through the decided branch.
+    BranchSplit,
+}
+
+impl CandidateKind {
+    /// Stable kebab-case name (used by reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CandidateKind::MergeDup => "merge-dup",
+            CandidateKind::BranchSplit => "branch-split",
+        }
+    }
+}
+
 /// The simulation result for one predecessor→merge pair.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimulationResult {
@@ -71,9 +97,13 @@ pub struct SimulationResult {
     pub pred: BlockId,
     /// The merge block `b_m`.
     pub merge: BlockId,
+    /// How the path was formed (and how to apply it).
+    pub kind: CandidateKind,
     /// The merge blocks covered, in order; `path[0] == merge`. Longer
     /// paths come from the §8 path-based extension: the DST continued
-    /// through a jump into a further merge.
+    /// through a jump into a further merge — or, for
+    /// [`CandidateKind::BranchSplit`], through a statically-decided
+    /// branch (the last element is then the taken successor).
     pub path: Vec<BlockId>,
     /// Relative execution probability of the duplicated code (the
     /// `p` of the `shouldDuplicate` heuristic): the frequency of the
@@ -130,6 +160,12 @@ pub fn simulate(g: &Graph, model: &CostModel, cache: &mut AnalysisCache) -> Vec<
     simulate_paths(g, model, cache, 1)
 }
 
+/// Whether DSTs may continue through a statically-decided branch (the
+/// branch-splitting extension). The convenience wrappers enable it; the
+/// phase threads its `enable_branch_splitting` config knob through
+/// [`simulate_paths_parallel`].
+pub const BRANCH_SPLIT_DEFAULT: bool = true;
+
 /// Like [`simulate`], but lets the DST continue across up to
 /// `max_path_len` consecutive merges connected by jumps — the §8
 /// "duplication over multiple merges along paths" extension. Every
@@ -156,14 +192,24 @@ pub fn simulate_paths_budgeted(
     max_path_len: usize,
     budget: &Budget,
 ) -> SimulationOutcome {
-    simulate_paths_parallel(g, model, cache, max_path_len, budget, 1)
+    simulate_paths_parallel(
+        g,
+        model,
+        cache,
+        max_path_len,
+        budget,
+        1,
+        BRANCH_SPLIT_DEFAULT,
+    )
 }
 
 /// Like [`simulate_paths_budgeted`], but shards the DSTs over up to
-/// `threads` workers (`0` = one per hardware thread). See the module
-/// docs for the collect/speculate/commit determinism scheme: the
+/// `threads` workers (`0` = one per hardware thread) and lets the caller
+/// gate the branch-splitting continuation (`branch_split`). See the
+/// module docs for the collect/speculate/commit determinism scheme: the
 /// `results`, `stopped`, and `panicked` fields are bit-identical for
 /// every thread count; only `threads`/`par_ns`/`workers` differ.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_paths_parallel(
     g: &Graph,
     model: &CostModel,
@@ -171,6 +217,7 @@ pub fn simulate_paths_parallel(
     max_path_len: usize,
     budget: &Budget,
     threads: usize,
+    branch_split: bool,
 ) -> SimulationOutcome {
     let max_path_len = max_path_len.max(1);
     let threads = par::resolve_threads(threads);
@@ -225,7 +272,7 @@ pub fn simulate_paths_parallel(
             if task.fault.is_none() && budget.stopped_hint() {
                 return;
             }
-            let outcome = run_task(g, model, &freqs, budget, task, max_path_len);
+            let outcome = run_task(g, model, &freqs, budget, task, max_path_len, branch_split);
             *outcomes[i].lock().expect("outcome slot poisoned") = Some(outcome);
         },
         // Advance the commit frontier as deposits land, so fuel burns
@@ -376,6 +423,7 @@ struct TaskOutcome {
 }
 
 /// Runs one DST speculatively on whatever worker claimed it.
+#[allow(clippy::too_many_arguments)]
 fn run_task(
     g: &Graph,
     model: &CostModel,
@@ -383,6 +431,7 @@ fn run_task(
     budget: &Budget,
     task: &DstTask,
     max_path_len: usize,
+    branch_split: bool,
 ) -> TaskOutcome {
     let pending = match task.fault {
         Some(PlannedFault::ExhaustFuel) => Some(BailoutReason::FuelExhausted),
@@ -415,6 +464,7 @@ fn run_task(
             task.pred,
             task.merge,
             max_path_len,
+            branch_split,
         )
     });
     let fuel = trace.fuel.get();
@@ -656,6 +706,10 @@ pub fn audit_opportunities(
         s.pred,
         s.merge,
         s.path.len().max(1),
+        // Always allow the fold continuation during audit: whether a
+        // recorded BranchSplit path still walks must depend on the graph,
+        // not on the phase's enablement knob.
+        true,
     )
     .ok()?;
     // The DST emits one result per path prefix; pick the longest prefix
@@ -707,6 +761,7 @@ fn run_dst(
     pred: BlockId,
     merge: BlockId,
     max_path_len: usize,
+    branch_split: bool,
 ) -> Result<Vec<SimulationResult>, BailoutReason> {
     let probability = if freqs.max_freq() > 0.0 {
         freqs.freq(pred) * dbds_analysis::edge_probability(g, pred, merge) / freqs.max_freq()
@@ -723,9 +778,13 @@ fn run_dst(
     let mut path: Vec<BlockId> = Vec::new();
     let mut cur_pred = pred;
     let mut cur_merge = merge;
+    // Set once the walk continues *through* a statically-decided branch
+    // (the branch-splitting hop); the segment after it is the last.
+    let mut via_fold = false;
     loop {
         path.push(cur_merge);
         budget.consume(g.block_insts(cur_merge).len() as u64 + 1)?;
+        let saved_before = acc.cycles_saved;
         let continuation = simulate_segment(g, model, &mut env, cur_pred, cur_merge, &mut acc);
         // The trade-off tier ranks by `probability * cycles_saved`;
         // non-finite estimates would poison that total order (the NaN
@@ -736,25 +795,49 @@ fn run_dst(
              p={probability}, cycles_saved={}",
             acc.cycles_saved
         );
-        results.push(SimulationResult {
-            pred,
-            merge,
-            path: path.clone(),
-            probability,
-            cycles_saved: acc.cycles_saved,
-            size_cost: acc.size_cost,
-            opportunities: acc.opportunities.clone(),
-        });
+        // A split extension only earns its keep when the hop itself
+        // uncovered further savings — otherwise the shorter merge-dup
+        // prefix (already emitted) subsumes it and the candidate list
+        // stays free of no-op split variants.
+        if !via_fold || acc.cycles_saved > saved_before {
+            results.push(SimulationResult {
+                pred,
+                merge,
+                kind: if via_fold {
+                    CandidateKind::BranchSplit
+                } else {
+                    CandidateKind::MergeDup
+                },
+                path: path.clone(),
+                probability,
+                cycles_saved: acc.cycles_saved,
+                size_cost: acc.size_cost,
+                opportunities: acc.opportunities.clone(),
+            });
+        }
+        if via_fold {
+            break; // a single hop through a decided branch
+        }
         // §8 path extension: continue through an unconditional jump into a
-        // further merge (each prefix was already emitted above).
+        // further merge (each prefix was already emitted above) — or, when
+        // branch splitting is on, through a branch this path decided
+        // statically (the probability is unchanged: the branch has exactly
+        // one live successor on this path).
         match continuation {
-            Some(next)
+            SegmentCont::Jump(next)
                 if path.len() < max_path_len
                     && g.is_merge(next)
                     && next != cur_merge
                     && !path.contains(&next)
                     && next != pred =>
             {
+                cur_pred = cur_merge;
+                cur_merge = next;
+            }
+            SegmentCont::Folded(next)
+                if branch_split && next != cur_merge && !path.contains(&next) && next != pred =>
+            {
+                via_fold = true;
                 cur_pred = cur_merge;
                 cur_merge = next;
             }
@@ -771,9 +854,19 @@ struct SegmentAcc {
     size_cost: i64,
 }
 
+/// How one simulated segment ended: stop, an unconditional jump the §8
+/// path extension may follow, or a branch the path's facts decided
+/// statically (the branch-splitting continuation may follow its taken
+/// successor).
+enum SegmentCont {
+    Stop,
+    Jump(BlockId),
+    Folded(BlockId),
+}
+
 /// Evaluates one merge block of a DST path under `env` (facts valid at
-/// the end of `pred`), accumulating into `acc`. Returns the jump target
-/// when the (possibly folded) terminator allows the path to continue.
+/// the end of `pred`), accumulating into `acc`. Returns how the
+/// (possibly folded) terminator allows the path to continue.
 fn simulate_segment(
     g: &Graph,
     model: &CostModel,
@@ -781,7 +874,7 @@ fn simulate_segment(
     pred: BlockId,
     merge: BlockId,
     acc: &mut SegmentAcc,
-) -> Option<BlockId> {
+) -> SegmentCont {
     let k = g.pred_index(merge, pred);
 
     // Seed the synonym map: every φ of the merge maps to its input on the
@@ -870,36 +963,45 @@ fn simulate_segment(
     // The copied terminator: a branch whose condition became a constant
     // folds to a jump.
     match g.terminator(merge) {
-        Terminator::Branch { cond, .. } => {
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+            ..
+        } => {
             let known = env
                 .resolve_full(g, *cond)
                 .konst
                 .and_then(ConstValue::as_bool)
                 .or_else(|| env.stamp_of(g, *cond).as_bool_constant());
-            if known.is_some() {
-                let saved = f64::from(model.cycles(InstKind::Branch))
-                    - f64::from(model.cycles(InstKind::Jump));
-                acc.cycles_saved += saved;
-                acc.size_cost += i64::from(model.size(InstKind::Jump));
-                acc.opportunities.push(Opportunity {
-                    inst: *cond,
-                    kind: OptKind::ConditionalElim,
-                    cycles_saved: saved,
-                    size_delta: i64::from(model.size(InstKind::Jump))
-                        - i64::from(model.size(InstKind::Branch)),
-                });
-            } else {
-                acc.size_cost += i64::from(model.size(InstKind::Branch));
+            match known {
+                Some(taken) => {
+                    let saved = f64::from(model.cycles(InstKind::Branch))
+                        - f64::from(model.cycles(InstKind::Jump));
+                    acc.cycles_saved += saved;
+                    acc.size_cost += i64::from(model.size(InstKind::Jump));
+                    acc.opportunities.push(Opportunity {
+                        inst: *cond,
+                        kind: OptKind::ConditionalElim,
+                        cycles_saved: saved,
+                        size_delta: i64::from(model.size(InstKind::Jump))
+                            - i64::from(model.size(InstKind::Branch)),
+                    });
+                    SegmentCont::Folded(if taken { *then_bb } else { *else_bb })
+                }
+                None => {
+                    acc.size_cost += i64::from(model.size(InstKind::Branch));
+                    SegmentCont::Stop
+                }
             }
-            None
         }
         Terminator::Jump { target } => {
             acc.size_cost += i64::from(model.size(InstKind::Jump));
-            Some(*target)
+            SegmentCont::Jump(*target)
         }
         term => {
             acc.size_cost += i64::from(model.size(term.kind()));
-            None
+            SegmentCont::Stop
         }
     }
 }
@@ -1164,6 +1266,131 @@ mod tests {
         assert!(!rf.opportunities.iter().any(|o| o.kind == OptKind::ReadElim));
     }
 
+    /// Listing 1 extended with a payload behind the second test: on the
+    /// false path p = 13, so `p > 12` folds *and* the taken successor's
+    /// `p + 1` folds too — which only branch splitting can reach.
+    fn split_payoff() -> (Graph, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = GraphBuilder::new("bs", &[Type::Int], empty_table());
+        let i = b.param(0);
+        let zero = b.iconst(0);
+        let thirteen = b.iconst(13);
+        let twelve = b.iconst(12);
+        let c = b.cmp(CmpOp::Gt, i, zero);
+        let (bt, bf, bm, b12, bi) = (
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+        );
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let p = b.phi(vec![i, thirteen], Type::Int);
+        let c2 = b.cmp(CmpOp::Gt, p, twelve);
+        b.branch(c2, b12, bi, 0.5);
+        b.switch_to(b12);
+        let one = b.iconst(1);
+        let q = b.add(p, one);
+        b.ret(Some(q));
+        b.switch_to(bi);
+        b.ret(Some(i));
+        (b.finish(), bt, bf, bm, b12)
+    }
+
+    #[test]
+    fn branch_split_continues_through_a_decided_branch() {
+        let (g, bt, bf, bm, b12) = split_payoff();
+        let results = simulate(&g, &model(), &mut AnalysisCache::new());
+        // The false path decides c2: the DST threads through it into b12
+        // where p + 1 folds, producing a strictly better split candidate
+        // on top of the plain merge-dup prefix.
+        let dup = results
+            .iter()
+            .find(|r| r.pred == bf && r.kind == CandidateKind::MergeDup)
+            .expect("merge-dup prefix emitted");
+        let split = results
+            .iter()
+            .find(|r| r.pred == bf && r.kind == CandidateKind::BranchSplit)
+            .expect("split extension emitted");
+        assert_eq!(split.path, vec![bm, b12]);
+        assert_eq!(dup.path, vec![bm]);
+        assert!(
+            split.cycles_saved > dup.cycles_saved,
+            "the hop must add savings ({} vs {})",
+            split.cycles_saved,
+            dup.cycles_saved
+        );
+        assert!(split
+            .opportunities
+            .iter()
+            .any(|o| o.kind == OptKind::ConstantFold));
+        // The true path decides nothing: no split candidate.
+        assert!(!results
+            .iter()
+            .any(|r| r.pred == bt && r.kind == CandidateKind::BranchSplit));
+    }
+
+    #[test]
+    fn trim_rule_drops_payoff_free_splits() {
+        // Plain Listing 1: the taken successor only returns a constant —
+        // the hop adds no cycles, so no BranchSplit variant is emitted
+        // and the candidate list matches the pre-split corpus.
+        let mut b = GraphBuilder::new("ce", &[Type::Int], empty_table());
+        let i = b.param(0);
+        let zero = b.iconst(0);
+        let thirteen = b.iconst(13);
+        let twelve = b.iconst(12);
+        let c = b.cmp(CmpOp::Gt, i, zero);
+        let (bt, bf, bm, b12, bi) = (
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+            b.new_block(),
+        );
+        b.branch(c, bt, bf, 0.5);
+        b.switch_to(bt);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let p = b.phi(vec![i, thirteen], Type::Int);
+        let c2 = b.cmp(CmpOp::Gt, p, twelve);
+        b.branch(c2, b12, bi, 0.5);
+        b.switch_to(b12);
+        b.ret(Some(twelve));
+        b.switch_to(bi);
+        b.ret(Some(i));
+        let g = b.finish();
+        let results = simulate(&g, &model(), &mut AnalysisCache::new());
+        assert!(results
+            .iter()
+            .all(|r| r.kind == CandidateKind::MergeDup && r.path.len() == 1));
+    }
+
+    #[test]
+    fn disabling_branch_split_suppresses_split_candidates() {
+        let (g, _, _, _, _) = split_payoff();
+        let outcome = simulate_paths_parallel(
+            &g,
+            &model(),
+            &mut AnalysisCache::new(),
+            1,
+            &Budget::unlimited(),
+            1,
+            false,
+        );
+        assert!(!outcome.results.is_empty());
+        assert!(outcome
+            .results
+            .iter()
+            .all(|r| r.kind == CandidateKind::MergeDup));
+    }
+
     #[test]
     fn probability_reflects_edge_frequency() {
         let mut b = GraphBuilder::new("p", &[Type::Int], empty_table());
@@ -1253,6 +1480,7 @@ mod tests {
             1,
             &budget,
             threads,
+            BRANCH_SPLIT_DEFAULT,
         );
         assert_eq!(
             outcome.results, baseline.results,
@@ -1305,6 +1533,7 @@ mod tests {
                     1,
                     &budget,
                     threads,
+                    BRANCH_SPLIT_DEFAULT,
                 );
                 assert_eq!(outcome.results, baseline.results, "fuel {fuel}");
                 assert_eq!(outcome.stopped, baseline.stopped, "fuel {fuel}");

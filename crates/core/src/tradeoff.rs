@@ -237,7 +237,7 @@ pub fn select_with_rejections_parallel<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulation::SimulationResult;
+    use crate::simulation::{CandidateKind, SimulationResult};
 
     fn result(pred: u32, merge: u32, benefit: f64, prob: f64, cost: i64) -> SimulationResult {
         SimulationResult {
@@ -248,6 +248,7 @@ mod tests {
             cycles_saved: benefit,
             size_cost: cost,
             opportunities: Vec::new(),
+            kind: CandidateKind::MergeDup,
         }
     }
 

@@ -6,6 +6,7 @@
 
 use dbds_core::{
     compile, simulate_paths_parallel, Budget, DbdsConfig, GuardConfig, OptLevel, SimulationOutcome,
+    BRANCH_SPLIT_DEFAULT,
 };
 use dbds_costmodel::CostModel;
 use dbds_ir::Graph;
@@ -33,6 +34,7 @@ fn run_sim(g: &Graph, fuel: Option<u64>, threads: usize) -> (SimulationOutcome, 
         2,
         &budget,
         threads,
+        BRANCH_SPLIT_DEFAULT,
     );
     let used = budget.fuel_used();
     (outcome, used)

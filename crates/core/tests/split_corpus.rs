@@ -1,0 +1,62 @@
+//! Acceptance tests for the branch-splitting workload corpus: each of
+//! the dedicated split benchmarks (`SPLIT_BENCHMARKS`) is built from
+//! shapes the trade-off tier rejects under plain merge duplication —
+//! the merge's payload outweighs the 2-cycle `cmp + branch` fold at
+//! the cold path's probability — so only the branch-splitting
+//! continuation, which also claims the constant cascade behind the
+//! decided branch, can crack them. The combined phase must apply
+//! splits and strictly improve the static estimate; the merge-only
+//! ablation must leave the units untouched on that axis; and both
+//! configurations must preserve interpreter semantics.
+
+use dbds_analysis::AnalysisCache;
+use dbds_core::{compile, DbdsConfig, OptLevel};
+use dbds_costmodel::CostModel;
+use dbds_ir::execute;
+use dbds_workloads::{Suite, SPLIT_BENCHMARKS};
+
+#[test]
+fn split_benchmarks_are_cracked_only_by_branch_splitting() {
+    let model = CostModel::new();
+    let workloads = Suite::Micro.workloads();
+    for name in SPLIT_BENCHMARKS {
+        let w = workloads
+            .iter()
+            .find(|w| w.name == name)
+            .expect("split benchmark exists in the Micro suite");
+        let reference: Vec<_> = w
+            .inputs
+            .iter()
+            .map(|i| execute(&w.graph, i).outcome)
+            .collect();
+        let run = |enable: bool| {
+            let cfg = DbdsConfig {
+                enable_branch_splitting: enable,
+                ..DbdsConfig::default()
+            };
+            let mut g = w.graph.clone();
+            let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+            let outcomes: Vec<_> = w.inputs.iter().map(|i| execute(&g, i).outcome).collect();
+            assert_eq!(
+                outcomes, reference,
+                "{name}: semantics changed (split={enable})"
+            );
+            let cycles = model.weighted_cycles(&g, &mut AnalysisCache::new());
+            (stats, cycles)
+        };
+        let (combined, combined_cycles) = run(true);
+        let (merge_only, merge_only_cycles) = run(false);
+        assert!(
+            combined.split_applied >= 1,
+            "{name}: combined phase applied no branch splits; stats {combined:?}"
+        );
+        assert_eq!(combined.frontier_violations, 0, "{name}");
+        assert_eq!(merge_only.split_candidates, 0, "{name}");
+        assert_eq!(merge_only.split_applied, 0, "{name}");
+        assert!(
+            combined_cycles < merge_only_cycles,
+            "{name}: combined ({combined_cycles}) must strictly beat merge-only \
+             ({merge_only_cycles}) — the shapes are sized so merge duplication alone is rejected"
+        );
+    }
+}

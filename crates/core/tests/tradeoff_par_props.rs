@@ -7,8 +7,8 @@
 
 use dbds_analysis::AnalysisCache;
 use dbds_core::{
-    select_with_rejections, select_with_rejections_parallel, simulate, SelectionMode,
-    SimulationResult, TradeoffConfig,
+    select_with_rejections, select_with_rejections_parallel, simulate, CandidateKind,
+    SelectionMode, SimulationResult, TradeoffConfig,
 };
 use dbds_costmodel::CostModel;
 use dbds_ir::BlockId;
@@ -55,6 +55,7 @@ fn candidate(raw: &(u32, u32, i64, u32, i64)) -> SimulationResult {
         cycles_saved: benefit_tenths as f64 / 10.0,
         size_cost,
         opportunities: Vec::new(),
+        kind: CandidateKind::MergeDup,
     }
 }
 

@@ -102,7 +102,7 @@ fn main() {
         dbds_harness::BENCH_SUITE_SCHEMA
     );
     let _ = writeln!(out, "  \"hardware_threads\": {hardware_threads},");
-    let _ = writeln!(out, "  \"workloads\": 45,");
+    let _ = writeln!(out, "  \"workloads\": 48,");
     let _ = writeln!(out, "  \"configs_per_workload\": 3,");
     let _ = writeln!(out, "  \"runs\": [");
     let last = rows.len() - 1;

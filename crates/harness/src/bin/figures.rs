@@ -4,6 +4,7 @@
 //! figures --figure 5|6|7|8      one suite figure
 //! figures --summary             cross-suite headline numbers
 //! figures --table backtracking  the §3.1 compile-time comparison
+//! figures --table ablation      combined vs merge-only branch splitting
 //! figures --all                 everything, in paper order
 //! figures --json <path|->       deterministic machine-readable report
 //! figures --lint                IR lint + prediction audit over the corpus
@@ -37,8 +38,9 @@
 use dbds_core::{compile, DbdsConfig, OptLevel};
 use dbds_costmodel::CostModel;
 use dbds_harness::{
-    format_backtracking, format_figure, format_json, format_lint, format_lint_json, format_summary,
-    run_lint_audit, run_suite, run_units, BacktrackRow, IcacheModel,
+    format_backtracking, format_figure, format_json, format_lint, format_lint_json,
+    format_split_ablation, format_summary, run_lint_audit, run_split_ablation, run_suite,
+    run_units, BacktrackRow, IcacheModel,
 };
 use dbds_workloads::Suite;
 use std::time::Instant;
@@ -121,6 +123,14 @@ fn main() {
         ["--table", "phases"] => {
             print!("{}", phases_table(&model, &cfg));
         }
+        ["--table", "ablation"] => {
+            let ablation = run_split_ablation(&model, &cfg);
+            print!("{}", format_split_ablation(&ablation));
+            if !ablation.gate_passes() {
+                eprintln!("ablation gate failed: combined does not dominate merge-only");
+                std::process::exit(1);
+            }
+        }
         ["--json", path] => {
             let session = cache.as_deref().map(|choice| cache_session(choice, &cfg));
             let results: Vec<_> = Suite::ALL
@@ -189,7 +199,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: figures [--sim-threads N] [--unit-threads N] --figure <5|6|7|8> | \
-                 --summary | --table backtracking | --table phases | --all | \
+                 --summary | --table backtracking | --table phases | --table ablation | --all | \
                  --json <path|-> [--cache mem|DIR] | --client ADDR | --lint [--json <path|->]"
             );
             std::process::exit(2);

@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod ablation;
 mod lintaudit;
 mod metrics;
 mod report;
@@ -50,6 +51,7 @@ mod stats;
 /// bump the tag here and regenerate the committed baseline together.
 pub const BENCH_SUITE_SCHEMA: &str = "dbds-bench-suite-v1";
 
+pub use ablation::{format_split_ablation, run_split_ablation, AblationRow, SplitAblation};
 pub use lintaudit::{format_lint, format_lint_json, run_lint_audit, LintAudit};
 pub use metrics::{
     geomean_pct, measure, measure_from, pct_increase, pct_speedup, IcacheModel, Metrics,

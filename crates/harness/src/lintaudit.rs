@@ -190,8 +190,8 @@ mod tests {
     #[test]
     fn micro_suite_is_lint_clean() {
         let audit = run_lint_audit(&[Suite::Micro], &CostModel::new(), &DbdsConfig::default());
-        assert_eq!(audit.workloads, 9);
-        assert_eq!(audit.graphs_linted, 18);
+        assert_eq!(audit.workloads, 12);
+        assert_eq!(audit.graphs_linted, 24);
         assert_eq!(audit.error_count(), 0, "{}", format_lint(&audit));
         assert_eq!(audit.mispredictions, 0, "{}", format_lint(&audit));
         assert!(audit.gate_passes());

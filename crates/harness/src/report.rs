@@ -64,16 +64,43 @@ pub fn format_figure(result: &SuiteResult) -> String {
             result.geomean(level, Metric::CodeSize),
         );
     }
-    let _ = writeln!(out, "\nAnalysis cache (hits / misses / invalidations)");
+    let _ = writeln!(
+        out,
+        "\nAnalysis cache (hits / misses / invalidations; forward | reverse)"
+    );
     for level in [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot] {
         let c = result.cache_totals(level);
         let _ = writeln!(
             out,
-            "{:<14} | {:>8} / {:>6} / {:>6}",
+            "{:<14} | {:>8} / {:>6} / {:>6} | {:>8} / {:>6} / {:>6}",
             level.name(),
             c.hits,
             c.misses,
-            c.invalidations
+            c.invalidations,
+            c.rev_hits,
+            c.rev_misses,
+            c.rev_invalidations
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nBranch splitting (candidates / applied / frontier violations)"
+    );
+    for level in [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot] {
+        let (mut cand, mut applied, mut viol) = (0usize, 0usize, 0usize);
+        for row in &result.rows {
+            let s = &row.pick_metrics(level).stats;
+            cand += s.split_candidates;
+            applied += s.split_applied;
+            viol += s.frontier_violations;
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} | {:>8} / {:>6} / {:>6}",
+            level.name(),
+            cand,
+            applied,
+            viol
         );
     }
     let _ = writeln!(
@@ -258,6 +285,32 @@ pub fn format_json(
                 );
                 let _ = writeln!(
                     out,
+                    "              \"rev_cache_hits\": {},",
+                    s.cache.rev_hits
+                );
+                let _ = writeln!(
+                    out,
+                    "              \"rev_cache_misses\": {},",
+                    s.cache.rev_misses
+                );
+                let _ = writeln!(
+                    out,
+                    "              \"rev_cache_invalidations\": {},",
+                    s.cache.rev_invalidations
+                );
+                let _ = writeln!(
+                    out,
+                    "              \"split_candidates\": {},",
+                    s.split_candidates
+                );
+                let _ = writeln!(out, "              \"split_applied\": {},", s.split_applied);
+                let _ = writeln!(
+                    out,
+                    "              \"frontier_violations\": {},",
+                    s.frontier_violations
+                );
+                let _ = writeln!(
+                    out,
                     "              \"mispredictions\": {},",
                     s.mispredictions
                 );
@@ -402,6 +455,25 @@ mod tests {
         let cache = result.cache_totals(dbds_core::OptLevel::Dbds);
         assert!(cache.misses as usize >= result.rows.len());
         assert!(cache.hits > 0);
+        // The reverse-CFG analyses (postdom / frontiers / control-dep)
+        // are live across the suite: computed at least once and then
+        // revalidated as pure hits by the CDG cross-check and the
+        // interference frontiers.
+        assert!(cache.rev_misses > 0, "{cache:?}");
+        assert!(cache.rev_hits > 0, "{cache:?}");
+        assert!(text.contains("Branch splitting"), "{text}");
+        // The split corpus rides in the Micro suite, so DBDS applies
+        // branch splits somewhere in this figure.
+        let split_applied: usize = result
+            .rows
+            .iter()
+            .map(|r| {
+                r.pick_metrics(dbds_core::OptLevel::Dbds)
+                    .stats
+                    .split_applied
+            })
+            .sum();
+        assert!(split_applied >= 1, "{text}");
     }
 
     #[test]
@@ -458,6 +530,19 @@ mod tests {
         // deterministic: all graph mutations happen on the coordinating
         // thread, so the gate covers them across the thread matrix).
         for key in ["\"undo_edits\"", "\"undo_rollbacks\"", "\"undo_peak\""] {
+            assert!(one.contains(key), "{one}");
+        }
+        // The reverse-cache and branch-splitting counters are part of
+        // the stable schema, and being deterministic they sit under the
+        // same byte-identity gate as everything else.
+        for key in [
+            "\"rev_cache_hits\"",
+            "\"rev_cache_misses\"",
+            "\"rev_cache_invalidations\"",
+            "\"split_candidates\"",
+            "\"split_applied\"",
+            "\"frontier_violations\"",
+        ] {
             assert!(one.contains(key), "{one}");
         }
     }

@@ -42,6 +42,12 @@ impl BenchmarkRow {
         )
     }
 
+    /// The metrics of one suite configuration (panics for
+    /// `Backtracking`, which never appears in suite rows).
+    pub fn pick_metrics(&self, level: OptLevel) -> &Metrics {
+        self.pick(level)
+    }
+
     fn pick(&self, level: OptLevel) -> &Metrics {
         match level {
             OptLevel::Dbds => &self.dbds,
@@ -257,7 +263,7 @@ mod tests {
         let cfg = DbdsConfig::default();
         let ic = IcacheModel::default();
         let result = run_suite(Suite::Micro, &model, &cfg, &ic);
-        assert_eq!(result.rows.len(), 9);
+        assert_eq!(result.rows.len(), 12);
         for row in &result.rows {
             assert!(row.outcomes_agree(), "{} outcomes diverged", row.name);
         }

@@ -73,105 +73,97 @@ impl fmt::Display for Severity {
     }
 }
 
-/// The identity of one lint. Every diagnostic the workspace produces
-/// carries one of these, and the per-lint counters of the harness report
-/// iterate [`LintId::ALL`] in this (stable) order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum LintId {
+/// Declares [`LintId`] in one place: the variant (with its doc), its
+/// stable kebab-case name and its fixed severity. The `ALL` slice,
+/// `name()` and `severity()` are generated from the same list, so adding
+/// a lint cannot desync the per-lint counters that iterate `ALL` — the
+/// compiler derives the slice length from the declaration itself.
+macro_rules! declare_lints {
+    ($( $(#[$meta:meta])* $variant:ident = $name:literal => $sev:ident ),+ $(,)?) => {
+        /// The identity of one lint. Every diagnostic the workspace
+        /// produces carries one of these, and the per-lint counters of
+        /// the harness report iterate [`LintId::ALL`] in this (stable)
+        /// order.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum LintId {
+            $( $(#[$meta])* $variant, )+
+        }
+
+        impl LintId {
+            /// Every lint, in report order. Generated alongside the enum,
+            /// so the slice can never go out of sync with the variants.
+            pub const ALL: &'static [LintId] = &[ $(LintId::$variant),+ ];
+
+            /// Stable kebab-case name (used by reports and the CI gate).
+            pub fn name(self) -> &'static str {
+                match self { $(LintId::$variant => $name),+ }
+            }
+
+            /// The fixed severity of this lint.
+            pub fn severity(self) -> Severity {
+                match self { $(LintId::$variant => Severity::$sev),+ }
+            }
+        }
+    };
+}
+
+declare_lints! {
     /// Edge / listing bookkeeping: pred–succ symmetry, entry
     /// predecessors, duplicate branch targets, unreachable predecessors
     /// of reachable blocks, instruction↔block record mismatches.
-    GraphConsistency,
+    GraphConsistency = "graph-consistency" => Error,
     /// Branch probability outside `[0, 1]` or NaN.
-    BranchProbability,
+    BranchProbability = "branch-probability" => Error,
     /// φ after a non-φ, φ arity vs. predecessor count, φ in a block
     /// without predecessors.
-    PhiPlacement,
+    PhiPlacement = "phi-placement" => Error,
     /// Param outside the entry block, index out of range, or type
     /// mismatch with the signature.
-    ParamPlacement,
+    ParamPlacement = "param-placement" => Error,
     /// A use of an out-of-range value or a removed instruction.
-    DanglingUse,
+    DanglingUse = "dangling-use" => Error,
     /// An instruction whose operand or result types violate its rules.
-    TypeError,
+    TypeError = "type-error" => Error,
     /// A use not dominated by its definition (including φ inputs that do
     /// not dominate their predecessor).
-    SsaDominance,
+    SsaDominance = "ssa-dominance" => Error,
     /// A block unreachable from entry that still holds instructions —
     /// the cleanup pass should have emptied it.
-    UnreachableBlock,
+    UnreachableBlock = "unreachable-block" => Warn,
     /// A φ whose inputs are all the same value (or itself): a synonym
     /// the simplifier should have folded.
-    TrivialPhi,
+    TrivialPhi = "trivial-phi" => Warn,
     /// A critical edge into a merge: the source has several successors
     /// and the target several predecessors, so nothing can be sunk onto
     /// the edge without splitting it.
-    CriticalEdge,
+    CriticalEdge = "critical-edge" => Warn,
     /// A versioned [`AnalysisCache`](https://docs.rs/) entry that claims
     /// to be current but differs from a from-scratch recomputation
     /// (emitted by dbds-analysis' audit).
-    StaleAnalysis,
+    StaleAnalysis = "stale-analysis" => Error,
     /// A simulation result with a non-finite (or negative) probability
     /// or cycles-saved estimate (emitted by dbds-core).
-    NonFiniteBenefit,
+    NonFiniteBenefit = "non-finite-benefit" => Error,
     /// A candidate sequence whose accrued size would go below zero
     /// (emitted by dbds-core).
-    NegativeAccruedSize,
+    NegativeAccruedSize = "negative-accrued-size" => Error,
     /// A recorded opportunity whose applicability check no longer fires
     /// on the graph it is about to be applied to (emitted by the
     /// optimization tier's prediction audit).
-    Misprediction,
-}
-
-impl LintId {
-    /// Every lint, in report order.
-    pub const ALL: [LintId; 14] = [
-        LintId::GraphConsistency,
-        LintId::BranchProbability,
-        LintId::PhiPlacement,
-        LintId::ParamPlacement,
-        LintId::DanglingUse,
-        LintId::TypeError,
-        LintId::SsaDominance,
-        LintId::UnreachableBlock,
-        LintId::TrivialPhi,
-        LintId::CriticalEdge,
-        LintId::StaleAnalysis,
-        LintId::NonFiniteBenefit,
-        LintId::NegativeAccruedSize,
-        LintId::Misprediction,
-    ];
-
-    /// Stable kebab-case name (used by reports and the CI gate).
-    pub fn name(self) -> &'static str {
-        match self {
-            LintId::GraphConsistency => "graph-consistency",
-            LintId::BranchProbability => "branch-probability",
-            LintId::PhiPlacement => "phi-placement",
-            LintId::ParamPlacement => "param-placement",
-            LintId::DanglingUse => "dangling-use",
-            LintId::TypeError => "type-error",
-            LintId::SsaDominance => "ssa-dominance",
-            LintId::UnreachableBlock => "unreachable-block",
-            LintId::TrivialPhi => "trivial-phi",
-            LintId::CriticalEdge => "critical-edge",
-            LintId::StaleAnalysis => "stale-analysis",
-            LintId::NonFiniteBenefit => "non-finite-benefit",
-            LintId::NegativeAccruedSize => "negative-accrued-size",
-            LintId::Misprediction => "misprediction",
-        }
-    }
-
-    /// The fixed severity of this lint.
-    pub fn severity(self) -> Severity {
-        match self {
-            LintId::UnreachableBlock
-            | LintId::TrivialPhi
-            | LintId::CriticalEdge
-            | LintId::Misprediction => Severity::Warn,
-            _ => Severity::Error,
-        }
-    }
+    Misprediction = "misprediction" => Warn,
+    /// A reachable block with no path to any exit block: an infinite
+    /// region the profile-driven tiers cannot attenuate.
+    NoExitPath = "no-exit-path" => Warn,
+    /// Code that is control dependent on a statically-dead branch edge
+    /// (probability exactly 0 toward it): the profile and the
+    /// control-dependence structure contradict each other.
+    ControlDepViolation = "control-dep-violation" => Error,
+    /// A duplication left the dominance frontiers structurally broken:
+    /// a frontier disagrees with a definition-based recomputation over
+    /// the forward edges, or the copy's and merge's frontiers diverge
+    /// although neither block dominates the other (emitted by
+    /// dbds-core's post-duplication check).
+    FrontierViolation = "frontier-violation" => Error,
 }
 
 impl fmt::Display for LintId {
@@ -337,6 +329,7 @@ impl Default for LintRegistry {
                 Box::new(TypePass),
                 Box::new(DominancePass),
                 Box::new(HygienePass),
+                Box::new(ReverseCfgPass),
             ],
         }
     }
@@ -1004,6 +997,224 @@ impl LintPass for HygienePass {
     }
 }
 
+/// Reverse-CFG structure: exit reachability ([`LintId::NoExitPath`]) and
+/// the cross-check of branch probabilities against control dependence
+/// ([`LintId::ControlDepViolation`]). The full-featured analyses
+/// (post-dominator tree with virtual exit, frontiers, control-dependence
+/// graph) live in `dbds-analysis`; this pass reimplements just enough on
+/// a [`SimplePostDom`] to stay dependency-cycle-free, mirroring how
+/// [`DominancePass`] relates to the cached `DomTree`.
+struct ReverseCfgPass;
+
+impl LintPass for ReverseCfgPass {
+    fn name(&self) -> &'static str {
+        "reverse-cfg"
+    }
+
+    fn run(&self, g: &Graph, out: &mut Vec<Diagnostic>) {
+        let mut s = Sink { out };
+        let n = g.block_count();
+        let mut reachable = vec![false; n];
+        for b in g.reachable_blocks() {
+            reachable[b.index()] = true;
+        }
+        // Backward reachability from the exit blocks.
+        let mut reaches_exit = vec![false; n];
+        let mut work: Vec<BlockId> = Vec::new();
+        for b in g.blocks() {
+            if reachable[b.index()] && g.succs(b).is_empty() {
+                reaches_exit[b.index()] = true;
+                work.push(b);
+            }
+        }
+        while let Some(b) = work.pop() {
+            for &p in g.preds(b) {
+                if reachable[p.index()] && !reaches_exit[p.index()] {
+                    reaches_exit[p.index()] = true;
+                    work.push(p);
+                }
+            }
+        }
+        for b in g.blocks() {
+            if reachable[b.index()] && !reaches_exit[b.index()] {
+                s.emit(
+                    LintId::NoExitPath,
+                    Some(b),
+                    None,
+                    format!("reachable {b} has no path to any exit block"),
+                );
+            }
+        }
+
+        // Control-dependence vs. probability cross-check: code that is
+        // control dependent on a branch edge the profile says never
+        // executes (probability exactly 0 toward it) contradicts the
+        // profile the whole trade-off tier prices with. The chain walk is
+        // Ferrante's: everything from the dead successor up to (exclusive)
+        // the branch's immediate post-dominator is decided by that edge.
+        let pd = SimplePostDom::compute(g, &reaches_exit);
+        for a in g.blocks() {
+            if !reaches_exit[a.index()] {
+                continue;
+            }
+            let Terminator::Branch {
+                then_bb,
+                else_bb,
+                prob_then,
+                ..
+            } = g.terminator(a)
+            else {
+                continue;
+            };
+            let dead_succ = if *prob_then == 0.0 {
+                Some(*then_bb)
+            } else if *prob_then == 1.0 {
+                Some(*else_bb)
+            } else {
+                None
+            };
+            let Some(dead) = dead_succ else { continue };
+            let target = pd.ipdom(a);
+            let mut runner = Some(dead);
+            while runner != target {
+                let Some(r) = runner else { break };
+                if !reaches_exit[r.index()] {
+                    break;
+                }
+                if !g.block_insts(r).is_empty() {
+                    s.emit(
+                        LintId::ControlDepViolation,
+                        Some(r),
+                        None,
+                        format!(
+                            "{r} is control dependent on the never-taken edge {a} -> {dead} \
+                             (probability {prob_then} branch)"
+                        ),
+                    );
+                }
+                runner = pd.ipdom(r);
+            }
+        }
+    }
+}
+
+/// A minimal post-dominator tree used only by [`ReverseCfgPass`],
+/// restricted to blocks that reach an exit (the pass warns about the rest
+/// separately, so no virtual-exit/pseudo-exit machinery is needed here).
+/// The full analysis lives in `dbds-analysis`; this one avoids a
+/// dependency cycle, like [`SimpleDomTree`] below.
+struct SimplePostDom {
+    /// `None` for roots of the post-dominator forest (exit blocks) and
+    /// for blocks outside the restricted domain.
+    ipdom: Vec<Option<BlockId>>,
+}
+
+impl SimplePostDom {
+    fn compute(g: &Graph, in_domain: &[bool]) -> Self {
+        let n = g.block_count();
+        // Postorder of the reversed graph from each exit over pred edges.
+        let mut visited = vec![false; n];
+        let mut post: Vec<BlockId> = Vec::new();
+        for e in g.blocks() {
+            if !in_domain[e.index()] || !g.succs(e).is_empty() || visited[e.index()] {
+                continue;
+            }
+            visited[e.index()] = true;
+            let mut stack: Vec<(BlockId, usize)> = vec![(e, 0)];
+            while let Some(&mut (b, ref mut child)) = stack.last_mut() {
+                let preds = g.preds(b);
+                if *child < preds.len() {
+                    let p = preds[*child];
+                    *child += 1;
+                    if in_domain[p.index()] && !visited[p.index()] {
+                        visited[p.index()] = true;
+                        stack.push((p, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        let rev_rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut order = vec![usize::MAX; n];
+        for (i, &b) in rev_rpo.iter().enumerate() {
+            order[b.index()] = i + 1; // 0 is the virtual exit
+        }
+        // CHK over reversed edges; `Some(b) == b` encodes "root" during
+        // the iteration (the virtual exit is every exit's parent).
+        let mut ipdom: Vec<Option<BlockId>> = vec![None; n];
+        let mut is_root = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rev_rpo {
+                // Reversed preds of `b` = forward succs, plus the virtual
+                // exit when `b` is an exit block.
+                let mut new_parent: Option<Option<BlockId>> = if g.succs(b).is_empty() {
+                    Some(None) // parent is the virtual exit
+                } else {
+                    None
+                };
+                for s in g.succs(b) {
+                    if ipdom[s.index()].is_none() && !is_root[s.index()] {
+                        continue; // not yet processed or outside
+                    }
+                    new_parent = Some(match new_parent {
+                        None => Some(s),
+                        Some(cur) => Self::intersect(&ipdom, &is_root, &order, Some(s), cur),
+                    });
+                }
+                if let Some(np) = new_parent {
+                    let root = np.is_none();
+                    if ipdom[b.index()] != np || is_root[b.index()] != root {
+                        ipdom[b.index()] = np;
+                        is_root[b.index()] = root;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        SimplePostDom { ipdom }
+    }
+
+    /// Intersection in the reversed-RPO order; `None` is the virtual exit
+    /// at position 0.
+    fn intersect(
+        ipdom: &[Option<BlockId>],
+        is_root: &[bool],
+        order: &[usize],
+        a: Option<BlockId>,
+        b: Option<BlockId>,
+    ) -> Option<BlockId> {
+        let pos = |x: Option<BlockId>| x.map_or(0, |b| order[b.index()]);
+        let up = |x: Option<BlockId>| {
+            let b = x.expect("virtual exit has no parent");
+            if is_root[b.index()] {
+                None
+            } else {
+                ipdom[b.index()]
+            }
+        };
+        let (mut a, mut b) = (a, b);
+        while a != b {
+            while pos(a) > pos(b) {
+                a = up(a);
+            }
+            while pos(b) > pos(a) {
+                b = up(b);
+            }
+        }
+        a
+    }
+
+    /// The immediate post-dominator of `b` (`None` for exit blocks and
+    /// blocks outside the restricted domain).
+    fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+}
+
 /// A minimal dominator tree used only by the lint passes. The
 /// full-featured analysis (queries, children, traversal) lives in
 /// `dbds-analysis`; this one avoids a dependency cycle.
@@ -1186,7 +1397,7 @@ mod tests {
 
     #[test]
     fn severity_tracks_lint() {
-        for id in LintId::ALL {
+        for &id in LintId::ALL {
             let d = Diagnostic::new(id, None, None, "x".into());
             assert_eq!(d.severity, id.severity());
         }
@@ -1202,6 +1413,53 @@ mod tests {
         for n in names {
             assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
         }
+    }
+
+    #[test]
+    fn no_exit_path_warns_on_infinite_regions() {
+        let mut b = GraphBuilder::new("inf", &[Type::Bool], empty_table());
+        let c = b.param(0);
+        let spin = b.new_block();
+        let done = b.new_block();
+        b.branch(c, spin, done, 0.5);
+        b.switch_to(spin);
+        b.jump(spin);
+        b.switch_to(done);
+        b.ret(None);
+        let report = lint(&b.finish());
+        assert_eq!(report.count_of(LintId::NoExitPath), 1);
+        assert!(report.is_clean(), "no-exit-path is hygiene, not soundness");
+    }
+
+    #[test]
+    fn control_dep_violation_fires_on_dead_edge_code() {
+        // bt holds real code but is control dependent on an edge the
+        // profile says is never taken (prob_then = 0).
+        let mut b = GraphBuilder::new("dead", &[Type::Int], empty_table());
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+        b.branch(c, bt, bf, 0.0);
+        b.switch_to(bt);
+        let y = b.add(x, x);
+        b.jump(bm);
+        b.switch_to(bf);
+        b.jump(bm);
+        b.switch_to(bm);
+        let phi = b.phi(vec![y, zero], Type::Int);
+        b.ret(Some(phi));
+        let report = lint(&b.finish());
+        assert_eq!(report.count_of(LintId::ControlDepViolation), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn live_edges_do_not_trip_the_control_dep_check() {
+        // The shared diamond has both edges live (prob 0.5): clean.
+        let report = lint(&diamond());
+        assert_eq!(report.count_of(LintId::ControlDepViolation), 0);
+        assert_eq!(report.count_of(LintId::NoExitPath), 0);
     }
 
     #[test]

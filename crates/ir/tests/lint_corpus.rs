@@ -4,8 +4,9 @@
 //! is named for. The non-graph lints have fail-first coverage next to
 //! their implementations: `StaleAnalysis` in `dbds-analysis`'s cache
 //! audit tests, `NonFiniteBenefit`/`NegativeAccruedSize` in
-//! `dbds-core`'s `lint_simulation` tests, and `Misprediction` in
-//! `dbds-core`'s prediction-audit tests.
+//! `dbds-core`'s `lint_simulation` tests, `Misprediction` in
+//! `dbds-core`'s prediction-audit tests, and `FrontierViolation` in
+//! `dbds-core`'s post-duplication frontier-check tests.
 
 use dbds_ir::{
     lint, BinOp, ClassTable, CmpOp, ConstValue, Graph, GraphBuilder, Inst, InstId, LintId,
@@ -201,12 +202,52 @@ fn critical_edge_fires_on_branch_into_merge() {
 }
 
 #[test]
+fn no_exit_path_fires_on_an_infinite_region() {
+    // entry → {spin, done}; spin never reaches a return.
+    let mut b = GraphBuilder::new("inf", &[Type::Bool], empty_table());
+    let c = b.param(0);
+    let spin = b.new_block();
+    let done = b.new_block();
+    b.branch(c, spin, done, 0.5);
+    b.switch_to(spin);
+    b.jump(spin);
+    b.switch_to(done);
+    b.ret(None);
+    let report = lint(&b.finish());
+    expect_lint(&report, LintId::NoExitPath);
+    assert_eq!(report.error_count(), 0, "{report}");
+}
+
+#[test]
+fn control_dep_violation_fires_on_never_taken_dependent_code() {
+    // bt holds an instruction but is control dependent on an edge whose
+    // probability is exactly 0: the profile and the control-dependence
+    // structure contradict each other.
+    let mut b = GraphBuilder::new("cd", &[Type::Int], empty_table());
+    let x = b.param(0);
+    let zero = b.iconst(0);
+    let c = b.cmp(CmpOp::Gt, x, zero);
+    let (bt, bf, bm) = (b.new_block(), b.new_block(), b.new_block());
+    b.branch(c, bt, bf, 0.0);
+    b.switch_to(bt);
+    let y = b.add(x, x);
+    b.jump(bm);
+    b.switch_to(bf);
+    b.jump(bm);
+    b.switch_to(bm);
+    let phi = b.phi(vec![y, zero], Type::Int);
+    b.ret(Some(phi));
+    expect_lint(&lint(&b.finish()), LintId::ControlDepViolation);
+}
+
+#[test]
 fn hygiene_lints_are_warnings_and_do_not_fail_verify() {
     for warn_only in [
         LintId::UnreachableBlock,
         LintId::TrivialPhi,
         LintId::CriticalEdge,
         LintId::Misprediction,
+        LintId::NoExitPath,
     ] {
         assert_eq!(warn_only.severity(), Severity::Warn);
     }
@@ -234,16 +275,19 @@ fn every_graph_level_lint_has_a_corpus_entry() {
         LintId::UnreachableBlock,
         LintId::TrivialPhi,
         LintId::CriticalEdge,
+        LintId::NoExitPath,
+        LintId::ControlDepViolation,
     ];
     let elsewhere = [
         LintId::StaleAnalysis,
         LintId::NonFiniteBenefit,
         LintId::NegativeAccruedSize,
         LintId::Misprediction,
+        LintId::FrontierViolation,
     ];
     for id in LintId::ALL {
         assert!(
-            graph_level.contains(&id) || elsewhere.contains(&id),
+            graph_level.contains(id) || elsewhere.contains(id),
             "{} has no fail-first coverage",
             id.name()
         );

@@ -40,11 +40,25 @@ pub enum FragmentKind {
     Invoke,
     /// Array traffic with no duplication opportunity.
     Array,
+    /// A cold diamond whose merge re-tests the φ it just formed, with a
+    /// constant-arithmetic cascade behind the decided arm. Merge
+    /// duplication alone folds only the test (rejected by the
+    /// trade-off); the branch-splitting continuation also claims the
+    /// cascade.
+    DiamondChain,
+    /// Two correlated conditionals: the merge tests a predicate
+    /// *derived* from its φ (`(φ & 7) == K & 7`), so the second branch
+    /// is decidable only by carrying the φ constant through the first.
+    CorrelatedConditionals,
+    /// A ladder of repeated tests of the same φ value: each decided
+    /// rung leads to another decided rung — the multi-hop
+    /// branch-splitting shape.
+    RepeatedTestLadder,
 }
 
 impl FragmentKind {
     /// All fragment kinds.
-    pub const ALL: [FragmentKind; 12] = [
+    pub const ALL: [FragmentKind; 15] = [
         FragmentKind::ConstFold,
         FragmentKind::CondElim,
         FragmentKind::StrengthReduce,
@@ -57,6 +71,9 @@ impl FragmentKind {
         FragmentKind::Dispatch,
         FragmentKind::Invoke,
         FragmentKind::Array,
+        FragmentKind::DiamondChain,
+        FragmentKind::CorrelatedConditionals,
+        FragmentKind::RepeatedTestLadder,
     ];
 }
 
@@ -119,6 +136,9 @@ pub fn emit(kind: FragmentKind, ctx: &mut FragmentCtx<'_>) -> InstId {
         FragmentKind::Dispatch => emit_dispatch(ctx),
         FragmentKind::Invoke => emit_invoke(ctx),
         FragmentKind::Array => emit_array(ctx),
+        FragmentKind::DiamondChain => emit_diamond_chain(ctx),
+        FragmentKind::CorrelatedConditionals => emit_correlated_conditionals(ctx),
+        FragmentKind::RepeatedTestLadder => emit_repeated_test_ladder(ctx),
     }
 }
 
@@ -539,6 +559,165 @@ fn emit_array(ctx: &mut FragmentCtx<'_>) -> InstId {
     let v = ctx.b.aload(arr, ix);
     let len = ctx.b.alength(arr);
     ctx.b.add(v, len)
+}
+
+/// Appends `n` arithmetic instructions that all fold transitively once
+/// `seed` is a known constant — the branch-splitting payoff. Keyed on
+/// the dispatched *value* (not the branch condition), so the baseline
+/// assume-edge canonicalization cannot claim any of it without
+/// duplication.
+fn const_cascade(ctx: &mut FragmentCtx<'_>, seed: InstId, n: usize) -> InstId {
+    let mut t = seed;
+    for i in 0..n {
+        let k = ctx.b.iconst(ctx.rng.random_range(2..8));
+        t = match i % 3 {
+            0 => ctx.b.add(t, k),
+            1 => ctx.b.mul(t, k),
+            _ => ctx.b.binop(dbds_ir::BinOp::Xor, t, k),
+        };
+    }
+    t
+}
+
+/// Caps a fragment result to 16 bits and folds it into the running
+/// accumulator from a fresh block (keeps interpreter values bounded
+/// even though the cascades multiply).
+fn bounded_acc(ctx: &mut FragmentCtx<'_>, t: InstId) -> InstId {
+    let mask = ctx.b.iconst(0xffff);
+    let bounded = ctx.b.binop(dbds_ir::BinOp::And, t, mask);
+    let next = ctx.b.new_block();
+    ctx.b.jump(next);
+    ctx.b.switch_to(next);
+    ctx.b.add(ctx.acc, bounded)
+}
+
+/// One cold diamond whose merge re-tests its own φ. Sized against the
+/// default cost model so the trade-off prices the two flavors apart:
+/// duplicating only the merge folds `cmp + branch` (2 cycles, and
+/// `2 × 256 × p < payload` for cold `p ≤ 0.025` against the
+/// 12-instruction payload), while continuing through the decided branch
+/// adds the ~16-cycle cascade and clears the bar comfortably.
+fn one_split_diamond(ctx: &mut FragmentCtx<'_>) -> InstId {
+    let k = ctx.rng.random_range(16..24);
+    let kc = ctx.b.iconst(k);
+    let limit = ctx.b.iconst(k - 1);
+    let fifteen = ctx.b.iconst(15);
+    let masked = ctx.b.binop(dbds_ir::BinOp::And, ctx.acc, fifteen);
+    let zero = ctx.b.iconst(0);
+    let cond = ctx.b.cmp(CmpOp::Eq, masked, zero);
+    let cold = ctx.rng.random_range(0.015..0.025);
+    let (bt, bf, bm) = diamond(ctx, cond, cold);
+    ctx.b.switch_to(bt);
+    ctx.b.jump(bm);
+    ctx.b.switch_to(bf);
+    ctx.b.jump(bm);
+    ctx.b.switch_to(bm);
+    // φ inputs align with pred order [bt, bf]: the cold arm pins `k`.
+    let p = ctx.b.phi(vec![kc, ctx.acc], Type::Int);
+    let pay = payload(ctx, p, 12);
+    let c2 = ctx.b.cmp(CmpOp::Gt, p, limit);
+    let (bhit, bmiss, join) = diamond(ctx, c2, 0.5);
+    ctx.b.switch_to(bhit);
+    let chain = const_cascade(ctx, p, 12);
+    ctx.b.jump(join);
+    ctx.b.switch_to(bmiss);
+    ctx.b.jump(join);
+    ctx.b.switch_to(join);
+    let t = ctx.b.phi(vec![chain, pay], Type::Int);
+    bounded_acc(ctx, t)
+}
+
+/// Two chained instances of the cold re-testing diamond.
+fn emit_diamond_chain(ctx: &mut FragmentCtx<'_>) -> InstId {
+    ctx.acc = one_split_diamond(ctx);
+    one_split_diamond(ctx)
+}
+
+/// Correlated conditionals: the merge's terminator tests `(φ & 7) ==
+/// k & 7` — a predicate *derived* from the φ, true exactly when the
+/// cold arm pinned `k`. Deciding it requires carrying the φ constant
+/// through one arithmetic step, which only duplication provides.
+fn emit_correlated_conditionals(ctx: &mut FragmentCtx<'_>) -> InstId {
+    let k = ctx.rng.random_range(32..40);
+    let kc = ctx.b.iconst(k);
+    let seven = ctx.b.iconst(7);
+    let low = ctx.b.iconst(k & 7);
+    let thirty_one = ctx.b.iconst(31);
+    let sel = ctx.b.binop(dbds_ir::BinOp::And, ctx.acc, thirty_one);
+    let cond = ctx.b.cmp(CmpOp::Eq, sel, seven);
+    let cold = ctx.rng.random_range(0.012..0.02);
+    let (bt, bf, bm) = diamond(ctx, cond, cold);
+    ctx.b.switch_to(bt);
+    ctx.b.jump(bm);
+    ctx.b.switch_to(bf);
+    ctx.b.jump(bm);
+    ctx.b.switch_to(bm);
+    let p = ctx.b.phi(vec![kc, ctx.acc], Type::Int);
+    let pay = payload(ctx, p, 14);
+    let derived = ctx.b.binop(dbds_ir::BinOp::And, p, seven);
+    let c2 = ctx.b.cmp(CmpOp::Eq, derived, low);
+    let (bhit, bmiss, join) = diamond(ctx, c2, 0.3);
+    ctx.b.switch_to(bhit);
+    let chain = const_cascade(ctx, derived, 12);
+    ctx.b.jump(join);
+    ctx.b.switch_to(bmiss);
+    ctx.b.jump(join);
+    ctx.b.switch_to(join);
+    let t = ctx.b.phi(vec![chain, pay], Type::Int);
+    bounded_acc(ctx, t)
+}
+
+/// A ladder of repeated tests of the same φ: `p > 9`, then `p > 17` —
+/// on the cold arm (`p = k ∈ [24, 32)`) every rung is decided, so the
+/// DST can extend through *two* folded branches, each rung adding its
+/// own cascade (the strictly-increasing-benefit trim rule keeps both
+/// hops).
+fn emit_repeated_test_ladder(ctx: &mut FragmentCtx<'_>) -> InstId {
+    let k = ctx.rng.random_range(24..32);
+    let kc = ctx.b.iconst(k);
+    let l1 = ctx.b.iconst(9);
+    let l2 = ctx.b.iconst(17);
+    let fifteen = ctx.b.iconst(15);
+    let masked = ctx.b.binop(dbds_ir::BinOp::And, ctx.acc, fifteen);
+    let zero = ctx.b.iconst(0);
+    let cond = ctx.b.cmp(CmpOp::Eq, masked, zero);
+    let cold = ctx.rng.random_range(0.015..0.022);
+    let (bt, bf, bm) = diamond(ctx, cond, cold);
+    ctx.b.switch_to(bt);
+    ctx.b.jump(bm);
+    ctx.b.switch_to(bf);
+    ctx.b.jump(bm);
+    ctx.b.switch_to(bm);
+    let p = ctx.b.phi(vec![kc, ctx.acc], Type::Int);
+    let pay = payload(ctx, p, 12);
+    let c1 = ctx.b.cmp(CmpOp::Gt, p, l1);
+    let r1 = ctx.b.new_block();
+    let s1 = ctx.b.new_block();
+    ctx.b.branch(c1, r1, s1, 0.5);
+    // Rung 1: a short cascade, then the repeated test of the same φ.
+    ctx.b.switch_to(r1);
+    let v1 = const_cascade(ctx, p, 5);
+    let c2 = ctx.b.cmp(CmpOp::Gt, p, l2);
+    let r2 = ctx.b.new_block();
+    let s2 = ctx.b.new_block();
+    ctx.b.branch(c2, r2, s2, 0.5);
+    // Rung 2 merges first (preds [r2, s2]), then the outer join
+    // (preds [j2, s1]).
+    ctx.b.switch_to(r2);
+    let v2 = const_cascade(ctx, v1, 5);
+    let j2 = ctx.b.new_block();
+    ctx.b.jump(j2);
+    ctx.b.switch_to(s2);
+    ctx.b.jump(j2);
+    ctx.b.switch_to(j2);
+    let w2 = ctx.b.phi(vec![v2, v1], Type::Int);
+    let j1 = ctx.b.new_block();
+    ctx.b.jump(j1);
+    ctx.b.switch_to(s1);
+    ctx.b.jump(j1);
+    ctx.b.switch_to(j1);
+    let w1 = ctx.b.phi(vec![w2, pay], Type::Int);
+    bounded_acc(ctx, w1)
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! use dbds_workloads::Suite;
 //!
 //! let suite = Suite::Micro.workloads();
-//! assert_eq!(suite.len(), 9);
+//! assert_eq!(suite.len(), 12);
 //! let wordcount = suite.iter().find(|w| w.name == "wordcount").unwrap();
 //! assert!(!wordcount.graph.merge_blocks().is_empty());
 //! ```
@@ -30,7 +30,7 @@ mod suites;
 
 pub use fragments::{FragmentCtx, FragmentKind, SharedState};
 pub use generator::{generate_graph, generate_inputs, standard_classes, Profile, StandardClasses};
-pub use suites::Suite;
+pub use suites::{Suite, SPLIT_BENCHMARKS};
 
 use dbds_ir::{Graph, Value};
 

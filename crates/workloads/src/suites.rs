@@ -91,6 +91,9 @@ impl Suite {
                 "kmeanCPCA",
                 "streamPerson",
                 "wordcount",
+                "branchchain",
+                "corrcond",
+                "testladder",
             ],
             Suite::Octane => &[
                 "box2d",
@@ -195,12 +198,25 @@ impl Suite {
         }
     }
 
+    /// The generator profile for one benchmark of this suite: the
+    /// branch-splitting benchmarks ([`SPLIT_BENCHMARKS`]) get their
+    /// dedicated shape mix, every other name the suite profile. Seeds
+    /// are per-name ([`seed_for`]), so the override never perturbs the
+    /// graphs of pre-existing benchmarks.
+    pub fn profile_for(self, name: &str) -> Profile {
+        if SPLIT_BENCHMARKS.contains(&name) {
+            split_profile(name)
+        } else {
+            self.profile()
+        }
+    }
+
     /// Generates all workloads of this suite.
     pub fn workloads(self) -> Vec<Workload> {
-        let profile = self.profile();
         self.benchmark_names()
             .iter()
             .map(|name| {
+                let profile = self.profile_for(name);
                 let seed = seed_for(self, name);
                 Workload {
                     name: (*name).to_string(),
@@ -210,6 +226,29 @@ impl Suite {
                 }
             })
             .collect()
+    }
+}
+
+/// The benchmarks whose units are built from the branch-splitting
+/// fragment shapes — merge duplication alone cannot crack them, so the
+/// harness's merge-only ablation sweeps exactly this list.
+pub const SPLIT_BENCHMARKS: [&str; 3] = ["branchchain", "corrcond", "testladder"];
+
+/// The dedicated profile of one branch-splitting benchmark: dominated
+/// by its namesake shape, diluted with neutral merges and opaque calls.
+/// No hot loops, so a cold edge's static probability is exactly
+/// `1 − prob_then` and the trade-off pricing in DESIGN.md applies
+/// verbatim.
+fn split_profile(name: &str) -> Profile {
+    let kind = match name {
+        "branchchain" => DiamondChain,
+        "corrcond" => CorrelatedConditionals,
+        _ => RepeatedTestLadder,
+    };
+    Profile {
+        fragments: (6, 10),
+        weights: vec![(kind, 0.6), (Neutral, 0.25), (Invoke, 0.15)],
+        input_sets: 4,
     }
 }
 
@@ -236,12 +275,44 @@ mod tests {
 
     #[test]
     fn suite_names_match_the_figures() {
+        // Micro carries the paper's 9 names plus the 3 branch-splitting
+        // benchmarks this reproduction adds for the ablation.
         assert_eq!(Suite::JavaDaCapo.benchmark_names().len(), 10);
         assert_eq!(Suite::ScalaDaCapo.benchmark_names().len(), 12);
-        assert_eq!(Suite::Micro.benchmark_names().len(), 9);
+        assert_eq!(Suite::Micro.benchmark_names().len(), 12);
         assert_eq!(Suite::Octane.benchmark_names().len(), 14);
         assert!(Suite::JavaDaCapo.benchmark_names().contains(&"jython"));
         assert!(Suite::Octane.benchmark_names().contains(&"raytrace"));
+        for split in SPLIT_BENCHMARKS {
+            assert!(Suite::Micro.benchmark_names().contains(&split));
+        }
+    }
+
+    #[test]
+    fn split_benchmarks_use_the_dedicated_profile_without_perturbing_others() {
+        let split = Suite::Micro.profile_for("branchchain");
+        assert!(split
+            .weights
+            .iter()
+            .any(|&(k, w)| k == DiamondChain && w > 0.0));
+        // Pre-existing names keep the unmodified suite profile: same
+        // weights, and (with per-name seeds) bit-identical graphs.
+        let plain = Suite::Micro.profile_for("wordcount");
+        assert_eq!(plain.weights, Suite::Micro.profile().weights);
+        let wc = Suite::Micro
+            .workloads()
+            .into_iter()
+            .find(|w| w.name == "wordcount")
+            .expect("wordcount exists");
+        let direct = generate_graph(
+            "wordcount",
+            &Suite::Micro.profile(),
+            seed_for(Suite::Micro, "wordcount"),
+        );
+        assert_eq!(
+            dbds_ir::print_graph(&wc.graph),
+            dbds_ir::print_graph(&direct)
+        );
     }
 
     #[test]
@@ -282,7 +353,7 @@ mod tests {
             .iter()
             .map(|w| w.graph.live_inst_count())
             .sum::<usize>()
-            / 9;
+            / 12;
         let octane_avg: usize = Suite::Octane
             .workloads()
             .iter()
