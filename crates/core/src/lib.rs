@@ -105,7 +105,7 @@ pub use bailout::{
 };
 pub use lint::{lint_frontier, lint_simulation};
 pub use par::WorkerLoad;
-pub use phase::{compile, run_dbds, DbdsConfig, OptLevel, PhaseStats};
+pub use phase::{compile, run_dbds, DbdsConfig, OptLevel, PhaseStats, PoolPlan};
 pub use simulation::{
     audit_opportunities, count_mispredictions, simulate, simulate_paths, simulate_paths_budgeted,
     simulate_paths_parallel, CandidateKind, Opportunity, SimulationOutcome, SimulationResult,

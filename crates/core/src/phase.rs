@@ -74,18 +74,21 @@ pub struct DbdsConfig {
     /// checkpoints and panic isolation.
     pub guard: GuardConfig,
     /// Worker threads for the simulation tier's DST pool and the
-    /// trade-off tier's pricing fan-out (`0` = one per hardware thread).
-    /// Results are bit-identical for every value; only wall-clock
-    /// changes. The default honors the `DBDS_SIM_THREADS` environment
-    /// variable and falls back to 1.
+    /// trade-off tier's pricing fan-out. `0` = adaptive: in a unit batch
+    /// it sizes the shared scheduler's sim sub-pool from the hardware
+    /// (see [`DbdsConfig::pool_plan`]); in a direct [`compile`] it means
+    /// one per hardware thread. Results are bit-identical for every
+    /// value; only wall-clock changes. The default honors the
+    /// `DBDS_SIM_THREADS` environment variable and falls back to 1.
     pub sim_threads: usize,
     /// Worker threads for the *unit-level* compilation queue: how many
     /// independent compilation units the harness overlaps on the
-    /// [`crate::par`] pool (`0` = one per hardware thread). Mirrors the
-    /// paper's setting of DBDS as a per-unit phase inside a compiler
-    /// that compiles units concurrently (§6). Results are committed in
-    /// submission order, so reports are byte-identical for every value.
-    /// The default honors `DBDS_UNIT_THREADS` and falls back to 1.
+    /// [`crate::par`] scheduler (`0` = adaptive, see
+    /// [`DbdsConfig::pool_plan`]). Mirrors the paper's setting of DBDS
+    /// as a per-unit phase inside a compiler that compiles units
+    /// concurrently (§6). Results are committed in submission order, so
+    /// reports are byte-identical for every value. The default honors
+    /// `DBDS_UNIT_THREADS` and falls back to 1.
     pub unit_threads: usize,
     /// Whether the simulation tier may continue a DST *through* a branch
     /// terminator it decided statically, producing
@@ -145,33 +148,90 @@ impl Default for DbdsConfig {
     }
 }
 
+/// The 2-D schedule for a batch of independent compilation units: how
+/// many reserved unit workers and sim (steal-helper) workers the shared
+/// [`crate::par::run_units`] scheduler runs, plus the configuration
+/// each unit compiles with. Built by [`DbdsConfig::pool_plan`].
+///
+/// The plan is purely a *scheduling* artifact: results are bit-identical
+/// at every split, so none of these fields participate in
+/// [`DbdsConfig::fingerprint`].
+#[derive(Clone, Debug)]
+pub struct PoolPlan {
+    /// Workers that claim whole compilation units off the shared cursor
+    /// (and steal inner chunks once the cursor runs dry).
+    pub unit_workers: usize,
+    /// Reserved workers that only steal chunks from in-flight units'
+    /// DST/pricing queues. `0` means no reserved helpers — idle unit
+    /// workers still steal.
+    pub sim_workers: usize,
+    /// The configuration each unit compiles with: the inner tiers are
+    /// forced nominally sequential (`sim_threads = 1`) because on a
+    /// scheduler worker their fan-outs *publish to the shared pool*
+    /// instead of spawning nested pools — one global worker set, no
+    /// `p × q` oversubscription.
+    pub per_unit: DbdsConfig,
+}
+
 impl DbdsConfig {
-    /// Plans a unit-level fan-out over `units` independent compilations:
-    /// returns the resolved pool width and the configuration each unit
-    /// compiles with.
+    /// Plans the 2-D fan-out over `units` independent compilations.
     ///
-    /// When the units themselves run on the pool (resolved width > 1),
-    /// the per-unit config forces the *inner* tiers sequential
-    /// (`sim_threads = 1`) — nested-pool avoidance: one layer of
-    /// parallelism at a time, so a `p`-wide unit pool never spawns
-    /// `p × q` DST workers on `p` cores. Safe because every tier's
-    /// results are bit-identical across thread counts; only the purely
-    /// observational [`PhaseStats::sim_threads`] / `par_ns` fields (kept
-    /// out of the deterministic reports) can differ. Each unit still
-    /// owns its own [`dbds_analysis::AnalysisCache`] and fuel/deadline
-    /// [`Budget`](crate::Budget) — both are created per
+    /// Explicit `unit_threads` / `sim_threads` values are honored as
+    /// given (`sim_threads = 1`, the sequential default, reserves no
+    /// helpers). A value of `0` means *adaptive*: the planner splits the
+    /// cached [`crate::par::hardware_threads`] between the sub-pools,
+    /// clamped by queue depth —
+    ///
+    /// * both `0`: roughly two thirds of the hardware becomes unit
+    ///   workers (at least one, at most `units`) and the rest the sim
+    ///   sub-pool, e.g. 6 hardware threads → 4 unit × 2 sim. On a
+    ///   single-core machine this degenerates to pure sequential — the
+    ///   cheapest correct plan.
+    /// * `unit_threads = 0`, `sim_threads` explicit: unit workers get
+    ///   whatever the sim reservation leaves (at least one).
+    /// * `unit_threads` explicit, `sim_threads = 0`: the sim sub-pool
+    ///   gets the leftover hardware.
+    ///
+    /// Safe because every tier's results are bit-identical across
+    /// splits; only the purely observational
+    /// [`PhaseStats::sim_threads`] / `par_ns` / [`crate::par::WorkerLoad`]
+    /// fields (kept out of the deterministic reports) can differ. Each
+    /// unit still owns its own [`dbds_analysis::AnalysisCache`] and
+    /// fuel/deadline [`Budget`](crate::Budget) — both are created per
     /// [`run_dbds`]/[`compile`] call — so one unit's bailout never
     /// poisons a neighbor.
-    pub fn unit_plan(&self, units: usize) -> (usize, DbdsConfig) {
-        let threads = crate::par::resolve_threads(self.unit_threads)
-            .min(units)
-            .max(1);
+    pub fn pool_plan(&self, units: usize) -> PoolPlan {
+        let hw = crate::par::hardware_threads();
+        let depth = units.max(1);
+        // An explicit sim request of 1 is the sequential default: no
+        // reserved helpers (matching the historical 1-means-sequential
+        // contract of `sim_threads`).
+        let explicit_sim = |s: usize| if s <= 1 { 0 } else { s };
+        let (unit_workers, sim_workers) = match (self.unit_threads, self.sim_threads) {
+            (0, 0) => {
+                // Auto both: ~2/3 of the hardware claims units, the
+                // rest helps their inner queues.
+                let u = ((2 * hw).div_ceil(3)).clamp(1, depth.min(hw.max(1)));
+                (u, hw.saturating_sub(u))
+            }
+            (0, s) => {
+                let s = explicit_sim(s);
+                (hw.saturating_sub(s).clamp(1, depth), s)
+            }
+            (u, 0) => {
+                let u = u.min(depth);
+                (u, hw.saturating_sub(u))
+            }
+            (u, s) => (u.min(depth), explicit_sim(s)),
+        };
         let mut per_unit = self.clone();
         per_unit.unit_threads = 1;
-        if threads > 1 {
-            per_unit.sim_threads = 1;
+        per_unit.sim_threads = 1;
+        PoolPlan {
+            unit_workers,
+            sim_workers,
+            per_unit,
         }
-        (threads, per_unit)
     }
 
     /// A stable fingerprint of every configuration field that can
@@ -1040,32 +1100,59 @@ mod tests {
     }
 
     #[test]
-    fn unit_plan_forces_inner_tiers_sequential() {
-        let cfg = DbdsConfig {
-            unit_threads: 4,
-            sim_threads: 8,
+    fn pool_plan_honors_explicit_splits() {
+        let with = |u: usize, s: usize| DbdsConfig {
+            unit_threads: u,
+            sim_threads: s,
             ..DbdsConfig::default()
         };
-        let (threads, per_unit) = cfg.unit_plan(45);
-        assert_eq!(threads, 4);
-        assert_eq!(per_unit.sim_threads, 1, "nested-pool avoidance");
-        assert_eq!(per_unit.unit_threads, 1);
-        // A sequential unit queue leaves the inner tiers' knob alone.
-        let cfg = DbdsConfig {
-            unit_threads: 1,
-            sim_threads: 8,
-            ..DbdsConfig::default()
-        };
-        let (threads, per_unit) = cfg.unit_plan(45);
-        assert_eq!(threads, 1);
-        assert_eq!(per_unit.sim_threads, 8);
+        // Explicit both: honored as given; per-unit tiers publish to the
+        // shared scheduler, so their own knobs are forced nominal.
+        let plan = with(4, 8).pool_plan(45);
+        assert_eq!((plan.unit_workers, plan.sim_workers), (4, 8));
+        assert_eq!(plan.per_unit.sim_threads, 1, "inner tiers share the pool");
+        assert_eq!(plan.per_unit.unit_threads, 1);
+        // sim_threads = 1 is the sequential default: no reserved helpers.
+        let plan = with(4, 1).pool_plan(45);
+        assert_eq!((plan.unit_workers, plan.sim_workers), (4, 0));
+        // The historical 1×N split becomes one unit worker + N stealers.
+        let plan = with(1, 8).pool_plan(45);
+        assert_eq!((plan.unit_workers, plan.sim_workers), (1, 8));
         // Never wider than the unit count, never zero.
-        let wide = DbdsConfig {
-            unit_threads: 16,
+        assert_eq!(with(16, 1).pool_plan(3).unit_workers, 3);
+        assert_eq!(with(16, 1).pool_plan(0).unit_workers, 1);
+        // Pure sequential resolves to the inline path's shape.
+        let plan = with(1, 1).pool_plan(45);
+        assert_eq!((plan.unit_workers, plan.sim_workers), (1, 0));
+    }
+
+    #[test]
+    fn pool_plan_adapts_to_hardware() {
+        let hw = crate::par::hardware_threads();
+        let with = |u: usize, s: usize| DbdsConfig {
+            unit_threads: u,
+            sim_threads: s,
             ..DbdsConfig::default()
         };
-        assert_eq!(wide.unit_plan(3).0, 3);
-        assert_eq!(wide.unit_plan(0).0, 1);
+        // Auto both: ~2/3 of the hardware claims units, the rest helps.
+        let plan = with(0, 0).pool_plan(45);
+        let expect_u = ((2 * hw).div_ceil(3)).clamp(1, 45.min(hw.max(1)));
+        assert_eq!(plan.unit_workers, expect_u);
+        assert_eq!(plan.sim_workers, hw - expect_u);
+        assert!(plan.unit_workers + plan.sim_workers <= hw.max(1));
+        // Queue depth still clamps the auto unit sub-pool.
+        assert_eq!(with(0, 0).pool_plan(1).unit_workers, 1);
+        // Auto units with an explicit sim reservation take the leftover.
+        let plan = with(0, 2).pool_plan(45);
+        assert_eq!(plan.sim_workers, 2);
+        assert_eq!(plan.unit_workers, hw.saturating_sub(2).clamp(1, 45));
+        // Explicit units with an auto sim sub-pool: leftover hardware.
+        let plan = with(2, 0).pool_plan(45);
+        assert_eq!(plan.unit_workers, 2);
+        assert_eq!(plan.sim_workers, hw.saturating_sub(2));
+        // Adaptive plans still force the per-unit tiers nominal.
+        assert_eq!(plan.per_unit.sim_threads, 1);
+        assert_eq!(plan.per_unit.unit_threads, 1);
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Property tests for the parallel simulation tier's determinism
-//! contract: for *any* generated workload and *any* budget, running the
-//! DST pool at 2, 3, or 8 threads must produce results, stop reasons,
-//! panic records, and fuel accounting bit-identical to 1 thread — and a
-//! whole compilation at 4 threads must produce the same graph as at 1.
+//! Property tests for the parallel tiers' determinism contract: for
+//! *any* generated workload and *any* budget, running the DST pool at
+//! 2, 3, or 8 threads must produce results, stop reasons, panic
+//! records, and fuel accounting bit-identical to 1 thread; a whole
+//! compilation at 4 threads must produce the same graph as at 1; and a
+//! unit batch on the shared 2-D scheduler must commit bit-identical
+//! results at *any* randomized (unit, sim) split, including steal-heavy
+//! schedules where reserved sim workers drain other units' queues.
 
 use dbds_core::{
     compile, simulate_paths_parallel, Budget, DbdsConfig, GuardConfig, OptLevel, SimulationOutcome,
@@ -105,6 +108,59 @@ proptest! {
             prop_assert_eq!(stats.iterations, base_stats.iterations);
             prop_assert_eq!(&stats.bailouts, &base_stats.bailouts);
             prop_assert_eq!(stats.final_size, base_stats.final_size);
+        }
+    }
+
+    /// The 2-D scheduler's contract: a batch of units committed through
+    /// `par::run_units` is bit-identical to the sequential batch at any
+    /// randomized (unit, sim) split — stolen DST/pricing chunks, fuel
+    /// pressure and all.
+    #[test]
+    fn unit_batch_is_split_invariant(
+        seeds in proptest::collection::vec(0u64..10_000, 3..7),
+        unit_workers in 1usize..5,
+        sim_workers in 0usize..5,
+        fuel in 0u64..2_000,
+    ) {
+        let graphs: Vec<Graph> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| workload_graph(i, s))
+            .collect();
+        let model = CostModel::new();
+        let fuel = (fuel > 0).then_some(fuel);
+        // The per-unit config the planner would hand out: nominally
+        // sequential inner tiers that publish to the shared scheduler.
+        let cfg = DbdsConfig {
+            guard: GuardConfig { fuel, ..GuardConfig::default() },
+            sim_threads: 1,
+            unit_threads: 1,
+            ..DbdsConfig::default()
+        };
+        let compile_unit = |g: &Graph| {
+            let mut g = g.clone();
+            let stats = compile(&mut g, &model, OptLevel::Dbds, &cfg);
+            (
+                g.to_string(),
+                stats.duplications,
+                stats.candidates,
+                stats.iterations,
+                stats.final_size,
+                stats.bailouts.clone(),
+            )
+        };
+        let (baseline, _, _) = dbds_core::par::run_units(1, 0, &graphs, |_, g| compile_unit(g));
+        let (split, loads, _) =
+            dbds_core::par::run_units(unit_workers, sim_workers, &graphs, |_, g| compile_unit(g));
+        prop_assert_eq!(
+            &split, &baseline,
+            "unit batch diverged at split {}x{}", unit_workers, sim_workers
+        );
+        // Load accounting stays coherent under stealing: every unit was
+        // claimed exactly once, and stolen counts never exceed tasks.
+        prop_assert!(loads.iter().map(|l| l.tasks).sum::<usize>() >= graphs.len());
+        for load in &loads {
+            prop_assert!(load.stolen <= load.tasks);
         }
     }
 }

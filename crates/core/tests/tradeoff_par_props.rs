@@ -93,6 +93,16 @@ proptest! {
                     "selection diverged at {} threads ({:?})", threads, mode
                 );
             }
+            // Steal-heavy flavor: the same pricing executed on a 2-D
+            // scheduler worker publishes its fan-out to the shared pool,
+            // where two reserved sim workers steal chunks of it.
+            let (stolen, _, _) = dbds_core::par::run_units(1, 2, &[()], |_, ()| {
+                digest(&results, &cfg, mode, initial, current, &visited, 1)
+            });
+            prop_assert_eq!(
+                &seq, &stolen[0],
+                "selection diverged under scheduler stealing ({:?})", mode
+            );
         }
     }
 }
@@ -144,4 +154,39 @@ fn parallel_pricing_matches_sequential_on_the_full_corpus() {
         priced_candidates > 100,
         "corpus produced only {priced_candidates} candidates — not a meaningful sweep"
     );
+}
+
+/// Whole-corpus pricing dispatched *through the 2-D scheduler*: every
+/// workload's pricing fan-out is published to the shared pool and
+/// partially stolen by sim workers (and by unit workers whose cursor
+/// ran dry), and must still match the sequential tier bit-for-bit at
+/// several (unit, sim) splits.
+#[test]
+fn pricing_under_scheduler_stealing_matches_sequential_on_the_corpus() {
+    let model = CostModel::new();
+    let cfg = TradeoffConfig::default();
+    let fresh = HashSet::new();
+    let sims: Vec<(Vec<SimulationResult>, u64)> = all_workloads()
+        .iter()
+        .map(|w| {
+            let mut cache = AnalysisCache::new();
+            let results = simulate(&w.graph, &model, &mut cache);
+            let initial = model.graph_size(&w.graph);
+            (results, initial)
+        })
+        .collect();
+    let expected: Vec<Digest> = sims
+        .iter()
+        .map(|(r, init)| digest(r, &cfg, SelectionMode::CostBenefit, *init, *init, &fresh, 0))
+        .collect();
+    for (unit_workers, sim_workers) in [(1, 2), (2, 2), (4, 0)] {
+        let (got, _, _) =
+            dbds_core::par::run_units(unit_workers, sim_workers, &sims, |_, (r, init)| {
+                digest(r, &cfg, SelectionMode::CostBenefit, *init, *init, &fresh, 1)
+            });
+        assert_eq!(
+            got, expected,
+            "pricing diverged on the scheduler at {unit_workers}x{sim_workers}"
+        );
+    }
 }

@@ -1,7 +1,9 @@
 //! Emits `BENCH_suite.json`: the whole-corpus compilation pipeline swept
-//! over the `unit_threads` × `sim_threads` matrix, with wall-clock per
-//! configuration next to the deterministic counters that prove every
-//! configuration did the same work. The perf trajectory of the suite
+//! over candidate `(unit_threads, sim_threads)` splits of the shared 2-D
+//! scheduler — the explicit matrix plus the adaptive `(0, 0)` plan —
+//! with wall-clock per configuration next to the deterministic counters
+//! that prove every split did the same work. The winner by wall clock is
+//! recorded as the `chosen` plan. The perf trajectory of the suite
 //! pipeline is tracked by committing this file per revision (schema
 //! documented in EXPERIMENTS.md).
 //!
@@ -11,11 +13,13 @@
 //!
 //! The deterministic counters (`work`, `candidates`, `duplications`,
 //! `raw_cycles`, summed over every suite × benchmark × configuration)
-//! must be identical across the matrix — the bin exits non-zero if any
-//! combination disagrees with the sequential baseline. Wall-clock fields
-//! (`wall_ms`, `unit_pool_ms`) are *not* deterministic: they depend on
-//! the machine, its load, and `hardware_threads` (on a single-core host
-//! the threaded rows bound pool overhead instead of showing overlap).
+//! must be identical across the sweep — the bin exits non-zero if any
+//! split disagrees with the sequential baseline, and a split is only
+//! eligible to win on wall clock after passing that gate. Wall-clock
+//! fields (`wall_ms`, `unit_pool_ms`) are *not* deterministic: they
+//! depend on the machine, its load, and `hardware_threads` (on a
+//! single-core host the threaded rows bound scheduler overhead instead
+//! of showing overlap).
 
 use dbds_core::DbdsConfig;
 use dbds_costmodel::CostModel;
@@ -24,10 +28,10 @@ use dbds_workloads::Suite;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// The thread-count matrix the sweep covers: `(unit_threads,
-/// sim_threads)`. The `(1, 1)` row is the sequential baseline every
-/// other row's counters must match.
-const MATRIX: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
+/// The candidate splits the sweep covers: `(unit_threads, sim_threads)`
+/// as requested (0 = adaptive). The `(1, 1)` row is the sequential
+/// baseline every other row's counters must match.
+const MATRIX: [(usize, usize); 5] = [(1, 1), (1, 4), (4, 1), (4, 4), (0, 0)];
 
 /// Deterministic whole-corpus work counters, summed over every
 /// suite × benchmark × configuration.
@@ -54,15 +58,28 @@ fn counters(results: &[SuiteResult]) -> Counters {
     c
 }
 
+/// One measured split of the sweep.
+struct Run {
+    /// Requested values (0 = adaptive).
+    unit_threads: usize,
+    sim_threads: usize,
+    /// What the planner resolved them to on this machine.
+    unit_workers: usize,
+    sim_workers: usize,
+    counters: Counters,
+    wall_ms: f64,
+    unit_pool_ms: f64,
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_suite.json".to_string());
     let model = CostModel::new();
     let icache = IcacheModel::default();
-    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let hardware_threads = dbds_core::par::hardware_threads();
 
-    let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for (unit, sim) in MATRIX {
         let cfg = DbdsConfig {
             unit_threads: unit,
@@ -76,23 +93,54 @@ fn main() {
             .collect();
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         let unit_pool_ms: f64 = results.iter().map(|r| r.unit_par_ns as f64 / 1e6).sum();
+        // Every suite in the corpus has more workloads than any sane
+        // worker count, so the resolved split is suite-invariant; take
+        // it from the first result.
+        let (unit_workers, sim_workers) = results
+            .first()
+            .map_or((1, 0), |r| (r.unit_threads, r.sim_workers));
         eprintln!(
-            "bench_suite: unit_threads={unit} sim_threads={sim}: {wall_ms:.1} ms wall, \
-             {unit_pool_ms:.1} ms in the unit pool"
+            "bench_suite: requested {unit}x{sim} -> scheduler {unit_workers}x{sim_workers}: \
+             {wall_ms:.1} ms wall, {unit_pool_ms:.1} ms in the unit pool"
         );
-        rows.push((unit, sim, counters(&results), wall_ms, unit_pool_ms));
+        runs.push(Run {
+            unit_threads: unit,
+            sim_threads: sim,
+            unit_workers,
+            sim_workers,
+            counters: counters(&results),
+            wall_ms,
+            unit_pool_ms,
+        });
     }
 
-    let base = rows[0].2;
-    for &(unit, sim, c, _, _) in &rows {
-        if c != base {
+    // Hard determinism gate: a split whose counters diverge from the
+    // sequential baseline fails the whole sweep (and can never win).
+    let base = runs[0].counters;
+    for run in &runs {
+        if run.counters != base {
             eprintln!(
-                "bench_suite: DETERMINISM VIOLATION at unit_threads={unit} \
-                 sim_threads={sim}: {c:?} != sequential {base:?}"
+                "bench_suite: DETERMINISM VIOLATION at unit_threads={} sim_threads={}: \
+                 {:?} != sequential {:?}",
+                run.unit_threads, run.sim_threads, run.counters, base
             );
             std::process::exit(1);
         }
     }
+
+    // All splits passed the gate; the winner is pure wall clock.
+    let chosen = runs
+        .iter()
+        .min_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
+        .expect("the matrix is never empty");
+    eprintln!(
+        "bench_suite: chosen plan {}x{} (requested {}x{}), {:.1} ms",
+        chosen.unit_workers,
+        chosen.sim_workers,
+        chosen.unit_threads,
+        chosen.sim_threads,
+        chosen.wall_ms
+    );
 
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -104,18 +152,28 @@ fn main() {
     let _ = writeln!(out, "  \"hardware_threads\": {hardware_threads},");
     let _ = writeln!(out, "  \"workloads\": 48,");
     let _ = writeln!(out, "  \"configs_per_workload\": 3,");
+    let _ = writeln!(out, "  \"chosen\": {{");
+    let _ = writeln!(out, "    \"unit_threads\": {},", chosen.unit_threads);
+    let _ = writeln!(out, "    \"sim_threads\": {},", chosen.sim_threads);
+    let _ = writeln!(out, "    \"unit_workers\": {},", chosen.unit_workers);
+    let _ = writeln!(out, "    \"sim_workers\": {},", chosen.sim_workers);
+    let _ = writeln!(out, "    \"wall_ms\": {:.3}", chosen.wall_ms);
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"runs\": [");
-    let last = rows.len() - 1;
-    for (i, (unit, sim, c, wall_ms, unit_pool_ms)) in rows.iter().enumerate() {
+    let last = runs.len() - 1;
+    for (i, run) in runs.iter().enumerate() {
+        let c = run.counters;
         let _ = writeln!(out, "    {{");
-        let _ = writeln!(out, "      \"unit_threads\": {unit},");
-        let _ = writeln!(out, "      \"sim_threads\": {sim},");
+        let _ = writeln!(out, "      \"unit_threads\": {},", run.unit_threads);
+        let _ = writeln!(out, "      \"sim_threads\": {},", run.sim_threads);
+        let _ = writeln!(out, "      \"unit_workers\": {},", run.unit_workers);
+        let _ = writeln!(out, "      \"sim_workers\": {},", run.sim_workers);
         let _ = writeln!(out, "      \"work\": {},", c.work);
         let _ = writeln!(out, "      \"candidates\": {},", c.candidates);
         let _ = writeln!(out, "      \"duplications\": {},", c.duplications);
         let _ = writeln!(out, "      \"raw_cycles\": {},", c.raw_cycles);
-        let _ = writeln!(out, "      \"wall_ms\": {wall_ms:.3},");
-        let _ = writeln!(out, "      \"unit_pool_ms\": {unit_pool_ms:.3}");
+        let _ = writeln!(out, "      \"wall_ms\": {:.3},", run.wall_ms);
+        let _ = writeln!(out, "      \"unit_pool_ms\": {:.3}", run.unit_pool_ms);
         let _ = writeln!(out, "    }}{}", if i < last { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");

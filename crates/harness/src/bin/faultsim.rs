@@ -54,18 +54,22 @@ fn main() {
     let model = CostModel::new();
     let cfg = DbdsConfig::default();
     let workloads = all_workloads();
-    let (unit_threads, unit_cfg) = cfg.unit_plan(workloads.len());
-    // Stderr only: stdout must stay byte-identical across thread counts.
-    eprintln!("faultsim: unit pool width {unit_threads}");
+    let plan = cfg.pool_plan(workloads.len());
+    let unit_cfg = &plan.per_unit;
+    // Stderr only: stdout must stay byte-identical across (unit, sim)
+    // splits.
+    eprintln!(
+        "faultsim: scheduler {}x{} (unit x sim workers)",
+        plan.unit_workers, plan.sim_workers
+    );
 
     // The ground truth each faulted compilation must still match: the
     // baseline (no duplication, no faults) interpreter outcomes.
-    let (baselines, _, _): (Vec<Vec<Outcome>>, _, _) =
-        run_units(unit_threads, &workloads, |_, w| {
-            let mut g = w.graph.clone();
-            compile(&mut g, &model, OptLevel::Baseline, &unit_cfg);
-            w.inputs.iter().map(|i| execute(&g, i).outcome).collect()
-        });
+    let (baselines, _, _): (Vec<Vec<Outcome>>, _, _) = run_units(&plan, &workloads, |_, w| {
+        let mut g = w.graph.clone();
+        compile(&mut g, &model, OptLevel::Baseline, unit_cfg);
+        w.inputs.iter().map(|i| execute(&g, i).outcome).collect()
+    });
 
     let plans = FaultPlan::sweep(seed);
     println!(
@@ -78,13 +82,15 @@ fn main() {
     let mut fired_total = 0usize;
     let mut bailouts_total = 0usize;
     let mut undo_rollbacks_total = 0u64;
-    for plan in &plans {
+    for fault_plan in &plans {
         // Each unit arms on its own worker thread and disarms before the
-        // worker claims the next unit — per-unit fault ownership.
-        let (reports, _, _) = run_units(unit_threads, &workloads, |i, w| {
-            arm(plan.clone());
+        // worker claims the next unit — per-unit fault ownership. Stolen
+        // DST chunks stay correct because fault decisions are taken at
+        // collect time on the unit's worker and carried in the task.
+        let (reports, _, _) = run_units(&plan, &workloads, |i, w| {
+            arm(fault_plan.clone());
             let mut g = w.graph.clone();
-            let stats = compile(&mut g, &model, OptLevel::Dbds, &unit_cfg);
+            let stats = compile(&mut g, &model, OptLevel::Dbds, unit_cfg);
             let (_hits, fired) = disarm();
             let mut unit = UnitReport {
                 fired,
@@ -96,9 +102,9 @@ fn main() {
             if let Err(e) = verify(&g) {
                 unit.failures.push(format!(
                     "FAIL {}/{} nth={} on {}: final graph does not verify: {}",
-                    plan.site,
-                    plan.kind.name(),
-                    plan.nth,
+                    fault_plan.site,
+                    fault_plan.kind.name(),
+                    fault_plan.nth,
                     w.name,
                     e.summary()
                 ));
@@ -110,9 +116,9 @@ fn main() {
                     unit.failures.push(format!(
                         "FAIL {}/{} nth={} on {}: outcome diverged from baseline \
                          ({got:?} vs {expected:?})",
-                        plan.site,
-                        plan.kind.name(),
-                        plan.nth,
+                        fault_plan.site,
+                        fault_plan.kind.name(),
+                        fault_plan.nth,
                         w.name,
                     ));
                     break;
@@ -134,9 +140,9 @@ fn main() {
         fired_total += fired_here;
         println!(
             "  {:<22} {:<16} nth={}  fired in {:>3}/{} workloads",
-            plan.site,
-            plan.kind.name(),
-            plan.nth,
+            fault_plan.site,
+            fault_plan.kind.name(),
+            fault_plan.nth,
             fired_here,
             workloads.len()
         );

@@ -309,10 +309,10 @@ fn phases_table(model: &CostModel, cfg: &DbdsConfig) -> String {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for suite in Suite::ALL {
         let workloads = suite.workloads();
-        let (unit_threads, unit_cfg) = cfg.unit_plan(workloads.len());
-        let (stats_list, _loads, unit_ns) = run_units(unit_threads, &workloads, |_, w| {
+        let plan = cfg.pool_plan(workloads.len());
+        let (stats_list, _loads, unit_ns) = run_units(&plan, &workloads, |_, w| {
             let mut g = w.graph.clone();
-            compile(&mut g, model, OptLevel::Dbds, &unit_cfg)
+            compile(&mut g, model, OptLevel::Dbds, &plan.per_unit)
         });
         let mut sim = 0u128;
         let mut par = 0u128;

@@ -81,12 +81,13 @@ impl LintAudit {
 /// 4. one more simulation over the final graph, with
 ///    [`lint_simulation`]'s cost-sanity checks over its estimates.
 pub fn run_lint_audit(suites: &[Suite], model: &CostModel, cfg: &DbdsConfig) -> LintAudit {
-    // One unit per workload, dispatched onto the unit-level queue
-    // (`DbdsConfig::unit_threads`) and absorbed in submission order —
-    // the audit is byte-identical for every thread count.
+    // One unit per workload, dispatched onto the shared 2-D scheduler
+    // (`DbdsConfig::pool_plan`) and absorbed in submission order — the
+    // audit is byte-identical for every (unit, sim) split.
     let workloads: Vec<Workload> = suites.iter().flat_map(|s| s.workloads()).collect();
-    let (unit_threads, unit_cfg) = cfg.unit_plan(workloads.len());
-    let (parts, _loads, _ns) = run_units(unit_threads, &workloads, |_, w| {
+    let plan = cfg.pool_plan(workloads.len());
+    let unit_cfg = &plan.per_unit;
+    let (parts, _loads, _ns) = run_units(&plan, &workloads, |_, w| {
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
         let mut g = w.graph.clone();
         diagnostics.extend_from_slice(dbds_ir::lint(&g).diagnostics());
@@ -95,7 +96,7 @@ pub fn run_lint_audit(suites: &[Suite], model: &CostModel, cfg: &DbdsConfig) -> 
         let stats = run_dbds(
             &mut g,
             model,
-            &unit_cfg,
+            unit_cfg,
             SelectionMode::CostBenefit,
             &mut cache,
         );
@@ -212,8 +213,9 @@ mod tests {
         let one = run(1, 1);
         // No strip step here on purpose: the lint report carries no
         // thread-count field at all, so whole-output equality must hold
-        // across the whole unit_threads × sim_threads matrix.
-        for (sim, unit) in [(4, 1), (1, 4), (4, 4)] {
+        // across the whole unit_threads × sim_threads matrix — the
+        // adaptive (0, 0) plan included.
+        for (sim, unit) in [(4, 1), (1, 4), (4, 4), (0, 0)] {
             assert_eq!(one, run(sim, unit), "sim={sim} unit={unit}");
         }
         assert_eq!(run(4, 4), run(4, 4));

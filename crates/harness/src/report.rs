@@ -507,10 +507,11 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         };
-        // The full unit_threads × sim_threads matrix must agree modulo
-        // the two header lines.
+        // The full unit_threads × sim_threads matrix — including the
+        // adaptive (0, 0) plan, whatever it resolves to here — must
+        // agree modulo the two header lines.
         let one = run(1, 1);
-        for (sim, unit) in [(4, 1), (1, 4), (4, 4)] {
+        for (sim, unit) in [(4, 1), (1, 4), (4, 4), (0, 0)] {
             let other = run(sim, unit);
             // Only the thread-count header lines may differ...
             assert_ne!(one, other, "sim={sim} unit={unit}");

@@ -2,7 +2,7 @@
 //! exactly like the paper's three configurations (§6.1).
 
 use crate::metrics::{measure, measure_from, pct_increase, pct_speedup, IcacheModel, Metrics};
-use dbds_core::{par, BailoutReason, DbdsConfig, OptLevel, WorkerLoad};
+use dbds_core::{par, BailoutReason, DbdsConfig, OptLevel, PoolPlan, WorkerLoad};
 use dbds_costmodel::CostModel;
 use dbds_workloads::{Suite, Workload};
 
@@ -72,10 +72,13 @@ pub struct SuiteResult {
     pub suite: Suite,
     /// One row per benchmark, in figure order.
     pub rows: Vec<BenchmarkRow>,
-    /// The resolved width of the unit-level compilation queue the suite
+    /// The resolved unit-worker count of the 2-D scheduler the suite
     /// ran on. Purely observational — `rows` is identical for every
     /// value.
     pub unit_threads: usize,
+    /// The resolved reserved sim-worker (steal-helper) count of the
+    /// scheduler. Observational, like `unit_threads`.
+    pub sim_workers: usize,
     /// Wall-clock nanoseconds of the unit fan-out. Timing only, never
     /// part of the deterministic reports.
     pub unit_par_ns: u128,
@@ -188,21 +191,24 @@ pub fn run_benchmark(
 }
 
 /// Runs `f(index, &units[index])` over every unit on the
-/// `dbds_core::par` worker pool and returns the results in submission
-/// (index) order — execution order never leaks into the output — plus
-/// the per-worker loads and the wall-clock nanoseconds of the fan-out.
+/// `dbds_core::par` 2-D scheduler described by `plan` and returns the
+/// results in submission (index) order — execution order (including
+/// stealing) never leaks into the output — plus the per-worker loads
+/// and the wall-clock nanoseconds of the fan-out.
 ///
 /// This is the harness's unit-level compilation queue: `run_suite`, the
 /// lint sweep, the phase table and the fault sweep all dispatch their
-/// independent per-unit work through it. With `threads <= 1` the pool
-/// runs inline on the calling thread in index order, so the sequential
-/// path is the same code.
+/// independent per-unit work through it. Callers should compile each
+/// unit with `plan.per_unit` so the inner tiers publish to the shared
+/// scheduler instead of spawning nested pools. With one unit worker and
+/// no sim workers everything runs inline on the calling thread in index
+/// order, so the sequential path is the same code.
 pub fn run_units<I: Sync, T: Send>(
-    threads: usize,
+    plan: &PoolPlan,
     units: &[I],
     f: impl Fn(usize, &I) -> T + Sync,
 ) -> (Vec<T>, Vec<WorkerLoad>, u128) {
-    par::run_units(threads, units, f)
+    par::run_units(plan.unit_workers, plan.sim_workers, units, f)
 }
 
 /// Runs a whole suite: every `(workload, configuration)` pair is one
@@ -228,10 +234,10 @@ pub fn run_suite(
     let units: Vec<(usize, OptLevel)> = (0..workloads.len())
         .flat_map(|wi| LEVELS.iter().map(move |&l| (wi, l)))
         .collect();
-    let (unit_threads, unit_cfg) = cfg.unit_plan(units.len());
-    let (metrics, unit_loads, unit_par_ns) = run_units(unit_threads, &units, |_, &(wi, level)| {
+    let plan = cfg.pool_plan(units.len());
+    let (metrics, unit_loads, unit_par_ns) = run_units(&plan, &units, |_, &(wi, level)| {
         let w = &workloads[wi];
-        measure_from(&w.graph, w, level, model, &unit_cfg, icache)
+        measure_from(&w.graph, w, level, model, &plan.per_unit, icache)
     });
     let mut metrics = metrics.into_iter();
     let mut next = || metrics.next().expect("one Metrics per unit");
@@ -247,7 +253,8 @@ pub fn run_suite(
     SuiteResult {
         suite,
         rows,
-        unit_threads,
+        unit_threads: plan.unit_workers,
+        sim_workers: plan.sim_workers,
         unit_par_ns,
         unit_loads,
     }

@@ -109,4 +109,24 @@ fn committed_bench_baseline_matches_schema_const() {
         Some(BENCH_SUITE_SCHEMA),
         "committed baseline schema drifted from BENCH_SUITE_SCHEMA"
     );
+    // v2: the sweep records the winning scheduler split. The requested
+    // values may be 0 (adaptive), but the resolved worker counts are
+    // what the machine actually ran.
+    let chosen = tree
+        .get("chosen")
+        .expect("v2 baseline lacks a chosen block");
+    for key in ["unit_threads", "sim_threads", "wall_ms"] {
+        assert!(chosen.get(key).is_some(), "chosen block lacks {key}");
+    }
+    let workers = |key: &str| {
+        chosen
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("chosen block lacks {key}"))
+    };
+    assert!(
+        workers("unit_workers") >= 1,
+        "chosen plan has no unit worker"
+    );
+    let _ = workers("sim_workers");
 }

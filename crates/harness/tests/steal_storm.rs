@@ -1,0 +1,156 @@
+//! Steal-storm determinism gate: a unit batch built to maximise work
+//! stealing — many tiny units that drain their owner's cursor almost
+//! immediately, plus one pathologically large unit whose DST/pricing
+//! fan-outs dominate the shared queue — must render a byte-identical
+//! `--json` report at every `(unit, sim)` split of the 2-D scheduler,
+//! including the adaptive `(0, 0)` plan. Under this shape nearly every
+//! worker ends up stealing from the big unit's queues, so any
+//! execution-order leak (commit order, float accumulation order, load
+//! bookkeeping bleeding into results) shows up as a byte diff here.
+
+use dbds_core::{DbdsConfig, OptLevel};
+use dbds_costmodel::CostModel;
+use dbds_harness::{format_json, measure_from, run_units, BenchmarkRow, IcacheModel, SuiteResult};
+use dbds_workloads::{generate_graph, generate_inputs, FragmentKind, Profile, Suite, Workload};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const LEVELS: [OptLevel; 3] = [OptLevel::Baseline, OptLevel::Dbds, OptLevel::Dupalot];
+
+fn storm_profile(fragments: (usize, usize)) -> Profile {
+    Profile {
+        fragments,
+        weights: vec![
+            (FragmentKind::ConstFold, 2.0),
+            (FragmentKind::CondElim, 2.0),
+            (FragmentKind::StrengthReduce, 1.0),
+            (FragmentKind::TypeCheck, 1.0),
+            (FragmentKind::HotLoop, 1.0),
+            (FragmentKind::Neutral, 1.0),
+        ],
+        input_sets: 2,
+    }
+}
+
+/// Twelve near-empty units plus one unit an order of magnitude larger:
+/// the tiny units' owners run dry fast and turn into stealers parked on
+/// the big unit's fan-outs.
+fn storm_workloads() -> Vec<Workload> {
+    let tiny = storm_profile((1, 3));
+    let big = storm_profile((48, 49));
+    let mut out: Vec<Workload> = (0..12)
+        .map(|i| {
+            let name = format!("storm-tiny-{i}");
+            let graph = generate_graph(&name, &tiny, 9_000 + i);
+            Workload {
+                name,
+                suite: Suite::Micro,
+                graph,
+                inputs: generate_inputs(&tiny, 9_000 + i),
+            }
+        })
+        .collect();
+    let graph = generate_graph("storm-big", &big, 4_242);
+    out.push(Workload {
+        name: "storm-big".to_string(),
+        suite: Suite::Micro,
+        graph,
+        inputs: generate_inputs(&big, 4_242),
+    });
+    for w in &out {
+        dbds_ir::verify(&w.graph)
+            .unwrap_or_else(|e| panic!("storm workload {} failed verification: {e}", w.name));
+    }
+    out
+}
+
+/// Renders the storm's full `--json` report with the batch dispatched
+/// at the requested `(unit_threads, sim_threads)` split (0 = adaptive).
+/// The report header is pinned to fixed values so the comparison is
+/// whole-output byte identity, not identity modulo stripped lines.
+fn report_at(workloads: &[Workload], unit_threads: usize, sim_threads: usize) -> String {
+    let model = CostModel::new();
+    let ic = IcacheModel::default();
+    let cfg = DbdsConfig {
+        unit_threads,
+        sim_threads,
+        ..DbdsConfig::default()
+    };
+    let units: Vec<(usize, OptLevel)> = (0..workloads.len())
+        .flat_map(|wi| LEVELS.iter().map(move |&l| (wi, l)))
+        .collect();
+    let plan = cfg.pool_plan(units.len());
+    let (metrics, loads, _) = run_units(&plan, &units, |_, &(wi, level)| {
+        let w = &workloads[wi];
+        measure_from(&w.graph, w, level, &model, &plan.per_unit, &ic)
+    });
+    // Load bookkeeping stays coherent even in a storm: every unit is
+    // claimed exactly once and stolen counts never exceed task counts.
+    assert!(loads.iter().map(|l| l.tasks).sum::<usize>() >= units.len());
+    for load in &loads {
+        assert!(load.stolen <= load.tasks, "stolen > tasks at {load:?}");
+    }
+    let mut metrics = metrics.into_iter();
+    let mut next = || metrics.next().expect("one Metrics per unit");
+    let rows: Vec<BenchmarkRow> = workloads
+        .iter()
+        .map(|w| BenchmarkRow {
+            name: w.name.clone(),
+            baseline: next(),
+            dbds: next(),
+            dupalot: next(),
+        })
+        .collect();
+    let result = SuiteResult {
+        suite: Suite::Micro,
+        rows,
+        unit_threads: plan.unit_workers,
+        sim_workers: plan.sim_workers,
+        unit_par_ns: 0,
+        unit_loads: Vec::new(),
+    };
+    format_json(&[result], 1, 1, None)
+}
+
+/// The storm workloads and the sequential-baseline report, built once:
+/// `(1, 1)` resolves to one unit worker with no sim helpers, i.e. the
+/// pure inline path.
+fn baseline() -> &'static (Vec<Workload>, String) {
+    static BASE: OnceLock<(Vec<Workload>, String)> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let workloads = storm_workloads();
+        let report = report_at(&workloads, 1, 1);
+        (workloads, report)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized splits: any explicit `(unit, sim)` request reproduces
+    /// the sequential report byte-for-byte.
+    #[test]
+    fn steal_storm_report_is_split_invariant(
+        unit_threads in 1usize..6,
+        sim_threads in 0usize..6,
+    ) {
+        let (workloads, base) = baseline();
+        let got = report_at(workloads, unit_threads, sim_threads);
+        prop_assert_eq!(
+            &got, base,
+            "storm report diverged at split {}x{}", unit_threads, sim_threads
+        );
+    }
+}
+
+/// The adaptive plan — whatever `(0, 0)` resolves to on this machine —
+/// sits under the same byte-identity gate as the explicit splits.
+#[test]
+fn steal_storm_report_matches_under_the_adaptive_plan() {
+    let (workloads, base) = baseline();
+    assert_eq!(
+        &report_at(workloads, 0, 0),
+        base,
+        "storm report diverged under the adaptive plan"
+    );
+}
